@@ -1,0 +1,312 @@
+package maxsat
+
+// Benchmark harness regenerating every table and figure of the DATE 2008
+// paper (see DESIGN.md §2 for the experiment index):
+//
+//	BenchmarkTable1    — aborted-instance counts, industrial-style suite
+//	BenchmarkTable2    — aborted counts, 29 design-debugging instances
+//	BenchmarkFigure1   — scatter maxsatz vs msu4-v2
+//	BenchmarkFigure2   — scatter pbo vs msu4-v2
+//	BenchmarkFigure3   — scatter msu4-v1 vs msu4-v2
+//	BenchmarkCardEncodings — A1 ablation: encoding sizes and solve impact
+//	BenchmarkMSU4AtLeast1  — A2 ablation: the optional line-19 constraint
+//	BenchmarkMSU1Variants  — A3 ablation: AMO encodings inside msu1
+//	BenchmarkSolvers       — per-algorithm end-to-end on a fixed miter
+//
+// Benchmarks use a scaled-down per-instance timeout so the whole suite
+// regenerates quickly; cmd/experiments runs the same artifacts with the
+// default 5 s timeout. Abort counts and diagonal splits are emitted as
+// benchmark metrics (aborts_<solver>, x_faster, ...).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/card"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/opt"
+	"repro/internal/sat"
+)
+
+const benchTimeout = 300 * time.Millisecond
+
+func reportAborts(b *testing.B, rep *harness.Report) {
+	counts := rep.AbortCounts()
+	for _, s := range rep.Solvers {
+		b.ReportMetric(float64(counts[s]), "aborts_"+s)
+	}
+	b.ReportMetric(float64(len(rep.Instances)), "instances")
+	if problems := rep.CheckAgreement(); len(problems) > 0 {
+		b.Fatalf("solver disagreement: %v", problems)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: aborted instances per solver on the
+// industrial-style suite.
+func BenchmarkTable1(b *testing.B) {
+	insts := gen.Suite(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := harness.Run(insts, harness.Config{Timeout: benchTimeout})
+		b.StopTimer()
+		reportAborts(b, rep)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the 29 design-debugging instances.
+func BenchmarkTable2(b *testing.B) {
+	insts := gen.DebugSuite(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := harness.Run(insts, harness.Config{Timeout: benchTimeout})
+		b.StopTimer()
+		reportAborts(b, rep)
+		b.StartTimer()
+	}
+}
+
+func scatterBench(b *testing.B, x, y string) {
+	sx, _ := harness.SolverByName(x)
+	sy, _ := harness.SolverByName(y)
+	insts := gen.Suite(42)
+	cfg := harness.Config{Timeout: benchTimeout, Solvers: []harness.SolverSpec{sx, sy}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := harness.Run(insts, cfg)
+		b.StopTimer()
+		pts := rep.Scatter(x, y)
+		xFaster, yFaster := 0, 0
+		for _, p := range pts {
+			switch {
+			case p.Y > p.X:
+				xFaster++
+			case p.X > p.Y:
+				yFaster++
+			}
+		}
+		b.ReportMetric(float64(xFaster), x+"_faster")
+		b.ReportMetric(float64(yFaster), y+"_faster")
+		if problems := rep.CheckAgreement(); len(problems) > 0 {
+			b.Fatalf("solver disagreement: %v", problems)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1: maxsatz (y) vs msu4-v2 (x).
+func BenchmarkFigure1(b *testing.B) { scatterBench(b, "msu4-v2", "maxsatz") }
+
+// BenchmarkFigure2 regenerates Figure 2: pbo (y) vs msu4-v2 (x).
+func BenchmarkFigure2(b *testing.B) { scatterBench(b, "msu4-v2", "pbo") }
+
+// BenchmarkFigure3 regenerates Figure 3: msu4-v1 (y) vs msu4-v2 (x).
+func BenchmarkFigure3(b *testing.B) { scatterBench(b, "msu4-v2", "msu4-v1") }
+
+// BenchmarkCardEncodings measures the A1 ablation: CNF size and encoding
+// time of AtMost-k for each cardinality encoding (n=96, k=12 — the regime
+// msu4 hits after a handful of iterations on industrial instances).
+func BenchmarkCardEncodings(b *testing.B) {
+	const n, k = 96, 12
+	for _, enc := range []card.Encoding{card.BDD, card.Sorter, card.Sequential, card.Totalizer} {
+		enc := enc
+		b.Run(enc.String(), func(b *testing.B) {
+			var clauses, vars int
+			for i := 0; i < b.N; i++ {
+				f := cnf.NewFormula(n)
+				d := card.NewFormulaDest(f)
+				lits := make([]cnf.Lit, n)
+				for j := range lits {
+					lits[j] = cnf.PosLit(cnf.Var(j))
+				}
+				card.AtMost(d, enc, lits, k)
+				clauses = f.NumClauses()
+				vars = f.NumVars - n
+			}
+			b.ReportMetric(float64(clauses), "clauses")
+			b.ReportMetric(float64(vars), "auxvars")
+		})
+	}
+}
+
+// BenchmarkMSU4AtLeast1 measures the A2 ablation: msu4-v2 with and without
+// the optional per-core AtLeast-1 constraint (paper Algorithm 1, line 19).
+func BenchmarkMSU4AtLeast1(b *testing.B) {
+	insts := []gen.Instance{
+		gen.EquivMiter(8),
+		gen.BMCCounter(4, 10),
+		gen.Coloring(7, 10, 26, 3),
+		gen.Pigeonhole(5),
+	}
+	for _, skip := range []bool{false, true} {
+		name := "with-al1"
+		if skip {
+			name = "without-al1"
+		}
+		skip := skip
+		b.Run(name, func(b *testing.B) {
+			iterations := 0
+			for i := 0; i < b.N; i++ {
+				iterations = 0
+				for _, in := range insts {
+					m := &core.MSU4{Opts: opt.Options{Encoding: card.Sorter}, SkipAtLeast1: skip}
+					r := m.Solve(in.W)
+					if r.Status != opt.StatusOptimal {
+						b.Fatalf("%s: %v", in.Name, r.Status)
+					}
+					iterations += r.Iterations
+				}
+			}
+			b.ReportMetric(float64(iterations), "solver_iters")
+		})
+	}
+}
+
+// BenchmarkMSU1Variants measures the A3 ablation: the AMO encoding used for
+// msu1's per-core exactly-one constraints.
+func BenchmarkMSU1Variants(b *testing.B) {
+	insts := []gen.Instance{
+		gen.EquivMiter(6),
+		gen.Coloring(7, 8, 20, 3),
+		gen.Pigeonhole(4),
+	}
+	for _, enc := range []card.Encoding{card.Ladder, card.Pairwise, card.Sequential} {
+		enc := enc
+		b.Run(enc.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, in := range insts {
+					m := &core.MSU1{AMOEncoding: enc}
+					if r := m.Solve(in.W); r.Status != opt.StatusOptimal {
+						b.Fatalf("%s: %v", in.Name, r.Status)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolvers times every algorithm end to end on a fixed
+// equivalence-checking miter (the paper's dominant instance family).
+func BenchmarkSolvers(b *testing.B) {
+	in := gen.EquivMiter(8)
+	for _, algo := range Algorithms() {
+		algo := algo
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := Solve(in.W, Options{Algorithm: algo, Timeout: 10 * time.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Status != Optimal || r.Cost != 1 {
+					b.Fatalf("%s: status %v cost %d", algo, r.Status, r.Cost)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSATSolver times the raw CDCL engine on pigeonhole proofs — the
+// substrate cost underneath every core-guided iteration.
+func BenchmarkSATSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		in := gen.Pigeonhole(7)
+		for _, c := range in.W.Clauses {
+			s.AddClauseFrom(c.Clause)
+		}
+		if st := s.Solve(); st != sat.Unsat {
+			b.Fatalf("php: %v", st)
+		}
+	}
+}
+
+// BenchmarkMSU4Minimize measures the core-minimization option: budgeted
+// destructive shrinking of every extracted core before relaxation.
+func BenchmarkMSU4Minimize(b *testing.B) {
+	insts := []gen.Instance{
+		gen.EquivMiter(8),
+		gen.Coloring(7, 10, 26, 3),
+		gen.BMCShift(10, 9),
+	}
+	for _, minimize := range []bool{false, true} {
+		name := "off"
+		if minimize {
+			name = "on"
+		}
+		minimize := minimize
+		b.Run(name, func(b *testing.B) {
+			relaxed := 0
+			for i := 0; i < b.N; i++ {
+				relaxed = 0
+				for _, in := range insts {
+					m := &core.MSU4{Opts: opt.Options{Encoding: card.Sorter}, MinimizeCores: minimize}
+					r := m.Solve(in.W)
+					if r.Status != opt.StatusOptimal {
+						b.Fatalf("%s: %v", in.Name, r.Status)
+					}
+					relaxed += r.UnsatCalls
+				}
+			}
+			b.ReportMetric(float64(relaxed), "unsat_iters")
+		})
+	}
+}
+
+// BenchmarkWeighted compares the weighted-capable algorithms (the paper's
+// future-work direction) on weighted over-constrained colouring instances.
+func BenchmarkWeighted(b *testing.B) {
+	insts := []gen.Instance{
+		gen.ColoringWeighted(3, 8, 20, 3, 5),
+		gen.ColoringWeighted(4, 10, 26, 3, 5),
+	}
+	algos := []Algorithm{AlgoWMSU1, AlgoWMSU4, AlgoPBO, AlgoBnB}
+	for _, algo := range algos {
+		algo := algo
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var ref Weight = -1
+				for _, in := range insts {
+					r, err := Solve(in.W, Options{Algorithm: algo, Timeout: 30 * time.Second})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if r.Status != Optimal {
+						b.Fatalf("%s on %s: %v", algo, in.Name, r.Status)
+					}
+					if ref < 0 {
+						ref = r.Cost
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClauseManagement compares MiniSat's activity-based learnt-clause
+// deletion (the paper-era policy) against Glucose-style LBD deletion on a
+// pigeonhole proof.
+func BenchmarkClauseManagement(b *testing.B) {
+	for _, mode := range []sat.ClauseManagement{sat.ActivityBased, sat.LBDBased} {
+		name := "activity"
+		if mode == sat.LBDBased {
+			name = "lbd"
+		}
+		mode := mode
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := sat.New()
+				s.Management = mode
+				in := gen.Pigeonhole(7)
+				for _, c := range in.W.Clauses {
+					s.AddClauseFrom(c.Clause)
+				}
+				if st := s.Solve(); st != sat.Unsat {
+					b.Fatalf("php: %v", st)
+				}
+			}
+		})
+	}
+}

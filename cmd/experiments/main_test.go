@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The tests run the real experiment pipeline with a microscopic timeout:
+// every solver aborts almost immediately, exercising the full harness,
+// rendering, and CSV paths in seconds.
+
+func TestExperimentsTable2Tiny(t *testing.T) {
+	var out bytes.Buffer
+	dir := t.TempDir()
+	code := run([]string{"-run", "table2", "-timeout", "1ms", "-csv", dir}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "Table 2") {
+		t.Fatalf("missing table output:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table2.csv")); err != nil {
+		t.Fatalf("csv missing: %v", err)
+	}
+}
+
+func TestExperimentsFig1Tiny(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-run", "fig1", "-timeout", "1ms"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "points above diagonal") {
+		t.Fatalf("missing scatter output:\n%s", out.String())
+	}
+}
+
+func TestExperimentsBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-run", "bogus", "-timeout", "1ms"}, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

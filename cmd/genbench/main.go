@@ -1,0 +1,89 @@
+// Command genbench writes the benchmark suites of this reproduction to disk
+// as DIMACS files: the industrial-style Table 1 suite (.cnf / .wcnf) and the
+// 29-instance design-debugging Table 2 suite (.wcnf), plus a manifest
+// listing family and known optimum per instance.
+//
+// Usage:
+//
+//	genbench [-out bench] [-seed 42] [-suite table1|table2|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("genbench", flag.ContinueOnError)
+	var (
+		out   = fs.String("out", "bench", "output directory")
+		seed  = fs.Int64("seed", 42, "generator seed")
+		suite = fs.String("suite", "all", "which suite: table1, table2, all")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var insts []gen.Instance
+	switch *suite {
+	case "table1":
+		insts = gen.Suite(*seed)
+	case "table2":
+		insts = gen.DebugSuite(*seed)
+	case "all":
+		insts = append(gen.Suite(*seed), gen.DebugSuite(*seed)...)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+		return 2
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	manifest, err := os.Create(filepath.Join(*out, "MANIFEST.csv"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer manifest.Close()
+	fmt.Fprintln(manifest, "name,family,file,vars,clauses,hard,soft,known_cost")
+	for _, in := range insts {
+		ext := ".wcnf"
+		if in.W.NumHard() == 0 && !in.W.Weighted() {
+			ext = ".cnf"
+		}
+		name := in.Name + ext
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if ext == ".cnf" {
+			plain := maxsat.NewFormula(in.W.NumVars)
+			for _, c := range in.W.Clauses {
+				plain.AddClause(c.Clause...)
+			}
+			err = maxsat.WriteDIMACS(f, plain)
+		} else {
+			err = maxsat.WriteWCNF(f, in.W)
+		}
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(manifest, "%s,%s,%s,%d,%d,%d,%d,%d\n",
+			in.Name, in.Family, name, in.W.NumVars, in.W.NumClauses(),
+			in.W.NumHard(), in.W.NumSoft(), in.KnownCost)
+	}
+	fmt.Printf("wrote %d instances to %s\n", len(insts), *out)
+	return 0
+}

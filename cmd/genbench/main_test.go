@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestGenbenchTable2(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"-out", dir, "-suite", "table2", "-seed", "7"}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(manifest)), "\n")
+	if len(lines) != 30 { // header + 29 instances
+		t.Fatalf("manifest has %d lines, want 30", len(lines))
+	}
+	// Every listed file must parse back.
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		w, err := maxsat.ParseWCNFFile(filepath.Join(dir, fields[2]))
+		if err != nil {
+			t.Fatalf("%s: %v", fields[2], err)
+		}
+		if w.NumClauses() == 0 {
+			t.Fatalf("%s: empty instance", fields[2])
+		}
+	}
+}
+
+func TestGenbenchTable1Files(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"-out", dir, "-suite", "table1"}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cnfs, wcnfs int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".cnf":
+			cnfs++
+		case ".wcnf":
+			wcnfs++
+		}
+	}
+	if cnfs == 0 || wcnfs == 0 {
+		t.Fatalf("expected both .cnf and .wcnf outputs, got %d/%d", cnfs, wcnfs)
+	}
+}
+
+func TestGenbenchBadSuite(t *testing.T) {
+	if code := run([]string{"-suite", "bogus", "-out", t.TempDir()}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

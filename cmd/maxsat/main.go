@@ -1,0 +1,103 @@
+// Command maxsat is a MaxSAT solver front-end: it reads a DIMACS .cnf
+// (plain MaxSAT) or .wcnf (weighted partial MaxSAT) file and prints the
+// result in the MaxSAT-evaluation output convention:
+//
+//	o <cost>            optimum (or best known) cost
+//	s OPTIMUM FOUND     (or s UNSATISFIABLE / s UNKNOWN)
+//	v <model literals>  witness assignment, DIMACS-signed
+//
+// Usage:
+//
+//	maxsat [-alg msu4-v2] [-enc sorter] [-timeout 30s] [-stats] [-no-model] file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("maxsat", flag.ContinueOnError)
+	var (
+		alg     = fs.String("alg", "", "algorithm: auto (default), msu4-v1, msu4-v2, msu4, msu1, msu2, msu3, pbo, pbo-bin, maxsatz")
+		enc     = fs.String("enc", "", "cardinality encoding for -alg msu4: bdd, sorter, seq, totalizer")
+		timeout = fs.Duration("timeout", 0, "overall solve timeout (0 = unbounded)")
+		stats   = fs.Bool("stats", false, "print iteration/conflict statistics")
+		noModel = fs.Bool("no-model", false, "suppress the v line")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: maxsat [flags] <file.cnf|file.wcnf>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	path := fs.Arg(0)
+
+	w, err := maxsat.ParseWCNFFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c error: %v\n", err)
+		return 1
+	}
+	fmt.Printf("c instance %s: %d vars, %d clauses (%d hard, %d soft)\n",
+		path, w.NumVars, w.NumClauses(), w.NumHard(), w.NumSoft())
+
+	o := maxsat.Options{
+		Algorithm: maxsat.Algorithm(*alg),
+		Encoding:  *enc,
+		Timeout:   *timeout,
+	}
+	start := time.Now()
+	r, err := maxsat.Solve(w, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c error: %v\n", err)
+		return 1
+	}
+	fmt.Printf("c algorithm %s, %.3fs\n", r.Algorithm, time.Since(start).Seconds())
+	if *stats {
+		fmt.Printf("c iterations %d (sat %d, unsat %d), conflicts %d\n",
+			r.Iterations, r.SatCalls, r.UnsatCalls, r.Conflicts)
+	}
+	switch r.Status {
+	case maxsat.Optimal:
+		fmt.Printf("o %d\n", r.Cost)
+		fmt.Println("s OPTIMUM FOUND")
+		if !*noModel {
+			printModel(r.Model, w.NumVars)
+		}
+	case maxsat.Unsatisfiable:
+		fmt.Println("s UNSATISFIABLE")
+	default:
+		if r.Cost >= 0 {
+			fmt.Printf("o %d\n", r.Cost)
+		}
+		fmt.Println("s UNKNOWN")
+	}
+	return 0
+}
+
+func printModel(m maxsat.Assignment, n int) {
+	var sb strings.Builder
+	sb.WriteString("v")
+	for v := 0; v < n && v < len(m); v++ {
+		if m[v] {
+			fmt.Fprintf(&sb, " %d", v+1)
+		} else {
+			fmt.Fprintf(&sb, " -%d", v+1)
+		}
+	}
+	fmt.Println(sb.String())
+}

@@ -1,0 +1,118 @@
+// Command sat is the plain SAT front-end over this repository's CDCL engine
+// — the MiniSat-equivalent substrate the msu4 paper builds on. It reads a
+// DIMACS .cnf file and prints SATISFIABLE with a model, or UNSATISFIABLE.
+//
+// Usage:
+//
+//	sat [-simp] [-timeout 60s] [-stats] [-no-model] file.cnf
+//
+// -simp applies SatELite-style preprocessing (unit propagation,
+// subsumption, self-subsuming resolution, bounded variable elimination)
+// with model reconstruction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+	"repro/internal/simp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("sat", flag.ContinueOnError)
+	var (
+		useSimp = fs.Bool("simp", false, "apply SatELite-style preprocessing")
+		timeout = fs.Duration("timeout", 0, "solve timeout (0 = unbounded)")
+		stats   = fs.Bool("stats", false, "print solver statistics")
+		noModel = fs.Bool("no-model", false, "suppress the v line")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: sat [flags] <file.cnf>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	f, err := cnf.ParseDIMACSFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c error: %v\n", err)
+		return 1
+	}
+	fmt.Printf("c instance %s: %d vars, %d clauses\n", fs.Arg(0), f.NumVars, f.NumClauses())
+
+	start := time.Now()
+	var pre *simp.Result
+	work := f
+	if *useSimp {
+		pre = simp.Preprocess(f, simp.Options{})
+		if pre.Unsat {
+			fmt.Printf("c preprocessing proved unsatisfiability in %.3fs\n", time.Since(start).Seconds())
+			fmt.Println("s UNSATISFIABLE")
+			return 20
+		}
+		work = pre.Formula
+		fmt.Printf("c preprocessed to %d clauses in %.3fs\n", work.NumClauses(), time.Since(start).Seconds())
+	}
+
+	s := sat.New()
+	s.EnsureVars(f.NumVars)
+	if *timeout > 0 {
+		s.SetBudget(sat.Budget{Deadline: time.Now().Add(*timeout)})
+	}
+	if !s.AddFormula(work) {
+		fmt.Println("s UNSATISFIABLE")
+		return 20
+	}
+	st := s.Solve()
+	fmt.Printf("c solved in %.3fs\n", time.Since(start).Seconds())
+	if *stats {
+		ss := s.Stats()
+		fmt.Printf("c conflicts %d decisions %d propagations %d restarts %d\n",
+			ss.Conflicts, ss.Decisions, ss.Propagations, ss.Restarts)
+	}
+	switch st {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		if !*noModel {
+			model := s.Model()[:f.NumVars]
+			if pre != nil {
+				model = pre.Reconstruct(model)
+			}
+			if !f.Eval(model) {
+				fmt.Fprintln(os.Stderr, "c internal error: model check failed")
+				return 1
+			}
+			var sb strings.Builder
+			sb.WriteString("v")
+			for v := 0; v < f.NumVars; v++ {
+				if model[v] {
+					fmt.Fprintf(&sb, " %d", v+1)
+				} else {
+					fmt.Fprintf(&sb, " -%d", v+1)
+				}
+			}
+			sb.WriteString(" 0")
+			fmt.Println(sb.String())
+		}
+		return 10
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		return 20
+	default:
+		fmt.Println("s UNKNOWN")
+		return 0
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSat(t *testing.T) {
+	path := writeFile(t, "s.cnf", "p cnf 3 3\n1 2 0\n-1 3 0\n-3 0\n")
+	if code := run([]string{path}); code != 10 {
+		t.Fatalf("exit %d, want 10 (SAT)", code)
+	}
+	if code := run([]string{"-simp", "-stats", path}); code != 10 {
+		t.Fatalf("simp exit %d, want 10", code)
+	}
+	if code := run([]string{"-no-model", path}); code != 10 {
+		t.Fatalf("no-model exit %d, want 10", code)
+	}
+}
+
+func TestRunUnsat(t *testing.T) {
+	path := writeFile(t, "u.cnf", "p cnf 1 2\n1 0\n-1 0\n")
+	if code := run([]string{path}); code != 20 {
+		t.Fatalf("exit %d, want 20 (UNSAT)", code)
+	}
+	if code := run([]string{"-simp", path}); code != 20 {
+		t.Fatalf("simp exit %d, want 20", code)
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	if code := run([]string{}); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent.cnf"}); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	bad := writeFile(t, "bad.cnf", "not a cnf file")
+	if code := run([]string{bad}); code != 1 {
+		t.Fatalf("bad file: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,90 @@
+// Test-pattern generation (ATPG) with MaxSAT.
+//
+// For a gate fault, build the miter of the good and faulty circuits and
+// make the "circuits disagree" assertion the only soft clause:
+//
+//   - optimum 0  →  the fault is testable and the model IS a test pattern
+//     (an input vector on which the faulty circuit misbehaves);
+//
+//   - optimum 1  →  no input exposes the fault: it is redundant
+//     (undetectable), the UNSAT case ATPG tools must prove.
+//
+//     go run ./examples/testpattern
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/circuit"
+	"repro/internal/gen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	good := circuit.RippleAdder(4)
+
+	// Case 1: a random injected fault (almost always testable).
+	bad, fault := circuit.InjectFault(rng, good)
+	fmt.Printf("injected fault: %v\n", fault)
+	pattern, testable := atpg(good, bad)
+	if testable {
+		fmt.Printf("fault is testable; generated pattern: %v\n", pattern)
+		g := good.OutputsOf(good.Eval(pattern))
+		b := bad.OutputsOf(bad.Eval(pattern))
+		fmt.Printf("  good outputs:   %v\n  faulty outputs: %v\n", g, b)
+	} else {
+		fmt.Println("fault is redundant (no test pattern exists)")
+	}
+
+	// Case 2: a constructed redundant fault (the gen.ATPGRedundant family).
+	in := gen.ATPGRedundant(4)
+	r, err := maxsat.Solve(in.W, maxsat.Options{Algorithm: maxsat.AlgoMSU4V2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s: optimum %d — ", in.Name, r.Cost)
+	if r.Cost >= 1 {
+		fmt.Println("the masked fault is provably undetectable (UNSAT miter)")
+	} else {
+		fmt.Println("unexpectedly testable?!")
+	}
+}
+
+// atpg builds the miter WCNF: everything hard except the disagreement
+// assertion, then asks MaxSAT. Cost 0 means a pattern exists.
+func atpg(good, bad *circuit.Circuit) ([]bool, bool) {
+	m := circuit.Miter(good, bad)
+	w := maxsat.NewWCNF(0)
+	d := wcnfDest{w}
+	lits := circuit.Tseitin(d, m)
+	w.AddSoft(1, lits[m.Outputs[0]])
+	r, err := maxsat.Solve(w, maxsat.Options{Algorithm: maxsat.AlgoMSU4V2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r.Cost != 0 {
+		return nil, false
+	}
+	pattern := make([]bool, m.NumInputs())
+	for i, id := range m.Inputs {
+		pattern[i] = r.Model.Lit(lits[id])
+	}
+	return pattern, true
+}
+
+// wcnfDest adapts a WCNF as a hard-clause Tseitin destination.
+type wcnfDest struct{ w *maxsat.WCNF }
+
+func (d wcnfDest) NewVar() maxsat.Var {
+	v := maxsat.Var(d.w.NumVars)
+	d.w.NumVars++
+	return v
+}
+
+func (d wcnfDest) AddClause(lits ...maxsat.Lit) bool {
+	d.w.AddHard(lits...)
+	return true
+}

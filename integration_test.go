@@ -1,0 +1,144 @@
+package maxsat
+
+// Integration tests covering the full pipeline: benchmark generation →
+// DIMACS round-trip → every algorithm → witness verification → cross-solver
+// agreement. These are the end-to-end checks behind the harness's
+// CheckAgreement gate.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/opt"
+	"repro/internal/simp"
+)
+
+// TestPipelineGenerateSerializeSolve writes instances through DIMACS and
+// back, then checks the optimum is unchanged by serialization.
+func TestPipelineGenerateSerializeSolve(t *testing.T) {
+	insts := []gen.Instance{
+		gen.Pigeonhole(4),
+		gen.EquivMiter(4),
+		gen.EquivMiterKS(4),
+		gen.BMCCounter(3, 5),
+		gen.Coloring(9, 8, 20, 3),
+	}
+
+	for _, in := range insts {
+		var buf bytes.Buffer
+		if err := WriteWCNF(&buf, in.W); err != nil {
+			t.Fatalf("%s: write: %v", in.Name, err)
+		}
+		parsed, err := ParseWCNF(&buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", in.Name, err)
+		}
+		direct, err := Solve(in.W, Options{Algorithm: AlgoMSU4V2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaDimacs, err := Solve(parsed, Options{Algorithm: AlgoMSU4V2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Cost != viaDimacs.Cost || direct.Status != viaDimacs.Status {
+			t.Fatalf("%s: serialization changed the optimum: %d vs %d",
+				in.Name, direct.Cost, viaDimacs.Cost)
+		}
+		if in.KnownCost >= 0 && direct.Cost != in.KnownCost {
+			t.Fatalf("%s: cost %d, known %d", in.Name, direct.Cost, in.KnownCost)
+		}
+	}
+}
+
+// TestExtendedLineupAgreement runs the full extended solver line-up over a
+// suite slice and requires all proved optima to agree.
+func TestExtendedLineupAgreement(t *testing.T) {
+	insts := []gen.Instance{
+		gen.Pigeonhole(3),
+		gen.Pigeonhole(4),
+		gen.EquivMiter(3),
+		gen.EquivMiter(5),
+		gen.BMCCounter(3, 4),
+		gen.BMCShift(6, 5),
+		gen.ATPGRedundant(3),
+		gen.Coloring(5, 8, 20, 3),
+		gen.RandomKSAT(77, 14, 3, 6.0),
+	}
+	rep := harness.Run(insts, harness.Config{
+		Timeout: 30 * time.Second,
+		Solvers: harness.ExtendedSolvers(),
+	})
+	if problems := rep.CheckAgreement(); len(problems) > 0 {
+		t.Fatalf("disagreements:\n%v", problems)
+	}
+	for _, row := range rep.Results {
+		for _, res := range row {
+			if res.Aborted {
+				t.Fatalf("%s/%s aborted with a 30s budget", res.Instance, res.Solver)
+			}
+		}
+	}
+}
+
+// TestPreprocessThenMaxSATHards: hard clauses of a partial instance can be
+// preprocessed; the optimum over the simplified hards plus original softs
+// must match the unpreprocessed optimum. (Soft clauses must never be
+// preprocessed — this test pins the sound usage pattern.)
+func TestPreprocessThenMaxSATHards(t *testing.T) {
+	in := gen.Coloring(13, 8, 18, 3)
+	w := in.W
+
+	// Split: preprocess the hard part only.
+	hards := w.Hards()
+	pre := simp.Preprocess(hards, simp.Options{DisableBVE: true}) // keep vars
+	if pre.Unsat {
+		t.Fatal("colouring hard part cannot be unsat")
+	}
+	rebuilt := cnf.NewWCNF(w.NumVars)
+	for _, c := range pre.Formula.Clauses {
+		rebuilt.AddHard(c...)
+	}
+	for _, c := range w.Clauses {
+		if !c.Hard() {
+			rebuilt.AddSoft(c.Weight, c.Clause...)
+		}
+	}
+	a, err := Solve(w, Options{Algorithm: AlgoMSU3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(rebuilt, Options{Algorithm: AlgoMSU3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsumption/unit propagation on hards preserves the model set over
+	// the original variables only when no variable is eliminated; with BVE
+	// disabled the optima must coincide.
+	if a.Cost != b.Cost {
+		t.Fatalf("preprocessing hards changed optimum: %d vs %d", a.Cost, b.Cost)
+	}
+}
+
+// TestStressManyInstancesQuickly runs the default line-up over a trimmed
+// suite with a small budget, asserting no panics, no disagreements, and
+// sane bookkeeping everywhere — the "does the whole system hold together"
+// smoke test.
+func TestStressManyInstancesQuickly(t *testing.T) {
+	insts := gen.Suite(7)[:20]
+	rep := harness.Run(insts, harness.Config{Timeout: 2 * time.Second})
+	if problems := rep.CheckAgreement(); len(problems) > 0 {
+		t.Fatalf("disagreements: %v", problems)
+	}
+	for _, row := range rep.Results {
+		for _, res := range row {
+			if res.Status == opt.StatusOptimal && res.Cost < 0 {
+				t.Fatalf("%s/%s: optimal with negative cost", res.Instance, res.Solver)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package bnb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+	"repro/internal/opt"
+)
+
+func lit(i int) cnf.Lit { return cnf.FromDIMACS(i) }
+
+func TestPaperExample2(t *testing.T) {
+	// The §3.3 formula: MaxSAT solution 6 of 8 (cost 2).
+	f := cnf.NewFormula(4)
+	f.AddClause(lit(1))
+	f.AddClause(lit(-1), lit(-2))
+	f.AddClause(lit(2))
+	f.AddClause(lit(-1), lit(-3))
+	f.AddClause(lit(3))
+	f.AddClause(lit(-2), lit(-3))
+	f.AddClause(lit(1), lit(-4))
+	f.AddClause(lit(-1), lit(4))
+	w := cnf.FromFormula(f)
+	r := New(opt.Options{}).Solve(w)
+	if r.Status != opt.StatusOptimal || r.Cost != 2 {
+		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
+	}
+	if !opt.VerifyModel(w, r) {
+		t.Fatal("model inconsistent")
+	}
+}
+
+func randomWCNF(rng *rand.Rand, vars, clauses int, partial, weighted bool) *cnf.WCNF {
+	w := cnf.NewWCNF(vars)
+	for i := 0; i < clauses; i++ {
+		width := 1 + rng.Intn(3)
+		c := make([]cnf.Lit, 0, width)
+		for j := 0; j < width; j++ {
+			c = append(c, cnf.NewLit(cnf.Var(rng.Intn(vars)), rng.Intn(2) == 0))
+		}
+		switch {
+		case partial && rng.Intn(4) == 0:
+			w.AddHard(c...)
+		case weighted:
+			w.AddSoft(cnf.Weight(1+rng.Intn(4)), c...)
+		default:
+			w.AddSoft(1, c...)
+		}
+	}
+	return w
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for iter := 0; iter < 80; iter++ {
+		partial := iter%2 == 0
+		weighted := iter%3 == 0
+		w := randomWCNF(rng, 3+rng.Intn(8), 4+rng.Intn(24), partial, weighted)
+		want, _, feasible := brute.MinCostWCNF(w)
+		for _, solver := range []*BnB{New(opt.Options{}), {DisableUPLB: true}} {
+			r := solver.Solve(w)
+			if !feasible {
+				if r.Status != opt.StatusUnsat {
+					t.Fatalf("iter %d (uplb=%v): status %v, want UNSAT",
+						iter, !solver.DisableUPLB, r.Status)
+				}
+				continue
+			}
+			if r.Status != opt.StatusOptimal {
+				t.Fatalf("iter %d (uplb=%v): status %v", iter, !solver.DisableUPLB, r.Status)
+			}
+			if r.Cost != want {
+				t.Fatalf("iter %d (uplb=%v): cost %d, want %d\n%v",
+					iter, !solver.DisableUPLB, r.Cost, want, w.Clauses)
+			}
+			if !opt.VerifyModel(w, r) {
+				t.Fatalf("iter %d: model inconsistent", iter)
+			}
+		}
+	}
+}
+
+func TestUPLBPrunesMore(t *testing.T) {
+	// On contradictory-unit-rich instances, the UP lower bound should
+	// explore no more nodes than the trivial bound.
+	w := cnf.NewWCNF(8)
+	for v := 1; v <= 8; v++ {
+		w.AddSoft(1, lit(v))
+		w.AddSoft(1, lit(-v))
+	}
+	with := New(opt.Options{}).Solve(w)
+	without := (&BnB{DisableUPLB: true}).Solve(w)
+	if with.Cost != 8 || without.Cost != 8 {
+		t.Fatalf("costs %d/%d, want 8", with.Cost, without.Cost)
+	}
+	if with.Iterations > without.Iterations {
+		t.Fatalf("UP LB explored more nodes (%d) than trivial bound (%d)",
+			with.Iterations, without.Iterations)
+	}
+}
+
+func TestHardUnsat(t *testing.T) {
+	w := cnf.NewWCNF(2)
+	w.AddHard(lit(1), lit(2))
+	w.AddHard(lit(-1), lit(2))
+	w.AddHard(lit(1), lit(-2))
+	w.AddHard(lit(-1), lit(-2))
+	w.AddSoft(1, lit(1))
+	if r := New(opt.Options{}).Solve(w); r.Status != opt.StatusUnsat {
+		t.Fatalf("got %v, want UNSAT", r.Status)
+	}
+}
+
+func TestEmptyHardClauseUnsat(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddHard()
+	w.AddSoft(1, lit(1))
+	if r := New(opt.Options{}).Solve(w); r.Status != opt.StatusUnsat {
+		t.Fatalf("got %v, want UNSAT", r.Status)
+	}
+}
+
+func TestEmptySoftClauses(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddSoft(2)
+	w.AddSoft(1, lit(1))
+	r := New(opt.Options{}).Solve(w)
+	if r.Status != opt.StatusOptimal || r.Cost != 2 {
+		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
+	}
+}
+
+func TestSatisfiableCostZero(t *testing.T) {
+	w := cnf.NewWCNF(3)
+	w.AddSoft(1, lit(1), lit(2))
+	w.AddSoft(1, lit(-1), lit(3))
+	r := New(opt.Options{}).Solve(w)
+	if r.Status != opt.StatusOptimal || r.Cost != 0 {
+		t.Fatalf("status %v cost %d, want optimal 0", r.Status, r.Cost)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	w := cnf.NewWCNF(2)
+	w.AddSoft(1, lit(1), lit(-1))
+	w.AddSoft(1, lit(2))
+	r := New(opt.Options{}).Solve(w)
+	if r.Cost != 0 {
+		t.Fatalf("cost %d, want 0 (tautology always satisfied)", r.Cost)
+	}
+}
+
+func TestDeadlineAbort(t *testing.T) {
+	// A hard random instance with an immediate deadline must return Unknown.
+	rng := rand.New(rand.NewSource(9))
+	w := randomWCNF(rng, 40, 300, false, false)
+	o := opt.Options{Deadline: time.Now().Add(5 * time.Millisecond)}
+	r := New(o).Solve(w)
+	if r.Status == opt.StatusUnsat {
+		t.Fatal("plain MaxSAT can never be UNSAT")
+	}
+	// Either it finished very fast (Optimal) or aborted (Unknown): both are
+	// acceptable; what matters is that it returns promptly.
+}
+
+func TestName(t *testing.T) {
+	if New(opt.Options{}).Name() != "maxsatz" {
+		t.Fatal("name")
+	}
+}
+
+func TestLocalSearchUBCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for iter := 0; iter < 25; iter++ {
+		w := randomWCNF(rng, 3+rng.Intn(7), 4+rng.Intn(20), iter%2 == 0, false)
+		want, _, feasible := brute.MinCostWCNF(w)
+		solver := &BnB{LocalSearchUB: 500}
+		r := solver.Solve(w)
+		if !feasible {
+			if r.Status != opt.StatusUnsat {
+				t.Fatalf("iter %d: status %v, want UNSAT", iter, r.Status)
+			}
+			continue
+		}
+		if r.Status != opt.StatusOptimal || r.Cost != want {
+			t.Fatalf("iter %d: status %v cost %d, want optimal %d", iter, r.Status, r.Cost, want)
+		}
+		if !opt.VerifyModel(w, r) {
+			t.Fatalf("iter %d: model inconsistent", iter)
+		}
+	}
+}
+
+func TestLocalSearchUBReducesNodes(t *testing.T) {
+	// With a strong initial UB the search should not explore more nodes.
+	rng := rand.New(rand.NewSource(607))
+	w := randomWCNF(rng, 14, 80, false, false)
+	plain := New(opt.Options{}).Solve(w)
+	seeded := (&BnB{LocalSearchUB: 5000}).Solve(w)
+	if plain.Cost != seeded.Cost {
+		t.Fatalf("costs differ: %d vs %d", plain.Cost, seeded.Cost)
+	}
+	if seeded.Iterations > plain.Iterations*2 {
+		t.Fatalf("seeded UB explored far more nodes: %d vs %d",
+			seeded.Iterations, plain.Iterations)
+	}
+}

@@ -1,0 +1,114 @@
+// Package brute provides exhaustive reference solvers for small instances.
+//
+// They are deliberately simple — direct enumeration of all 2^n assignments —
+// and serve as ground truth in the property-based tests that cross-check the
+// CDCL solver, the cardinality encodings, and every MaxSAT algorithm in this
+// repository. They are usable up to roughly 20 variables.
+package brute
+
+import (
+	"repro/internal/cnf"
+)
+
+// MaxBruteVars is the largest variable count the exhaustive solvers accept.
+const MaxBruteVars = 26
+
+// SAT reports whether f is satisfiable, and if so returns a model.
+func SAT(f *cnf.Formula) (bool, cnf.Assignment) {
+	if f.NumVars > MaxBruteVars {
+		panic("brute: too many variables")
+	}
+	n := f.NumVars
+	a := make(cnf.Assignment, n)
+	for bits := uint64(0); bits < 1<<uint(n); bits++ {
+		for v := 0; v < n; v++ {
+			a[v] = bits&(1<<uint(v)) != 0
+		}
+		if f.Eval(a) {
+			out := make(cnf.Assignment, n)
+			copy(out, a)
+			return true, out
+		}
+	}
+	return false, nil
+}
+
+// MaxSAT returns the maximum number of simultaneously satisfiable clauses of
+// f and an assignment achieving it.
+func MaxSAT(f *cnf.Formula) (int, cnf.Assignment) {
+	if f.NumVars > MaxBruteVars {
+		panic("brute: too many variables")
+	}
+	n := f.NumVars
+	a := make(cnf.Assignment, n)
+	best := -1
+	var bestA cnf.Assignment
+	for bits := uint64(0); bits < 1<<uint(n); bits++ {
+		for v := 0; v < n; v++ {
+			a[v] = bits&(1<<uint(v)) != 0
+		}
+		if s := f.CountSatisfied(a); s > best {
+			best = s
+			bestA = make(cnf.Assignment, n)
+			copy(bestA, a)
+			if best == len(f.Clauses) {
+				break
+			}
+		}
+	}
+	return best, bestA
+}
+
+// MinCostWCNF returns the minimum total weight of falsified soft clauses over
+// assignments satisfying all hard clauses, with an optimal assignment. The
+// boolean result is false if no assignment satisfies the hard clauses.
+func MinCostWCNF(w *cnf.WCNF) (cnf.Weight, cnf.Assignment, bool) {
+	if w.NumVars > MaxBruteVars {
+		panic("brute: too many variables")
+	}
+	n := w.NumVars
+	a := make(cnf.Assignment, n)
+	best := cnf.Weight(-1)
+	var bestA cnf.Assignment
+	for bits := uint64(0); bits < 1<<uint(n); bits++ {
+		for v := 0; v < n; v++ {
+			a[v] = bits&(1<<uint(v)) != 0
+		}
+		cost, hardOK := w.CostOf(a)
+		if !hardOK {
+			continue
+		}
+		if best < 0 || cost < best {
+			best = cost
+			bestA = make(cnf.Assignment, n)
+			copy(bestA, a)
+			if best == 0 {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return 0, nil, false
+	}
+	return best, bestA, true
+}
+
+// CountModels returns the number of satisfying assignments of f (over all
+// f.NumVars variables).
+func CountModels(f *cnf.Formula) int {
+	if f.NumVars > MaxBruteVars {
+		panic("brute: too many variables")
+	}
+	n := f.NumVars
+	a := make(cnf.Assignment, n)
+	count := 0
+	for bits := uint64(0); bits < 1<<uint(n); bits++ {
+		for v := 0; v < n; v++ {
+			a[v] = bits&(1<<uint(v)) != 0
+		}
+		if f.Eval(a) {
+			count++
+		}
+	}
+	return count
+}

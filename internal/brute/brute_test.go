@@ -1,0 +1,90 @@
+package brute
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func lit(i int) cnf.Lit { return cnf.FromDIMACS(i) }
+
+func TestSATVerdicts(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	ok, model := SAT(f)
+	if !ok || !f.Eval(model) {
+		t.Fatal("satisfiable formula mishandled")
+	}
+	// Forcing both variables false contradicts the first clause.
+	f.AddClause(lit(-1))
+	f.AddClause(lit(-2))
+	if ok, _ := SAT(f); ok {
+		t.Fatal("forced contradiction declared satisfiable")
+	}
+}
+
+func TestSATUnsat(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(lit(1))
+	f.AddClause(lit(-1))
+	if ok, _ := SAT(f); ok {
+		t.Fatal("unsat formula declared sat")
+	}
+}
+
+func TestMaxSATKnownOptimum(t *testing.T) {
+	// Paper Example 2: optimum 6 of 8.
+	f := cnf.NewFormula(4)
+	f.AddClause(lit(1))
+	f.AddClause(lit(-1), lit(-2))
+	f.AddClause(lit(2))
+	f.AddClause(lit(-1), lit(-3))
+	f.AddClause(lit(3))
+	f.AddClause(lit(-2), lit(-3))
+	f.AddClause(lit(1), lit(-4))
+	f.AddClause(lit(-1), lit(4))
+	best, model := MaxSAT(f)
+	if best != 6 {
+		t.Fatalf("MaxSAT = %d, want 6", best)
+	}
+	if got := f.CountSatisfied(model); got != 6 {
+		t.Fatalf("witness satisfies %d, want 6", got)
+	}
+}
+
+func TestMinCostWCNF(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddSoft(5, lit(1))
+	w.AddSoft(2, lit(-1))
+	cost, model, feasible := MinCostWCNF(w)
+	if !feasible || cost != 2 || !model[0] {
+		t.Fatalf("cost %d feasible %v model %v", cost, feasible, model)
+	}
+	w.AddHard(lit(1))
+	w.AddHard(lit(-1))
+	if _, _, feasible := MinCostWCNF(w); feasible {
+		t.Fatal("hard contradiction should be infeasible")
+	}
+}
+
+func TestCountModels(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	if n := CountModels(f); n != 3 {
+		t.Fatalf("CountModels = %d, want 3", n)
+	}
+	f.AddClause(lit(-1), lit(-2))
+	if n := CountModels(f); n != 2 {
+		t.Fatalf("CountModels = %d, want 2", n)
+	}
+}
+
+func TestTooManyVarsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for oversized formula")
+		}
+	}()
+	f := cnf.NewFormula(MaxBruteVars + 1)
+	SAT(f)
+}

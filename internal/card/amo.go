@@ -1,0 +1,58 @@
+package card
+
+import "repro/internal/cnf"
+
+// atMostOneCommander emits the commander AMO encoding (Klieber & Kwon):
+// the literals are split into groups of three, each group gets pairwise AMO
+// plus a commander variable implied by every group member, and the
+// commanders recurse. O(n) clauses, n/2 auxiliary variables.
+func atMostOneCommander(d Dest, lits []cnf.Lit) {
+	if len(lits) <= 3 {
+		atMostOnePairwise(d, lits)
+		return
+	}
+	var commanders []cnf.Lit
+	for start := 0; start < len(lits); start += 3 {
+		end := start + 3
+		if end > len(lits) {
+			end = len(lits)
+		}
+		group := lits[start:end]
+		atMostOnePairwise(d, group)
+		c := cnf.PosLit(d.NewVar())
+		for _, l := range group {
+			// l -> commander
+			d.AddClause(l.Neg(), c)
+		}
+		commanders = append(commanders, c)
+	}
+	atMostOneCommander(d, commanders)
+}
+
+// atMostOneBitwise emits the bitwise (binary) AMO encoding (Prestwich):
+// ⌈log₂ n⌉ auxiliary bits; every literal forces the bits to its index's
+// code, so two true literals would need two different codes. O(n log n)
+// binary clauses, no pairwise blow-up.
+func atMostOneBitwise(d Dest, lits []cnf.Lit) {
+	n := len(lits)
+	if n <= 1 {
+		return
+	}
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	aux := make([]cnf.Lit, bits)
+	for i := range aux {
+		aux[i] = cnf.PosLit(d.NewVar())
+	}
+	for i, l := range lits {
+		for j := 0; j < bits; j++ {
+			b := aux[j]
+			if i&(1<<uint(j)) == 0 {
+				b = b.Neg()
+			}
+			d.AddClause(l.Neg(), b)
+		}
+	}
+}

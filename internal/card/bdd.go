@@ -1,0 +1,129 @@
+package card
+
+import "repro/internal/cnf"
+
+// atMostBDD encodes sum(lits) <= k as the Tseitin translation of the
+// constraint's reduced ordered BDD, following the construction minisat+
+// applies to pseudo-Boolean constraints (Eén & Sörensson 2006), specialized
+// to unit coefficients. This is the encoding behind msu4 "v1".
+//
+// For a cardinality constraint the BDD collapses to a grid: the node reached
+// after deciding the first i literals depends only on i and the number of
+// true literals so far, so at most (n-k)·(k+1) internal nodes exist. Each
+// internal node y = ITE(x, hi, lo) contributes the two assertive-polarity
+// clauses (¬y ∨ ¬x ∨ hi) and (¬y ∨ x ∨ lo), with constant branches
+// simplified away.
+type bddRef struct {
+	isConst bool
+	cval    bool
+	lit     cnf.Lit
+}
+
+var (
+	bddTrue  = bddRef{isConst: true, cval: true}
+	bddFalse = bddRef{isConst: true, cval: false}
+)
+
+type bddBuilder struct {
+	d    Dest
+	lits []cnf.Lit
+	k    int
+	// memo[i*(k+1)+j] caches the node for "sum(lits[i:]) <= j".
+	memo []bddRef
+	set  []bool
+}
+
+func atMostBDD(d Dest, lits []cnf.Lit, k int) {
+	n := len(lits)
+	b := &bddBuilder{
+		d:    d,
+		lits: lits,
+		k:    k,
+		memo: make([]bddRef, (n+1)*(k+1)),
+		set:  make([]bool, (n+1)*(k+1)),
+	}
+	root := b.node(0, k)
+	switch {
+	case root.isConst && root.cval:
+		return
+	case root.isConst:
+		d.AddClause()
+	default:
+		d.AddClause(root.lit)
+	}
+}
+
+// node returns a reference representing "sum(lits[i:]) <= budget".
+func (b *bddBuilder) node(i, budget int) bddRef {
+	n := len(b.lits)
+	if budget < 0 {
+		return bddFalse
+	}
+	if n-i <= budget {
+		return bddTrue
+	}
+	idx := i*(b.k+1) + budget
+	if b.set[idx] {
+		return b.memo[idx]
+	}
+	hi := b.node(i+1, budget-1) // lits[i] true consumes one unit of budget
+	lo := b.node(i+1, budget)
+	ref := b.emitITE(b.lits[i], hi, lo)
+	b.memo[idx] = ref
+	b.set[idx] = true
+	return ref
+}
+
+// emitITE creates a fresh variable y with assertive-polarity clauses for
+// y = ITE(x, hi, lo), simplifying constant branches. BDD reduction applies:
+// equal branches collapse without a fresh node.
+func (b *bddBuilder) emitITE(x cnf.Lit, hi, lo bddRef) bddRef {
+	if hi == lo {
+		return hi
+	}
+	// hi = TRUE, lo = TRUE handled by the equality above.
+	y := cnf.PosLit(b.d.NewVar())
+	// y ∧ x ⇒ hi
+	switch {
+	case hi.isConst && hi.cval:
+		// satisfied, no clause
+	case hi.isConst:
+		b.d.AddClause(y.Neg(), x.Neg())
+	default:
+		b.d.AddClause(y.Neg(), x.Neg(), hi.lit)
+	}
+	// y ∧ ¬x ⇒ lo
+	switch {
+	case lo.isConst && lo.cval:
+		// satisfied, no clause
+	case lo.isConst:
+		b.d.AddClause(y.Neg(), x)
+	default:
+		b.d.AddClause(y.Neg(), x, lo.lit)
+	}
+	return bddRef{lit: y}
+}
+
+// BDDSize returns the number of internal BDD nodes the AtMost-k constraint
+// over n literals produces after reduction. Exposed for the encoding-size
+// ablation in the benchmark harness.
+func BDDSize(n, k int) int {
+	if k < 0 || k >= n {
+		return 0
+	}
+	// Count distinct (i, budget) pairs with 0 <= budget <= k, i < n, and the
+	// node non-constant: budget >= 0 and n-i > budget. Reduction merges
+	// nothing further for cardinality constraints in this grid shape except
+	// equal-branch collapse, which occurs only at constants; so size is the
+	// number of grid points whose hi/lo differ, i.e. all points where both
+	// subproblems are reachable non-trivially. Upper bound (n-k)*(k+1).
+	count := 0
+	for i := 0; i < n; i++ {
+		for budget := 0; budget <= k; budget++ {
+			if n-i > budget {
+				count++
+			}
+		}
+	}
+	return count
+}

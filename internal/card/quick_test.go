@@ -1,0 +1,141 @@
+package card
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// TestQuickAtMostSoundOnRandomCounts draws random (encoding, n, k,
+// assignment) tuples and checks the defining property of an assertive
+// AtMost encoding — a randomized complement to the exhaustive small-n test.
+func TestQuickAtMostSoundOnRandomCounts(t *testing.T) {
+	encs := []Encoding{BDD, Sorter, Sequential, Totalizer}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		enc := encs[rng.Intn(len(encs))]
+		n := 1 + rng.Intn(20)
+		k := rng.Intn(n + 1)
+		s := sat.New()
+		inputs := make([]cnf.Lit, n)
+		for i := range inputs {
+			inputs[i] = cnf.PosLit(s.NewVar())
+		}
+		AtMost(s, enc, inputs, k)
+		count := 0
+		for _, l := range inputs {
+			if rng.Intn(2) == 0 {
+				s.AddClause(l)
+				count++
+			} else {
+				s.AddClause(l.Neg())
+			}
+		}
+		st := s.Solve()
+		if count <= k {
+			return st == sat.Sat
+		}
+		return st == sat.Unsat
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEncodingSizeInvariants checks the emitted clause/variable counts
+// follow the complexity class of each encoding.
+func TestQuickEncodingSizeInvariants(t *testing.T) {
+	prop := func(rawN, rawK uint8) bool {
+		n := 2 + int(rawN)%30
+		k := 1 + int(rawK)%(n)
+		if k >= n {
+			return true
+		}
+		// Sequential: vars == (n-1)*k, clauses <= 1 + (n-2)*(2k+1) + 1.
+		f := cnf.NewFormula(n)
+		d := NewFormulaDest(f)
+		lits := make([]cnf.Lit, n)
+		for i := range lits {
+			lits[i] = cnf.PosLit(cnf.Var(i))
+		}
+		AtMost(d, Sequential, lits, k)
+		if f.NumVars-n != (n-1)*k {
+			return false
+		}
+		maxClauses := 1 + (n-2)*(2*k+1) + 1
+		if f.NumClauses() > maxClauses {
+			return false
+		}
+		// Sorter: exactly 3 clauses per comparator + padding unit + bound unit.
+		f2 := cnf.NewFormula(n)
+		d2 := NewFormulaDest(f2)
+		AtMost(d2, Sorter, lits, k)
+		comparators := SorterComparators(n)
+		want := 3*comparators + 1 // + bound unit
+		size := 1
+		for size < n {
+			size *= 2
+		}
+		if size != n {
+			want++ // padding constant unit clause
+		}
+		return f2.NumClauses() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIncTotalizerMonotone: tightening the bound can only remove
+// models, never add them.
+func TestQuickIncTotalizerMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		s := sat.New()
+		inputs := make([]cnf.Lit, n)
+		for i := range inputs {
+			inputs[i] = cnf.PosLit(s.NewVar())
+		}
+		tot := NewIncTotalizer(s, inputs, n)
+		forced := 0
+		for _, l := range inputs {
+			if rng.Intn(2) == 0 {
+				s.AddClause(l)
+				forced++
+			}
+		}
+		// Satisfiability as k decreases must be monotone: sat, sat, ...,
+		// then unsat from the crossing point on.
+		sawUnsat := false
+		for k := n; k >= 0; k-- {
+			assump, ok := tot.Bound(k)
+			var st sat.Status
+			if ok {
+				st = s.Solve(assump)
+			} else {
+				st = s.Solve()
+			}
+			if st == sat.Unsat {
+				sawUnsat = true
+			} else if sawUnsat {
+				return false // became sat again after unsat: not monotone
+			}
+			// Cross-check against the forced count.
+			want := sat.Sat
+			if forced > k {
+				want = sat.Unsat
+			}
+			if st != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package card
+
+import "repro/internal/cnf"
+
+// atMostSorter encodes sum(lits) <= k with Batcher's odd-even merge sorting
+// network — the encoding behind msu4 "v2" (Eén & Sörensson 2006).
+//
+// The network sorts the input literals into a descending unary "register"
+// out[0] >= out[1] >= ...: out[i] is true iff at least i+1 inputs are true.
+// Asserting ¬out[k] then enforces the bound. Comparators are encoded in the
+// upward polarity only — (¬a ∨ hi), (¬b ∨ hi), (¬a ∨ ¬b ∨ lo) — which is
+// sufficient (and complete) when the constraint is asserted, and is what
+// minisat+ emits for ≤-constraints.
+func atMostSorter(d Dest, lits []cnf.Lit, k int) {
+	e := &sorterEnc{d: d}
+	out := e.Sort(lits)
+	d.AddClause(out[k].Neg())
+}
+
+type sorterEnc struct {
+	d        Dest
+	falseLit cnf.Lit
+	haveF    bool
+	// comparators counts emitted comparators, for size ablations.
+	comparators int
+}
+
+// constFalse returns a literal fixed to false, allocating it on first use.
+func (e *sorterEnc) constFalse() cnf.Lit {
+	if !e.haveF {
+		v := e.d.NewVar()
+		e.falseLit = cnf.PosLit(v)
+		e.d.AddClause(e.falseLit.Neg())
+		e.haveF = true
+	}
+	return e.falseLit
+}
+
+// Sort builds the network and returns the descending sorted outputs, one per
+// input literal (padding outputs are trimmed).
+func (e *sorterEnc) Sort(lits []cnf.Lit) []cnf.Lit {
+	n := len(lits)
+	if n == 0 {
+		return nil
+	}
+	// Pad with false constants to a power of two; they sink to the bottom
+	// of the descending order and are trimmed from the result.
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	xs := make([]cnf.Lit, size)
+	copy(xs, lits)
+	for i := n; i < size; i++ {
+		xs[i] = e.constFalse()
+	}
+	out := e.sortRec(xs)
+	return out[:n]
+}
+
+func (e *sorterEnc) sortRec(xs []cnf.Lit) []cnf.Lit {
+	if len(xs) == 1 {
+		return xs
+	}
+	h := len(xs) / 2
+	l := e.sortRec(xs[:h])
+	r := e.sortRec(xs[h:])
+	return e.merge(l, r)
+}
+
+// merge combines two descending-sorted sequences of equal power-of-two
+// length via odd-even merge.
+func (e *sorterEnc) merge(a, b []cnf.Lit) []cnf.Lit {
+	m := len(a)
+	if m == 1 {
+		hi, lo := e.comparator(a[0], b[0])
+		return []cnf.Lit{hi, lo}
+	}
+	ae, ao := deinterleave(a)
+	be, bo := deinterleave(b)
+	de := e.merge(ae, be)
+	do := e.merge(ao, bo)
+	out := make([]cnf.Lit, 2*m)
+	out[0] = de[0]
+	for i := 0; i+1 < len(de); i++ {
+		hi, lo := e.comparator(do[i], de[i+1])
+		out[2*i+1] = hi
+		out[2*i+2] = lo
+	}
+	out[2*m-1] = do[m-1]
+	return out
+}
+
+// comparator emits a 2-sorter: hi = a ∨ b, lo = a ∧ b (upward polarity).
+func (e *sorterEnc) comparator(a, b cnf.Lit) (hi, lo cnf.Lit) {
+	hi = cnf.PosLit(e.d.NewVar())
+	lo = cnf.PosLit(e.d.NewVar())
+	e.d.AddClause(a.Neg(), hi)
+	e.d.AddClause(b.Neg(), hi)
+	e.d.AddClause(a.Neg(), b.Neg(), lo)
+	e.comparators++
+	return hi, lo
+}
+
+func deinterleave(xs []cnf.Lit) (even, odd []cnf.Lit) {
+	even = make([]cnf.Lit, 0, (len(xs)+1)/2)
+	odd = make([]cnf.Lit, 0, len(xs)/2)
+	for i, x := range xs {
+		if i%2 == 0 {
+			even = append(even, x)
+		} else {
+			odd = append(odd, x)
+		}
+	}
+	return even, odd
+}
+
+// SorterComparators returns the number of comparators an n-input odd-even
+// merge sorting network uses after padding to a power of two. Exposed for
+// the encoding-size ablation.
+func SorterComparators(n int) int {
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	return comparatorsForSize(size)
+}
+
+func comparatorsForSize(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2*comparatorsForSize(n/2) + mergeComparators(n/2)
+}
+
+func mergeComparators(m int) int {
+	if m == 1 {
+		return 1
+	}
+	return 2*mergeComparators(m/2) + m - 1
+}

@@ -1,0 +1,117 @@
+package card
+
+import "repro/internal/cnf"
+
+// atMostTotalizer encodes sum(lits) <= k with the Bailleux–Boufkhad
+// totalizer, with outputs truncated at k+1 (the standard k-simplification).
+func atMostTotalizer(d Dest, lits []cnf.Lit, k int) {
+	t := buildTotalizer(d, lits, k+1)
+	d.AddClause(t[k].Neg())
+}
+
+// buildTotalizer builds a totalizer tree over lits, returning the output
+// register out[0..m): out[i] true iff at least i+1 inputs are true, where
+// m = min(len(lits), limit). Clauses are emitted in upward polarity.
+func buildTotalizer(d Dest, lits []cnf.Lit, limit int) []cnf.Lit {
+	if len(lits) == 1 {
+		return []cnf.Lit{lits[0]}
+	}
+	h := len(lits) / 2
+	a := buildTotalizer(d, lits[:h], limit)
+	b := buildTotalizer(d, lits[h:], limit)
+	return mergeTotalizer(d, a, b, limit, len(lits))
+}
+
+// mergeTotalizer sums two unary registers into a fresh one of length
+// min(total, limit).
+func mergeTotalizer(d Dest, a, b []cnf.Lit, limit, total int) []cnf.Lit {
+	m := total
+	if m > limit {
+		m = limit
+	}
+	out := make([]cnf.Lit, m)
+	for i := range out {
+		out[i] = cnf.PosLit(d.NewVar())
+	}
+	// (at least i from a) ∧ (at least j from b) ⇒ at least i+j total,
+	// for 1 <= i+j <= m, where i = 0 or j = 0 drops that antecedent.
+	for i := 0; i <= len(a); i++ {
+		for j := 0; j <= len(b); j++ {
+			s := i + j
+			if s < 1 || s > m {
+				continue
+			}
+			clause := make([]cnf.Lit, 0, 3)
+			if i > 0 {
+				clause = append(clause, a[i-1].Neg())
+			}
+			if j > 0 {
+				clause = append(clause, b[j-1].Neg())
+			}
+			clause = append(clause, out[s-1])
+			d.AddClause(clause...)
+		}
+	}
+	return out
+}
+
+// IncTotalizer is an incremental totalizer: a unary counter over a growing
+// set of literals whose bound is imposed per-Solve via an assumption literal
+// rather than a permanent unit clause. This is the mechanism modern
+// descendants of msu3 (e.g. Open-WBO's incremental msu3, RC2) use to avoid
+// re-encoding the cardinality constraint at every iteration; here it backs
+// the incremental algorithm variants and the encoding ablations.
+type IncTotalizer struct {
+	d       Dest
+	inputs  []cnf.Lit
+	outputs []cnf.Lit
+	limit   int
+}
+
+// NewIncTotalizer builds a totalizer over lits with outputs up to limit
+// (pass len(lits) for a full counter; smaller limits shrink the encoding but
+// cap the largest expressible bound at limit-1).
+func NewIncTotalizer(d Dest, lits []cnf.Lit, limit int) *IncTotalizer {
+	t := &IncTotalizer{d: d, limit: limit}
+	t.inputs = append(t.inputs, lits...)
+	if len(lits) > 0 {
+		t.outputs = buildTotalizer(d, t.inputs, limit)
+	}
+	return t
+}
+
+// Inputs returns the current input count.
+func (t *IncTotalizer) Inputs() int { return len(t.inputs) }
+
+// AddInputs extends the counter with additional literals by merging a fresh
+// subtree with the existing root. Previously returned bound assumptions
+// remain semantically valid (they constrain the old outputs, which still
+// count the old subset), but callers normally re-request the bound after an
+// extension.
+func (t *IncTotalizer) AddInputs(lits []cnf.Lit) {
+	if len(lits) == 0 {
+		return
+	}
+	sub := buildTotalizer(t.d, lits, t.limit)
+	t.inputs = append(t.inputs, lits...)
+	if t.outputs == nil {
+		t.outputs = sub
+		return
+	}
+	t.outputs = mergeTotalizer(t.d, t.outputs, sub, t.limit, len(t.inputs))
+}
+
+// Bound returns an assumption literal that, when assumed, enforces
+// sum(inputs) <= k for the duration of one Solve call. It returns
+// (lit, true) on success; ok is false when k >= len(inputs) (no constraint
+// needed) — then any solve without the assumption is already correct.
+// k must be < limit.
+func (t *IncTotalizer) Bound(k int) (cnf.Lit, bool) {
+	if k >= len(t.inputs) || k >= len(t.outputs) {
+		return cnf.LitUndef, false
+	}
+	if k < 0 {
+		panic("card: negative totalizer bound")
+	}
+	return t.outputs[k].Neg(), true
+}

@@ -1,0 +1,241 @@
+package circuit
+
+import "math/rand"
+
+// RippleAdder builds an n-bit ripple-carry adder: inputs a[0..n), b[0..n)
+// (LSB first), outputs sum[0..n) and the final carry.
+func RippleAdder(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = c.NewInput()
+	}
+	for i := range b {
+		b[i] = c.NewInput()
+	}
+	carry := c.Const(false)
+	for i := 0; i < n; i++ {
+		axb := c.Xor(a[i], b[i])
+		sum := c.Xor(axb, carry)
+		carry = c.Or(c.And(a[i], b[i]), c.And(axb, carry))
+		c.MarkOutput(sum)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+// CarrySelectAdder builds a functionally equivalent n-bit adder with a
+// different structure (conditional-sum style): both carry hypotheses are
+// computed per bit and selected. Equivalence-checking miters between this
+// and RippleAdder give non-trivial but well-structured UNSAT instances.
+func CarrySelectAdder(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = c.NewInput()
+	}
+	for i := range b {
+		b[i] = c.NewInput()
+	}
+	carry := c.Const(false)
+	for i := 0; i < n; i++ {
+		axb := c.Xor(a[i], b[i])
+		// sum if carry-in = 0 / 1
+		s0 := axb
+		s1 := c.Not(axb)
+		// select on actual carry
+		sum := c.Or(c.And(c.Not(carry), s0), c.And(carry, s1))
+		c0 := c.And(a[i], b[i])
+		c1 := c.Or(a[i], b[i])
+		carry = c.Or(c.And(c.Not(carry), c0), c.And(carry, c1))
+		c.MarkOutput(sum)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+// Comparator builds an n-bit unsigned comparator with a single output
+// a > b (MSB last in the input order, LSB first like the adders).
+func Comparator(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = c.NewInput()
+	}
+	for i := range b {
+		b[i] = c.NewInput()
+	}
+	// gt_i = a_i > b_i within prefix [0..i]: gt = (a_i ∧ ¬b_i) ∨ (a_i≡b_i ∧ gt_{i-1})
+	gt := c.Const(false)
+	for i := 0; i < n; i++ {
+		aAndNotB := c.And(a[i], c.Not(b[i]))
+		eq := c.Xnor(a[i], b[i])
+		gt = c.Or(aAndNotB, c.And(eq, gt))
+	}
+	c.MarkOutput(gt)
+	return c
+}
+
+// ParityTree builds an n-input XOR tree with one output.
+func ParityTree(n int) *Circuit {
+	c := New()
+	layer := make([]int, n)
+	for i := range layer {
+		layer[i] = c.NewInput()
+	}
+	for len(layer) > 1 {
+		var next []int
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, c.Xor(layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	c.MarkOutput(layer[0])
+	return c
+}
+
+// Multiplier builds an n×n-bit array multiplier (LSB first), 2n outputs.
+// Array multipliers produce the hard, deeply structured instances typical
+// of equivalence-checking benchmarks.
+func Multiplier(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = c.NewInput()
+	}
+	for i := range b {
+		b[i] = c.NewInput()
+	}
+	// partial products, then ripple accumulation row by row
+	acc := make([]int, 2*n)
+	for i := range acc {
+		acc[i] = c.Const(false)
+	}
+	for i := 0; i < n; i++ {
+		carry := c.Const(false)
+		for j := 0; j < n; j++ {
+			pp := c.And(a[j], b[i])
+			s1 := c.Xor(acc[i+j], pp)
+			c1 := c.And(acc[i+j], pp)
+			s2 := c.Xor(s1, carry)
+			c2 := c.And(s1, carry)
+			acc[i+j] = s2
+			carry = c.Or(c1, c2)
+		}
+		// propagate remaining carry
+		for k := i + n; k < 2*n && k >= 0; k++ {
+			s := c.Xor(acc[k], carry)
+			carry = c.And(acc[k], carry)
+			acc[k] = s
+		}
+	}
+	for _, s := range acc {
+		c.MarkOutput(s)
+	}
+	return c
+}
+
+// RandomCombinational builds a random n-input netlist with the given number
+// of internal gates; every sink gate becomes an output. Deterministic for a
+// given rng state.
+func RandomCombinational(rng *rand.Rand, nInputs, nGates int) *Circuit {
+	c := New()
+	for i := 0; i < nInputs; i++ {
+		c.NewInput()
+	}
+	types := []GateType{And, Or, Nand, Nor, Xor, Xnor, Not}
+	for g := 0; g < nGates; g++ {
+		t := types[rng.Intn(len(types))]
+		hi := len(c.Gates)
+		pick := func() int {
+			// Prefer recent gates for depth.
+			if hi > 4 && rng.Intn(2) == 0 {
+				return hi - 1 - rng.Intn(4)
+			}
+			return rng.Intn(hi)
+		}
+		switch t {
+		case Not:
+			c.Not(pick())
+		case Xor, Xnor:
+			a, b := pick(), pick()
+			if t == Xor {
+				c.Xor(a, b)
+			} else {
+				c.Xnor(a, b)
+			}
+		default:
+			fanin := 2 + rng.Intn(2)
+			in := make([]int, fanin)
+			for i := range in {
+				in[i] = pick()
+			}
+			c.add(t, in...)
+		}
+	}
+	// Mark sinks (gates with no fanout) as outputs.
+	fanout := make([]int, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, f := range g.Fanin {
+			fanout[f]++
+		}
+	}
+	for id := nInputs; id < len(c.Gates); id++ {
+		if fanout[id] == 0 {
+			c.MarkOutput(id)
+		}
+	}
+	if len(c.Outputs) == 0 {
+		c.MarkOutput(len(c.Gates) - 1)
+	}
+	return c
+}
+
+// KoggeStoneAdder builds an n-bit Kogge-Stone parallel-prefix adder —
+// logarithmic depth, heavy sharing, structurally as far from a ripple
+// carry chain as adders get, which makes miters against RippleAdder the
+// classic equivalence-checking stress case.
+func KoggeStoneAdder(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = c.NewInput()
+	}
+	for i := range b {
+		b[i] = c.NewInput()
+	}
+	// Generate/propagate pairs.
+	g := make([]int, n)
+	p := make([]int, n)
+	for i := 0; i < n; i++ {
+		g[i] = c.And(a[i], b[i])
+		p[i] = c.Xor(a[i], b[i])
+	}
+	// Prefix tree: after the last level, G[i] is the carry out of bit i.
+	G := append([]int{}, g...)
+	P := append([]int{}, p...)
+	for dist := 1; dist < n; dist *= 2 {
+		nextG := append([]int{}, G...)
+		nextP := append([]int{}, P...)
+		for i := dist; i < n; i++ {
+			nextG[i] = c.Or(G[i], c.And(P[i], G[i-dist]))
+			nextP[i] = c.And(P[i], P[i-dist])
+		}
+		G, P = nextG, nextP
+	}
+	// sum[0] = p[0]; sum[i] = p[i] xor carry_in(i) = p[i] xor G[i-1].
+	c.MarkOutput(p[0])
+	for i := 1; i < n; i++ {
+		c.MarkOutput(c.Xor(p[i], G[i-1]))
+	}
+	c.MarkOutput(G[n-1]) // final carry
+	return c
+}

@@ -1,0 +1,228 @@
+// Package circuit provides the gate-level substrate behind the benchmark
+// families of the DATE 2008 paper's evaluation: combinational netlists with
+// Tseitin CNF encoding, miter construction (equivalence checking),
+// sequential unrolling (bounded model checking), and fault injection
+// (test-pattern generation and design debugging).
+package circuit
+
+import "fmt"
+
+// GateType enumerates supported gate functions.
+type GateType int8
+
+// Gate functions. Input gates have no fanin; Const gates ignore fanin.
+const (
+	Input GateType = iota
+	Const0
+	Const1
+	Buf
+	Not
+	And
+	Or
+	Nand
+	Nor
+	Xor
+	Xnor
+)
+
+// String names the gate type.
+func (t GateType) String() string {
+	switch t {
+	case Input:
+		return "input"
+	case Const0:
+		return "const0"
+	case Const1:
+		return "const1"
+	case Buf:
+		return "buf"
+	case Not:
+		return "not"
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	case Nand:
+		return "nand"
+	case Nor:
+		return "nor"
+	case Xor:
+		return "xor"
+	case Xnor:
+		return "xnor"
+	default:
+		return fmt.Sprintf("GateType(%d)", int(t))
+	}
+}
+
+// Gate is one node of a netlist. Fanin entries are indices of earlier gates
+// (the netlist is topologically ordered by construction).
+type Gate struct {
+	Type  GateType
+	Fanin []int
+}
+
+// Circuit is a combinational netlist. Gate 0..len(Gates)-1 in topological
+// order; Inputs lists the primary-input gate ids in order; Outputs lists the
+// primary outputs.
+type Circuit struct {
+	Gates   []Gate
+	Inputs  []int
+	Outputs []int
+}
+
+// New returns an empty circuit.
+func New() *Circuit { return &Circuit{} }
+
+// NumGates returns the total gate count.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumInputs returns the primary-input count.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumOutputs returns the primary-output count.
+func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
+
+func (c *Circuit) add(t GateType, fanin ...int) int {
+	for _, f := range fanin {
+		if f < 0 || f >= len(c.Gates) {
+			panic(fmt.Sprintf("circuit: fanin %d out of range (have %d gates)", f, len(c.Gates)))
+		}
+	}
+	c.Gates = append(c.Gates, Gate{Type: t, Fanin: fanin})
+	return len(c.Gates) - 1
+}
+
+// NewInput appends a primary input and returns its gate id.
+func (c *Circuit) NewInput() int {
+	id := c.add(Input)
+	c.Inputs = append(c.Inputs, id)
+	return id
+}
+
+// Const appends a constant gate.
+func (c *Circuit) Const(val bool) int {
+	if val {
+		return c.add(Const1)
+	}
+	return c.add(Const0)
+}
+
+// Buf appends a buffer gate.
+func (c *Circuit) Buf(a int) int { return c.add(Buf, a) }
+
+// Not appends an inverter.
+func (c *Circuit) Not(a int) int { return c.add(Not, a) }
+
+// And appends an n-ary AND gate (n >= 1).
+func (c *Circuit) And(in ...int) int { return c.addNary(And, in) }
+
+// Or appends an n-ary OR gate (n >= 1).
+func (c *Circuit) Or(in ...int) int { return c.addNary(Or, in) }
+
+// Nand appends an n-ary NAND gate.
+func (c *Circuit) Nand(in ...int) int { return c.addNary(Nand, in) }
+
+// Nor appends an n-ary NOR gate.
+func (c *Circuit) Nor(in ...int) int { return c.addNary(Nor, in) }
+
+// Xor appends a 2-input XOR; wider XORs chain.
+func (c *Circuit) Xor(in ...int) int {
+	if len(in) == 0 {
+		panic("circuit: xor needs at least one input")
+	}
+	out := in[0]
+	for _, x := range in[1:] {
+		out = c.add(Xor, out, x)
+	}
+	return out
+}
+
+// Xnor appends a 2-input XNOR; wider XNORs chain a XOR then invert.
+func (c *Circuit) Xnor(a, b int) int { return c.add(Xnor, a, b) }
+
+func (c *Circuit) addNary(t GateType, in []int) int {
+	if len(in) == 0 {
+		panic("circuit: gate needs at least one input")
+	}
+	return c.add(t, in...)
+}
+
+// MarkOutput designates a gate as a primary output.
+func (c *Circuit) MarkOutput(id int) {
+	if id < 0 || id >= len(c.Gates) {
+		panic("circuit: output id out of range")
+	}
+	c.Outputs = append(c.Outputs, id)
+}
+
+// Clone returns a deep copy.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{
+		Gates:   make([]Gate, len(c.Gates)),
+		Inputs:  append([]int{}, c.Inputs...),
+		Outputs: append([]int{}, c.Outputs...),
+	}
+	for i, g := range c.Gates {
+		out.Gates[i] = Gate{Type: g.Type, Fanin: append([]int{}, g.Fanin...)}
+	}
+	return out
+}
+
+// Eval simulates the circuit: inputs[i] drives Inputs[i]. It returns the
+// value of every gate; index the result with Outputs to read the primary
+// outputs.
+func (c *Circuit) Eval(inputs []bool) []bool {
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("circuit: got %d inputs, want %d", len(inputs), len(c.Inputs)))
+	}
+	vals := make([]bool, len(c.Gates))
+	inIdx := 0
+	for id, g := range c.Gates {
+		switch g.Type {
+		case Input:
+			vals[id] = inputs[inIdx]
+			inIdx++
+		case Const0:
+			vals[id] = false
+		case Const1:
+			vals[id] = true
+		case Buf:
+			vals[id] = vals[g.Fanin[0]]
+		case Not:
+			vals[id] = !vals[g.Fanin[0]]
+		case And, Nand:
+			v := true
+			for _, f := range g.Fanin {
+				v = v && vals[f]
+			}
+			if g.Type == Nand {
+				v = !v
+			}
+			vals[id] = v
+		case Or, Nor:
+			v := false
+			for _, f := range g.Fanin {
+				v = v || vals[f]
+			}
+			if g.Type == Nor {
+				v = !v
+			}
+			vals[id] = v
+		case Xor:
+			vals[id] = vals[g.Fanin[0]] != vals[g.Fanin[1]]
+		case Xnor:
+			vals[id] = vals[g.Fanin[0]] == vals[g.Fanin[1]]
+		}
+	}
+	return vals
+}
+
+// OutputsOf projects the primary-output values out of an Eval result.
+func (c *Circuit) OutputsOf(vals []bool) []bool {
+	out := make([]bool, len(c.Outputs))
+	for i, id := range c.Outputs {
+		out[i] = vals[id]
+	}
+	return out
+}

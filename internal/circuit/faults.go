@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fault describes a single design error injected into a circuit, in the
+// style of the design-debugging literature the paper builds on (Safarpour
+// et al., FMCAD 2007): a gate is replaced by a different function or stuck
+// at a constant.
+type Fault struct {
+	Gate int      // gate id in the faulty circuit
+	Was  GateType // original function
+	Now  GateType // injected function
+}
+
+// String renders the fault.
+func (f Fault) String() string {
+	return fmt.Sprintf("gate %d: %v -> %v", f.Gate, f.Was, f.Now)
+}
+
+// wrongGateFor returns a plausible replacement function for the given gate,
+// preserving arity so the netlist stays well-formed.
+func wrongGateFor(rng *rand.Rand, t GateType, arity int) GateType {
+	var candidates []GateType
+	switch {
+	case t == Input, t == Const0, t == Const1:
+		return t // not substitutable
+	case arity == 1:
+		candidates = []GateType{Buf, Not, Const0, Const1}
+	case t == Xor || t == Xnor || arity == 2:
+		candidates = []GateType{And, Or, Nand, Nor, Xor, Xnor, Const0, Const1}
+	default:
+		candidates = []GateType{And, Or, Nand, Nor, Const0, Const1}
+	}
+	for {
+		nt := candidates[rng.Intn(len(candidates))]
+		if nt != t {
+			return nt
+		}
+	}
+}
+
+// InjectFault returns a copy of c with one randomly chosen internal gate
+// replaced by a wrong function, along with the fault description. Gates
+// whose replacement would be a no-op are re-drawn. Deterministic for a
+// given rng state.
+func InjectFault(rng *rand.Rand, c *Circuit) (*Circuit, Fault) {
+	out := c.Clone()
+	// Collect substitutable gates (non-inputs, non-constants).
+	var cand []int
+	for id, g := range out.Gates {
+		if g.Type != Input && g.Type != Const0 && g.Type != Const1 {
+			cand = append(cand, id)
+		}
+	}
+	if len(cand) == 0 {
+		panic("circuit: no substitutable gate")
+	}
+	id := cand[rng.Intn(len(cand))]
+	g := out.Gates[id]
+	nt := wrongGateFor(rng, g.Type, len(g.Fanin))
+	fault := Fault{Gate: id, Was: g.Type, Now: nt}
+	switch nt {
+	case Const0, Const1:
+		// Stuck-at fault: drop the fanin.
+		out.Gates[id] = Gate{Type: nt}
+	case Xor, Xnor:
+		// Ensure binary fanin for xor-class replacements.
+		fan := g.Fanin
+		if len(fan) > 2 {
+			fan = fan[:2]
+		} else if len(fan) == 1 {
+			fan = []int{fan[0], fan[0]}
+		}
+		out.Gates[id] = Gate{Type: nt, Fanin: fan}
+	default:
+		out.Gates[id] = Gate{Type: nt, Fanin: g.Fanin}
+	}
+	return out, fault
+}
+
+// FaultObservable reports whether the fault changes the circuit's
+// input/output behaviour on any of the given test vectors.
+func FaultObservable(good, bad *Circuit, vectors [][]bool) bool {
+	for _, v := range vectors {
+		g := good.OutputsOf(good.Eval(v))
+		b := bad.OutputsOf(bad.Eval(v))
+		for i := range g {
+			if g[i] != b[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RandomVectors draws n input vectors for a circuit with the given input
+// count.
+func RandomVectors(rng *rand.Rand, nInputs, n int) [][]bool {
+	out := make([][]bool, n)
+	for i := range out {
+		v := make([]bool, nInputs)
+		for j := range v {
+			v[j] = rng.Intn(2) == 0
+		}
+		out[i] = v
+	}
+	return out
+}

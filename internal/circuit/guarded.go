@@ -1,0 +1,109 @@
+package circuit
+
+import "repro/internal/cnf"
+
+// TseitinGuarded encodes the circuit like Tseitin, but the consistency
+// clauses of every gate listed in guards are extended with ¬guard: the
+// gate's function is enforced only while its guard literal is true. This is
+// the standard construction of SAT-based design debugging (Smith et al.,
+// Safarpour et al.): hard input/output constraints plus per-gate soft
+// "this gate is correct" guards; a MaxSAT solver then finds the smallest
+// set of gates whose suspension explains the observed behaviour.
+//
+// Unlike Tseitin, guarded gates always get a dedicated variable (Buf/Not
+// cannot alias their fanin literal, otherwise there would be no clause to
+// guard). Unguarded gates are encoded exactly as in Tseitin.
+func TseitinGuarded(d Dest, c *Circuit, guards map[int]cnf.Lit) []cnf.Lit {
+	lits := make([]cnf.Lit, len(c.Gates))
+	constTrue := cnf.LitUndef
+	getTrue := func() cnf.Lit {
+		if constTrue == cnf.LitUndef {
+			constTrue = cnf.PosLit(d.NewVar())
+			d.AddClause(constTrue)
+		}
+		return constTrue
+	}
+	for id, g := range c.Gates {
+		guard, guarded := guards[id]
+		// add emits a clause, weakened by the guard when present.
+		add := func(clause ...cnf.Lit) {
+			if guarded {
+				clause = append(clause, guard.Neg())
+			}
+			d.AddClause(clause...)
+		}
+		switch g.Type {
+		case Input:
+			lits[id] = cnf.PosLit(d.NewVar())
+		case Const0, Const1:
+			if !guarded {
+				if g.Type == Const1 {
+					lits[id] = getTrue()
+				} else {
+					lits[id] = getTrue().Neg()
+				}
+				continue
+			}
+			y := cnf.PosLit(d.NewVar())
+			if g.Type == Const1 {
+				add(y)
+			} else {
+				add(y.Neg())
+			}
+			lits[id] = y
+		case Buf, Not:
+			a := lits[g.Fanin[0]]
+			if g.Type == Not {
+				a = a.Neg()
+			}
+			if !guarded {
+				lits[id] = a
+				continue
+			}
+			y := cnf.PosLit(d.NewVar())
+			add(y.Neg(), a)
+			add(y, a.Neg())
+			lits[id] = y
+		case And, Nand:
+			y := cnf.PosLit(d.NewVar())
+			out := y
+			if g.Type == Nand {
+				out = y.Neg()
+			}
+			long := make([]cnf.Lit, 0, len(g.Fanin)+1)
+			for _, f := range g.Fanin {
+				add(y.Neg(), lits[f])
+				long = append(long, lits[f].Neg())
+			}
+			long = append(long, y)
+			add(long...)
+			lits[id] = out
+		case Or, Nor:
+			y := cnf.PosLit(d.NewVar())
+			out := y
+			if g.Type == Nor {
+				out = y.Neg()
+			}
+			long := make([]cnf.Lit, 0, len(g.Fanin)+1)
+			for _, f := range g.Fanin {
+				add(y, lits[f].Neg())
+				long = append(long, lits[f])
+			}
+			long = append(long, y.Neg())
+			add(long...)
+			lits[id] = out
+		case Xor, Xnor:
+			y := cnf.PosLit(d.NewVar())
+			a, b := lits[g.Fanin[0]], lits[g.Fanin[1]]
+			if g.Type == Xnor {
+				b = b.Neg()
+			}
+			add(y.Neg(), a, b)
+			add(y.Neg(), a.Neg(), b.Neg())
+			add(y, a.Neg(), b)
+			add(y, a, b.Neg())
+			lits[id] = y
+		}
+	}
+	return lits
+}

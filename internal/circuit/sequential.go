@@ -1,0 +1,104 @@
+package circuit
+
+import "fmt"
+
+// Sequential is a synchronous sequential circuit described by its
+// combinational core: the core's first NumState inputs are the current
+// state, the rest are free inputs; the core's first NumState outputs are
+// the next state, the rest are observable outputs (properties).
+type Sequential struct {
+	Core     *Circuit
+	NumState int
+	// Init gives the reset value of each state bit.
+	Init []bool
+}
+
+// NewSequential validates and wraps a combinational core.
+func NewSequential(core *Circuit, numState int, init []bool) *Sequential {
+	if numState > core.NumInputs() || numState > core.NumOutputs() {
+		panic("circuit: state bits exceed core interface")
+	}
+	if len(init) != numState {
+		panic(fmt.Sprintf("circuit: init has %d bits, want %d", len(init), numState))
+	}
+	return &Sequential{Core: core, NumState: numState, Init: init}
+}
+
+// Unroll builds the k-step time-expansion of the sequential circuit
+// (bounded model checking): state bits start at Init, each frame's free
+// inputs become fresh primary inputs, and every frame's observable outputs
+// become primary outputs of the unrolling (frame-major order).
+func (s *Sequential) Unroll(k int) *Circuit {
+	u := New()
+	state := make([]int, s.NumState)
+	for i, b := range s.Init {
+		state[i] = u.Const(b)
+	}
+	freeIns := s.Core.NumInputs() - s.NumState
+	obsOuts := s.Core.NumOutputs() - s.NumState
+	for frame := 0; frame < k; frame++ {
+		drivers := make([]int, s.Core.NumInputs())
+		copy(drivers, state)
+		for i := 0; i < freeIns; i++ {
+			drivers[s.NumState+i] = u.NewInput()
+		}
+		outs := Embed(u, s.Core, drivers)
+		copy(state, outs[:s.NumState])
+		for i := 0; i < obsOuts; i++ {
+			u.MarkOutput(outs[s.NumState+i])
+		}
+	}
+	return u
+}
+
+// Counter builds an n-bit synchronous counter with an overflow property
+// output: the observable output is true iff the counter value equals
+// 2^n - 1. Starting from zero, the property first holds at step 2^n - 1,
+// so Unroll(k) with the property asserted at every frame is satisfiable iff
+// k >= 2^n - 1 — a classic BMC reachability family with a controllable
+// unsatisfiability depth.
+func Counter(n int) *Sequential {
+	c := New()
+	state := make([]int, n)
+	for i := range state {
+		state[i] = c.NewInput()
+	}
+	// increment: next = state + 1
+	carry := c.Const(true)
+	next := make([]int, n)
+	for i := 0; i < n; i++ {
+		next[i] = c.Xor(state[i], carry)
+		carry = c.And(state[i], carry)
+	}
+	allOnes := c.And(state...)
+	for _, nx := range next {
+		c.MarkOutput(nx)
+	}
+	c.MarkOutput(allOnes)
+	return NewSequential(c, n, make([]bool, n))
+}
+
+// ShiftRegisterEqual builds a w-bit shift register whose property output is
+// true iff the register contents equal the all-ones pattern; the register
+// shifts in one free input per cycle. Reaching all-ones needs w consecutive
+// one-inputs, so the property is unreachable before depth w.
+func ShiftRegisterEqual(w int) *Sequential {
+	c := New()
+	state := make([]int, w)
+	for i := range state {
+		state[i] = c.NewInput()
+	}
+	in := c.NewInput()
+	// shift: next[0] = in, next[i] = state[i-1]
+	next := make([]int, w)
+	next[0] = c.Buf(in)
+	for i := 1; i < w; i++ {
+		next[i] = c.Buf(state[i-1])
+	}
+	prop := c.And(state...)
+	for _, nx := range next {
+		c.MarkOutput(nx)
+	}
+	c.MarkOutput(prop)
+	return NewSequential(c, w, make([]bool, w))
+}

@@ -1,0 +1,142 @@
+package circuit
+
+import "repro/internal/cnf"
+
+// Dest receives the Tseitin encoding; *sat.Solver, *card.FormulaDest, and
+// the WCNF builder in package gen all satisfy it.
+type Dest interface {
+	NewVar() cnf.Var
+	AddClause(lits ...cnf.Lit) bool
+}
+
+// Tseitin encodes the circuit into d with full (two-sided) gate-consistency
+// clauses and returns one literal per gate. The encoding introduces one
+// fresh variable per gate except constants, which reuse a shared
+// unit-clause-backed variable pair.
+func Tseitin(d Dest, c *Circuit) []cnf.Lit {
+	lits := make([]cnf.Lit, len(c.Gates))
+	constTrue := cnf.LitUndef
+	getTrue := func() cnf.Lit {
+		if constTrue == cnf.LitUndef {
+			constTrue = cnf.PosLit(d.NewVar())
+			d.AddClause(constTrue)
+		}
+		return constTrue
+	}
+	for id, g := range c.Gates {
+		switch g.Type {
+		case Input:
+			lits[id] = cnf.PosLit(d.NewVar())
+		case Const0:
+			lits[id] = getTrue().Neg()
+		case Const1:
+			lits[id] = getTrue()
+		case Buf:
+			lits[id] = lits[g.Fanin[0]]
+		case Not:
+			lits[id] = lits[g.Fanin[0]].Neg()
+		case And, Nand:
+			y := cnf.PosLit(d.NewVar())
+			out := y
+			if g.Type == Nand {
+				out = y.Neg() // y encodes the AND; the gate literal is ¬y
+			}
+			// y -> a_i
+			long := make([]cnf.Lit, 0, len(g.Fanin)+1)
+			for _, f := range g.Fanin {
+				d.AddClause(y.Neg(), lits[f])
+				long = append(long, lits[f].Neg())
+			}
+			// (∧ a_i) -> y
+			long = append(long, y)
+			d.AddClause(long...)
+			lits[id] = out
+		case Or, Nor:
+			y := cnf.PosLit(d.NewVar())
+			out := y
+			if g.Type == Nor {
+				out = y.Neg()
+			}
+			// a_i -> y
+			long := make([]cnf.Lit, 0, len(g.Fanin)+1)
+			for _, f := range g.Fanin {
+				d.AddClause(y, lits[f].Neg())
+				long = append(long, lits[f])
+			}
+			// y -> (∨ a_i)
+			long = append(long, y.Neg())
+			d.AddClause(long...)
+			lits[id] = out
+		case Xor, Xnor:
+			y := cnf.PosLit(d.NewVar())
+			a, b := lits[g.Fanin[0]], lits[g.Fanin[1]]
+			if g.Type == Xnor {
+				b = b.Neg() // y = a xnor b  ==  y = a xor ¬b
+			}
+			d.AddClause(y.Neg(), a, b)
+			d.AddClause(y.Neg(), a.Neg(), b.Neg())
+			d.AddClause(y, a.Neg(), b)
+			d.AddClause(y, a, b.Neg())
+			lits[id] = y
+		}
+	}
+	return lits
+}
+
+// Miter builds the equivalence-checking miter of two circuits with the same
+// number of primary inputs and outputs: shared inputs, pairwise XOR of
+// outputs, OR-reduced into a single output that is true iff the circuits
+// disagree on some output. The miter is unsatisfiable (output
+// unrealizable as true) exactly when the circuits are equivalent.
+func Miter(a, b *Circuit) *Circuit {
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		panic("circuit: miter requires matching interfaces")
+	}
+	m := New()
+	ins := make([]int, a.NumInputs())
+	for i := range ins {
+		ins[i] = m.NewInput()
+	}
+	aOuts := Embed(m, a, ins)
+	bOuts := Embed(m, b, ins)
+	var xors []int
+	for i := range aOuts {
+		xors = append(xors, m.Xor(aOuts[i], bOuts[i]))
+	}
+	var top int
+	if len(xors) == 1 {
+		top = xors[0]
+	} else {
+		top = m.Or(xors...)
+	}
+	m.MarkOutput(top)
+	return m
+}
+
+// Embed copies src into dst, driving src's primary inputs from the given
+// dst gate ids, and returns the dst ids of src's outputs. It is the
+// building block for miters and unrollings.
+func Embed(dst *Circuit, src *Circuit, drivers []int) []int {
+	if len(drivers) != src.NumInputs() {
+		panic("circuit: driver count mismatch")
+	}
+	remap := make([]int, len(src.Gates))
+	inIdx := 0
+	for id, g := range src.Gates {
+		if g.Type == Input {
+			remap[id] = drivers[inIdx]
+			inIdx++
+			continue
+		}
+		fan := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fan[i] = remap[f]
+		}
+		remap[id] = dst.add(g.Type, fan...)
+	}
+	outs := make([]int, len(src.Outputs))
+	for i, o := range src.Outputs {
+		outs[i] = remap[o]
+	}
+	return outs
+}

@@ -1,0 +1,274 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a syntax error in a DIMACS stream.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dimacs: line %d: %s", e.Line, e.Msg)
+}
+
+func parseErr(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseDIMACS reads a DIMACS CNF formula. It tolerates comment lines anywhere,
+// clauses spanning multiple lines, and clause/variable counts in the header
+// that disagree with the body (the body wins for variables; a mismatched
+// clause count is an error only if the body has more clauses than declared
+// headroom allows — in practice we accept any count and record the larger).
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	f := &Formula{}
+	var cur Clause
+	line := 0
+	sawHeader := false
+	declaredVars := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			if sawHeader {
+				return nil, parseErr(line, "duplicate p line")
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, parseErr(line, "malformed header %q (want \"p cnf <vars> <clauses>\")", text)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, parseErr(line, "bad variable count %q", fields[2])
+			}
+			if _, err := strconv.Atoi(fields[3]); err != nil {
+				return nil, parseErr(line, "bad clause count %q", fields[3])
+			}
+			declaredVars = nv
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, parseErr(line, "clause before p line")
+		}
+		for _, tok := range strings.Fields(text) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, parseErr(line, "bad literal %q", tok)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, FromDIMACS(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: %w", err)
+	}
+	if !sawHeader {
+		return nil, parseErr(line, "missing p line")
+	}
+	if len(cur) > 0 {
+		// Trailing clause without terminating 0: accept it, matching common
+		// solver behaviour.
+		f.Clauses = append(f.Clauses, cur)
+	}
+	f.NumVars = declaredVars
+	if mv := f.MaxVar(); int(mv)+1 > f.NumVars {
+		f.NumVars = int(mv) + 1
+	}
+	return f, nil
+}
+
+// ParseDIMACSFile reads a DIMACS CNF file from disk.
+func ParseDIMACSFile(path string) (*Formula, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ParseDIMACS(fh)
+}
+
+// WriteDIMACS writes f in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", l.DIMACS()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseWCNF reads a weighted DIMACS formula. Two dialects are supported:
+//
+//   - classic:  "p wcnf <vars> <clauses> [top]" header; each clause line
+//     starts with a weight; weight == top (when given) marks hard clauses.
+//   - plain cnf: parsed as soft unit-weight clauses (plain MaxSAT reading).
+func ParseWCNF(r io.Reader) (*WCNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	w := &WCNF{}
+	line := 0
+	sawHeader := false
+	isWCNF := false
+	var top int64 = -1
+	declaredVars := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			if sawHeader {
+				return nil, parseErr(line, "duplicate p line")
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 4 {
+				return nil, parseErr(line, "malformed header %q", text)
+			}
+			switch fields[1] {
+			case "wcnf":
+				isWCNF = true
+				if len(fields) == 5 {
+					t, err := strconv.ParseInt(fields[4], 10, 64)
+					if err != nil || t <= 0 {
+						return nil, parseErr(line, "bad top weight %q", fields[4])
+					}
+					top = t
+				} else if len(fields) != 4 {
+					return nil, parseErr(line, "malformed wcnf header %q", text)
+				}
+			case "cnf":
+				if len(fields) != 4 {
+					return nil, parseErr(line, "malformed cnf header %q", text)
+				}
+			default:
+				return nil, parseErr(line, "unknown format %q", fields[1])
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, parseErr(line, "bad variable count %q", fields[2])
+			}
+			declaredVars = nv
+			sawHeader = true
+			continue
+		}
+		if !sawHeader {
+			return nil, parseErr(line, "clause before p line")
+		}
+		toks := strings.Fields(text)
+		// WCNF clauses must fit on one line (weight prefix is ambiguous
+		// otherwise); CNF clauses may span lines but we handle the common
+		// one-clause-per-line case here and multi-line via the 0 terminator.
+		var weight Weight = 1
+		start := 0
+		if isWCNF {
+			wt, err := strconv.ParseInt(toks[0], 10, 64)
+			if err != nil || wt < 0 {
+				return nil, parseErr(line, "bad clause weight %q", toks[0])
+			}
+			if top > 0 && wt >= top {
+				weight = HardWeight
+			} else if wt == 0 {
+				return nil, parseErr(line, "zero clause weight")
+			} else {
+				weight = Weight(wt)
+			}
+			start = 1
+		}
+		var cur Clause
+		closed := false
+		for _, tok := range toks[start:] {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, parseErr(line, "bad literal %q", tok)
+			}
+			if v == 0 {
+				closed = true
+				break
+			}
+			cur = append(cur, FromDIMACS(v))
+		}
+		if !closed {
+			return nil, parseErr(line, "clause not terminated by 0")
+		}
+		w.Clauses = append(w.Clauses, WClause{Clause: cur, Weight: weight})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: %w", err)
+	}
+	if !sawHeader {
+		return nil, parseErr(line, "missing p line")
+	}
+	w.NumVars = declaredVars
+	for _, c := range w.Clauses {
+		if mv := c.Clause.MaxVar(); int(mv)+1 > w.NumVars {
+			w.NumVars = int(mv) + 1
+		}
+	}
+	return w, nil
+}
+
+// ParseWCNFFile reads a WCNF (or CNF) file from disk.
+func ParseWCNFFile(path string) (*WCNF, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ParseWCNF(fh)
+}
+
+// WriteWCNF writes w in classic "p wcnf" format. Hard clauses get weight
+// top = 1 + total soft weight.
+func WriteWCNF(out io.Writer, w *WCNF) error {
+	bw := bufio.NewWriter(out)
+	top := int64(w.SoftWeightSum()) + 1
+	if _, err := fmt.Fprintf(bw, "p wcnf %d %d %d\n", w.NumVars, len(w.Clauses), top); err != nil {
+		return err
+	}
+	for _, c := range w.Clauses {
+		wt := int64(c.Weight)
+		if c.Hard() {
+			wt = top
+		}
+		if _, err := fmt.Fprintf(bw, "%d ", wt); err != nil {
+			return err
+		}
+		for _, l := range c.Clause {
+			if _, err := fmt.Fprintf(bw, "%d ", l.DIMACS()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

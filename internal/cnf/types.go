@@ -1,0 +1,230 @@
+// Package cnf provides the propositional-logic substrate shared by every
+// solver in this repository: variables, literals, clauses, CNF and WCNF
+// formulas, and DIMACS I/O.
+//
+// Variables are 0-based integers. A literal packs a variable and a sign into
+// a single int32 using the MiniSat convention: lit = 2*var for the positive
+// literal and 2*var+1 for the negative one. DIMACS I/O converts to and from
+// the external 1-based signed representation.
+package cnf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Var is a 0-based propositional variable index.
+type Var int32
+
+// Lit is a literal: a variable together with a sign.
+// The zero-adjacent encoding (2*v, 2*v+1) makes literals usable directly as
+// slice indices for watch lists and saves a pointer chase in hot loops.
+type Lit int32
+
+// LitUndef is a sentinel literal distinct from every valid literal.
+const LitUndef Lit = -1
+
+// VarUndef is a sentinel variable distinct from every valid variable.
+const VarUndef Var = -1
+
+// NewLit returns the literal for v, negated if neg is true.
+func NewLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1) | 1 }
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg returns the complement of l.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether l is a negative literal.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// DIMACS returns the 1-based signed integer form of l.
+func (l Lit) DIMACS() int {
+	v := int(l.Var()) + 1
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// FromDIMACS converts a non-zero 1-based signed DIMACS literal.
+func FromDIMACS(i int) Lit {
+	if i > 0 {
+		return PosLit(Var(i - 1))
+	}
+	return NegLit(Var(-i - 1))
+}
+
+// String renders l in DIMACS form, e.g. "3" or "-7".
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	return fmt.Sprintf("%d", l.DIMACS())
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Clone returns an independent copy of c.
+func (c Clause) Clone() Clause {
+	out := make(Clause, len(c))
+	copy(out, c)
+	return out
+}
+
+// MaxVar returns the largest variable mentioned in c, or VarUndef if empty.
+func (c Clause) MaxVar() Var {
+	m := VarUndef
+	for _, l := range c {
+		if v := l.Var(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Has reports whether c contains the literal l.
+func (c Clause) Has(l Lit) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders c as space-separated DIMACS literals.
+func (c Clause) String() string {
+	s := ""
+	for i, l := range c {
+		if i > 0 {
+			s += " "
+		}
+		s += l.String()
+	}
+	return s
+}
+
+// Normalize sorts c, removes duplicate literals, and reports whether the
+// clause is a tautology (contains a literal and its complement). The returned
+// clause aliases c's backing array.
+func (c Clause) Normalize() (Clause, bool) {
+	if len(c) == 0 {
+		return c, false
+	}
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:1]
+	for i := 1; i < len(c); i++ {
+		prev := out[len(out)-1]
+		switch {
+		case c[i] == prev:
+			// duplicate, skip
+		case c[i] == prev.Neg():
+			return c, true
+		default:
+			out = append(out, c[i])
+		}
+	}
+	return out, false
+}
+
+// Formula is a CNF formula: a clause list plus a variable count.
+// NumVars may exceed the largest variable actually mentioned (DIMACS allows
+// declaring unused variables).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula returns an empty formula over numVars variables.
+func NewFormula(numVars int) *Formula {
+	return &Formula{NumVars: numVars}
+}
+
+// AddClause appends a clause built from the given literals, growing NumVars
+// as needed. The literals are copied.
+func (f *Formula) AddClause(lits ...Lit) {
+	c := make(Clause, len(lits))
+	copy(c, lits)
+	if mv := c.MaxVar(); int(mv)+1 > f.NumVars {
+		f.NumVars = int(mv) + 1
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Clone returns a deep copy of f.
+func (f *Formula) Clone() *Formula {
+	g := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		g.Clauses[i] = c.Clone()
+	}
+	return g
+}
+
+// MaxVar returns the largest variable mentioned in any clause, or VarUndef.
+func (f *Formula) MaxVar() Var {
+	m := VarUndef
+	for _, c := range f.Clauses {
+		if v := c.MaxVar(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Assignment is a total truth assignment: Assignment[v] is the value of
+// variable v.
+type Assignment []bool
+
+// Lit reports the truth value of l under a.
+func (a Assignment) Lit(l Lit) bool {
+	return a[l.Var()] != l.Sign()
+}
+
+// Satisfies reports whether clause c is satisfied under a.
+func (a Assignment) Satisfies(c Clause) bool {
+	for _, l := range c {
+		if a.Lit(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountSatisfied returns the number of clauses of f satisfied by a.
+func (f *Formula) CountSatisfied(a Assignment) int {
+	n := 0
+	for _, c := range f.Clauses {
+		if a.Satisfies(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountFalsified returns the number of clauses of f falsified by a.
+func (f *Formula) CountFalsified(a Assignment) int {
+	return len(f.Clauses) - f.CountSatisfied(a)
+}
+
+// Eval reports whether a satisfies every clause of f.
+func (f *Formula) Eval(a Assignment) bool {
+	return f.CountSatisfied(a) == len(f.Clauses)
+}

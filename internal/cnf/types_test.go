@@ -1,0 +1,222 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitEncoding(t *testing.T) {
+	for v := Var(0); v < 100; v++ {
+		pos := PosLit(v)
+		neg := NegLit(v)
+		if pos.Var() != v || neg.Var() != v {
+			t.Fatalf("var roundtrip failed for %d", v)
+		}
+		if pos.Sign() || !neg.Sign() {
+			t.Fatalf("sign wrong for %d", v)
+		}
+		if pos.Neg() != neg || neg.Neg() != pos {
+			t.Fatalf("negation wrong for %d", v)
+		}
+		if NewLit(v, false) != pos || NewLit(v, true) != neg {
+			t.Fatalf("NewLit wrong for %d", v)
+		}
+	}
+}
+
+func TestLitDIMACSRoundTrip(t *testing.T) {
+	f := func(i int16) bool {
+		if i == 0 {
+			return true
+		}
+		v := int(i)
+		return FromDIMACS(v).DIMACS() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLitString(t *testing.T) {
+	if got := PosLit(0).String(); got != "1" {
+		t.Errorf("PosLit(0) = %q, want 1", got)
+	}
+	if got := NegLit(2).String(); got != "-3" {
+		t.Errorf("NegLit(2) = %q, want -3", got)
+	}
+	if got := LitUndef.String(); got != "undef" {
+		t.Errorf("LitUndef = %q", got)
+	}
+}
+
+func TestClauseNormalize(t *testing.T) {
+	cases := []struct {
+		in       []int
+		wantOut  []int
+		wantTaut bool
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, false},
+		{[]int{3, 1, 2, 1}, []int{1, 2, 3}, false},
+		{[]int{1, -1}, nil, true},
+		{[]int{2, 1, -2, 3}, nil, true},
+		{[]int{5, 5, 5}, []int{5}, false},
+		{[]int{}, []int{}, false},
+		{[]int{-4, -4, 2}, []int{2, -4}, false},
+	}
+	for _, tc := range cases {
+		c := make(Clause, len(tc.in))
+		for i, x := range tc.in {
+			c[i] = FromDIMACS(x)
+		}
+		out, taut := c.Normalize()
+		if taut != tc.wantTaut {
+			t.Errorf("Normalize(%v): taut = %v, want %v", tc.in, taut, tc.wantTaut)
+			continue
+		}
+		if taut {
+			continue
+		}
+		if len(out) != len(tc.wantOut) {
+			t.Errorf("Normalize(%v) = %v (len %d), want %v", tc.in, out, len(out), tc.wantOut)
+			continue
+		}
+		for i, x := range tc.wantOut {
+			if out[i] != FromDIMACS(x) {
+				t.Errorf("Normalize(%v)[%d] = %v, want %d", tc.in, i, out[i], x)
+			}
+		}
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(12)
+		c := make(Clause, n)
+		for i := range c {
+			c[i] = NewLit(Var(rng.Intn(5)), rng.Intn(2) == 0)
+		}
+		orig := c.Clone()
+		out, taut := c.Normalize()
+		if taut {
+			// must contain complementary pair
+			found := false
+			for i := range orig {
+				for j := range orig {
+					if orig[i] == orig[j].Neg() {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("claimed tautology without complementary pair: %v", orig)
+			}
+			continue
+		}
+		// sorted, no dups, same literal set
+		for i := 1; i < len(out); i++ {
+			if out[i] <= out[i-1] {
+				t.Fatalf("not strictly sorted: %v", out)
+			}
+		}
+		for _, l := range orig {
+			if !out.Has(l) {
+				t.Fatalf("literal %v lost: %v -> %v", l, orig, out)
+			}
+		}
+		for _, l := range out {
+			if !orig.Has(l) {
+				t.Fatalf("literal %v invented: %v -> %v", l, orig, out)
+			}
+		}
+	}
+}
+
+func TestFormulaAddClauseGrowsVars(t *testing.T) {
+	f := NewFormula(0)
+	f.AddClause(FromDIMACS(3), FromDIMACS(-7))
+	if f.NumVars != 7 {
+		t.Fatalf("NumVars = %d, want 7", f.NumVars)
+	}
+	if f.NumClauses() != 1 {
+		t.Fatalf("NumClauses = %d, want 1", f.NumClauses())
+	}
+}
+
+func TestAssignmentEval(t *testing.T) {
+	f := NewFormula(3)
+	f.AddClause(FromDIMACS(1), FromDIMACS(2))
+	f.AddClause(FromDIMACS(-1), FromDIMACS(3))
+	a := Assignment{true, false, true}
+	if !f.Eval(a) {
+		t.Fatal("assignment should satisfy formula")
+	}
+	if got := f.CountSatisfied(a); got != 2 {
+		t.Fatalf("CountSatisfied = %d, want 2", got)
+	}
+	b := Assignment{true, false, false}
+	if f.Eval(b) {
+		t.Fatal("assignment should not satisfy formula")
+	}
+	if got := f.CountFalsified(b); got != 1 {
+		t.Fatalf("CountFalsified = %d, want 1", got)
+	}
+}
+
+func TestFormulaClone(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(FromDIMACS(1), FromDIMACS(-2))
+	g := f.Clone()
+	g.Clauses[0][0] = FromDIMACS(2)
+	if f.Clauses[0][0] != FromDIMACS(1) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestWCNFBasics(t *testing.T) {
+	w := NewWCNF(0)
+	w.AddHard(FromDIMACS(1), FromDIMACS(2))
+	w.AddSoft(3, FromDIMACS(-1))
+	w.AddSoft(1, FromDIMACS(-2))
+	if w.NumHard() != 1 || w.NumSoft() != 2 {
+		t.Fatalf("hard/soft = %d/%d, want 1/2", w.NumHard(), w.NumSoft())
+	}
+	if w.SoftWeightSum() != 4 {
+		t.Fatalf("SoftWeightSum = %d, want 4", w.SoftWeightSum())
+	}
+	if !w.Weighted() {
+		t.Fatal("should be weighted")
+	}
+	cost, hardOK := w.CostOf(Assignment{true, false})
+	if !hardOK || cost != 3 {
+		t.Fatalf("CostOf = %d,%v want 3,true", cost, hardOK)
+	}
+	cost, hardOK = w.CostOf(Assignment{false, false})
+	if hardOK {
+		t.Fatalf("hard clause should be violated, cost=%d", cost)
+	}
+}
+
+func TestWCNFSoftWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddSoft(0) should panic")
+		}
+	}()
+	w := NewWCNF(1)
+	w.AddSoft(0, FromDIMACS(1))
+}
+
+func TestFromFormula(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(FromDIMACS(1))
+	f.AddClause(FromDIMACS(-1), FromDIMACS(2))
+	w := FromFormula(f)
+	if w.NumSoft() != 2 || w.NumHard() != 0 {
+		t.Fatalf("FromFormula soft/hard = %d/%d", w.NumSoft(), w.NumHard())
+	}
+	if w.Weighted() {
+		t.Fatal("plain MaxSAT lift must be unweighted")
+	}
+}

@@ -1,0 +1,144 @@
+package cnf
+
+// Weight is a clause weight. HardWeight marks clauses that must be satisfied
+// (partial MaxSAT); any other positive value is a soft-clause weight.
+type Weight int64
+
+// HardWeight marks a hard clause in a WCNF formula.
+const HardWeight Weight = -1
+
+// WClause is a weighted clause.
+type WClause struct {
+	Clause Clause
+	Weight Weight
+}
+
+// Hard reports whether the clause is hard.
+func (w WClause) Hard() bool { return w.Weight == HardWeight }
+
+// WCNF is a weighted partial MaxSAT formula.
+//
+// Plain MaxSAT corresponds to every clause soft with weight 1 and no hard
+// clauses; partial MaxSAT adds hard clauses; weighted variants use arbitrary
+// positive soft weights.
+type WCNF struct {
+	NumVars int
+	Clauses []WClause
+}
+
+// NewWCNF returns an empty weighted formula over numVars variables.
+func NewWCNF(numVars int) *WCNF {
+	return &WCNF{NumVars: numVars}
+}
+
+// AddHard appends a hard clause (copying the literals).
+func (w *WCNF) AddHard(lits ...Lit) {
+	w.add(HardWeight, lits)
+}
+
+// AddSoft appends a soft clause of the given weight (copying the literals).
+// Weights must be positive; AddSoft panics otherwise, since a zero or
+// negative soft weight has no MaxSAT meaning and always indicates a caller
+// bug.
+func (w *WCNF) AddSoft(weight Weight, lits ...Lit) {
+	if weight <= 0 {
+		panic("cnf: soft clause weight must be positive")
+	}
+	w.add(weight, lits)
+}
+
+func (w *WCNF) add(weight Weight, lits []Lit) {
+	c := make(Clause, len(lits))
+	copy(c, lits)
+	if mv := c.MaxVar(); int(mv)+1 > w.NumVars {
+		w.NumVars = int(mv) + 1
+	}
+	w.Clauses = append(w.Clauses, WClause{Clause: c, Weight: weight})
+}
+
+// NumClauses returns the total number of clauses.
+func (w *WCNF) NumClauses() int { return len(w.Clauses) }
+
+// NumSoft returns the number of soft clauses.
+func (w *WCNF) NumSoft() int {
+	n := 0
+	for _, c := range w.Clauses {
+		if !c.Hard() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumHard returns the number of hard clauses.
+func (w *WCNF) NumHard() int { return len(w.Clauses) - w.NumSoft() }
+
+// SoftWeightSum returns the total weight of all soft clauses.
+func (w *WCNF) SoftWeightSum() Weight {
+	var s Weight
+	for _, c := range w.Clauses {
+		if !c.Hard() {
+			s += c.Weight
+		}
+	}
+	return s
+}
+
+// Weighted reports whether any soft clause has weight different from 1.
+func (w *WCNF) Weighted() bool {
+	for _, c := range w.Clauses {
+		if !c.Hard() && c.Weight != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (w *WCNF) Clone() *WCNF {
+	out := &WCNF{NumVars: w.NumVars, Clauses: make([]WClause, len(w.Clauses))}
+	for i, c := range w.Clauses {
+		out.Clauses[i] = WClause{Clause: c.Clause.Clone(), Weight: c.Weight}
+	}
+	return out
+}
+
+// Hards returns the hard clauses as a plain formula.
+func (w *WCNF) Hards() *Formula {
+	f := NewFormula(w.NumVars)
+	for _, c := range w.Clauses {
+		if c.Hard() {
+			f.Clauses = append(f.Clauses, c.Clause.Clone())
+		}
+	}
+	return f
+}
+
+// FromFormula lifts a plain CNF formula into the weighted representation
+// with every clause soft and weight 1 — the plain MaxSAT reading used
+// throughout the DATE 2008 paper.
+func FromFormula(f *Formula) *WCNF {
+	w := NewWCNF(f.NumVars)
+	for _, c := range f.Clauses {
+		w.Clauses = append(w.Clauses, WClause{Clause: c.Clone(), Weight: 1})
+	}
+	return w
+}
+
+// CostOf returns the total weight of soft clauses falsified by a, and
+// whether all hard clauses are satisfied.
+func (w *WCNF) CostOf(a Assignment) (Weight, bool) {
+	var cost Weight
+	hardOK := true
+	for _, c := range w.Clauses {
+		if a.Satisfies(c.Clause) {
+			continue
+		}
+		if c.Hard() {
+			hardOK = false
+		} else {
+			cost += c.Weight
+		}
+	}
+	return cost, hardOK
+}

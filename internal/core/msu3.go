@@ -1,0 +1,181 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/card"
+	"repro/internal/cnf"
+	"repro/internal/opt"
+	"repro/internal/sat"
+)
+
+// MSU3 is the UNSAT-driven lower-bound search of the companion report
+// (Marques-Silva & Planes, arXiv:0712.0097), in the incremental formulation
+// used by its modern descendants: at most one blocking variable per soft
+// clause, blocking variables introduced lazily for clauses that appear in
+// some core, and a single growing totalizer whose bound is imposed per SAT
+// call through an assumption literal.
+//
+// Soundness of the bound update: the lower bound increases only when the
+// reported core contains no enforced (initial) soft clause. Such a core
+// proves that the hard clauses together with the relaxed shells and the
+// bound Σb ≤ lb are unsatisfiable regardless of the remaining soft clauses,
+// hence every assignment falsifies more than lb relaxed clauses and
+// optimum ≥ lb+1 unconditionally. When the core names initial clauses they
+// are relaxed and the same bound is retried. A SAT outcome at bound lb
+// yields a model of cost ≤ lb, which together with optimum ≥ lb proves
+// optimality.
+type MSU3 struct {
+	Opts opt.Options
+	// DisjointPhase enables the report's preprocessing step: before the
+	// bounded search, repeatedly extract cores with no bound imposed,
+	// relaxing each and crediting the lower bound (disjoint cores in the
+	// sense of the paper's Proposition 1 — each round's core is disjoint
+	// from all previously relaxed clauses, so every assignment pays at
+	// least one unit per round).
+	DisjointPhase bool
+}
+
+// NewMSU3 returns msu3 with default options applied.
+func NewMSU3(o opt.Options) *MSU3 { return &MSU3{Opts: o} }
+
+// Name implements opt.Solver.
+func (m *MSU3) Name() string { return "msu3" }
+
+// Solve implements opt.Solver. Soft clauses must have unit weight.
+func (m *MSU3) Solve(w *cnf.WCNF) (res opt.Result) {
+	requireUnweighted(w, "msu3")
+	start := time.Now()
+	res = opt.Result{Cost: -1}
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	s := sat.New()
+	s.SetBudget(m.Opts.Budget())
+	softs, ok := loadSoft(s, w)
+	if !ok {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	owner := selectorOwner(softs)
+	tot := card.NewIncTotalizer(s, nil, len(softs)+1)
+
+	lb := 0
+	var assumps []cnf.Lit
+
+	if m.DisjointPhase {
+		// Phase 1: disjoint core extraction. Solve with every unrelaxed
+		// soft clause enforced and no bound; each UNSAT core is disjoint
+		// from everything already relaxed, so it raises the lower bound by
+		// one. Stop at the first SAT/empty-core outcome.
+	disjoint:
+		for !m.Opts.Expired() {
+			assumps = assumps[:0]
+			for _, c := range softs {
+				if !c.relaxed {
+					assumps = append(assumps, c.assumption())
+				}
+			}
+			st := s.Solve(assumps...)
+			res.Iterations++
+			res.Conflicts = s.Stats().Conflicts
+			switch st {
+			case sat.Unknown:
+				finishUnknown(&res, cnf.Weight(lb))
+				return res
+			case sat.Sat:
+				if lb == 0 {
+					// Everything satisfiable: optimum 0, done.
+					model := s.Model()
+					res.SatCalls++
+					res.Status = opt.StatusOptimal
+					res.Cost = 0
+					res.Model = snapshotModel(model, w.NumVars)
+					return res
+				}
+				res.SatCalls++
+				break disjoint
+			case sat.Unsat:
+				res.UnsatCalls++
+				coreLits := s.Core()
+				if len(coreLits) == 0 {
+					res.Status = opt.StatusUnsat
+					return res
+				}
+				var newBlocking []cnf.Lit
+				for _, l := range coreLits {
+					c := owner[l.Var()]
+					c.relaxed = true
+					newBlocking = append(newBlocking, c.blocking())
+				}
+				tot.AddInputs(newBlocking)
+				lb++
+			}
+		}
+	}
+	for {
+		if m.Opts.Expired() {
+			finishUnknown(&res, cnf.Weight(lb))
+			return res
+		}
+		assumps = assumps[:0]
+		boundLit := cnf.LitUndef
+		if bl, need := tot.Bound(lb); need {
+			boundLit = bl
+			assumps = append(assumps, bl)
+		}
+		for _, c := range softs {
+			if !c.relaxed {
+				assumps = append(assumps, c.assumption())
+			}
+		}
+		st := s.Solve(assumps...)
+		res.Iterations++
+		res.Conflicts = s.Stats().Conflicts
+
+		switch st {
+		case sat.Unknown:
+			finishUnknown(&res, cnf.Weight(lb))
+			return res
+
+		case sat.Sat:
+			res.SatCalls++
+			model := s.Model()
+			cost := modelCost(softs, model)
+			res.Status = opt.StatusOptimal
+			res.Cost = cnf.Weight(cost)
+			res.LowerBound = res.Cost
+			res.Model = snapshotModel(model, w.NumVars)
+			return res
+
+		case sat.Unsat:
+			res.UnsatCalls++
+			coreLits := s.Core()
+			var newBlocking []cnf.Lit
+			sawBound := false
+			for _, l := range coreLits {
+				if l == boundLit {
+					sawBound = true
+					continue
+				}
+				c := owner[l.Var()]
+				c.relaxed = true
+				newBlocking = append(newBlocking, c.blocking())
+			}
+			switch {
+			case len(newBlocking) > 0:
+				// Fresh soft clauses entered a core: relax them and retry
+				// at the same bound.
+				tot.AddInputs(newBlocking)
+			case sawBound:
+				// Core is {bound} (possibly with hard/relaxed context):
+				// the bound itself is too tight.
+				lb++
+			default:
+				// Unsatisfiable without any assumption: hard clauses
+				// conflict.
+				res.Status = opt.StatusUnsat
+				return res
+			}
+		}
+	}
+}

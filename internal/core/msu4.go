@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/card"
+	"repro/internal/cnf"
+	"repro/internal/opt"
+	"repro/internal/sat"
+)
+
+// MSU4 is the paper's Algorithm 1.
+//
+// Bookkeeping follows the paper with costs instead of satisfied-clause
+// counts (cost = |φ| − MaxSAT solution): U counts UNSAT iterations and is a
+// lower bound on the cost; BV, the smallest number of blocking variables any
+// model needed, is an upper bound on the cost. The algorithm returns BV —
+// the cost of the best model — when a core contains no initial clause or
+// when U reaches BV. (The pseudo-code's line 22 returns its UB variable; at
+// both exits the bounds have met, so the best model's cost is the returned
+// optimum, and returning it keeps the result witnessed by a model.)
+type MSU4 struct {
+	Opts opt.Options
+	// SkipAtLeast1 disables the optional cardinality constraint of line 19
+	// ("at least one of the new blocking variables is true"). The paper
+	// notes the constraint is optional but "most often useful"; this switch
+	// is the A2 ablation.
+	SkipAtLeast1 bool
+	// MinimizeCores destructively shrinks every extracted core with
+	// budgeted probe SAT calls before relaxing its clauses (see
+	// minimizeCore). Fewer blocking variables per iteration at the price of
+	// extra SAT work.
+	MinimizeCores bool
+	// MinimizeProbeConflicts caps each minimization probe; 0 means 1000.
+	MinimizeProbeConflicts int64
+	// Label overrides the reported name (e.g. "msu4-v1"); when empty the
+	// name derives from the encoding.
+	Label string
+}
+
+// NewMSU4V1 returns msu4 with BDD-encoded cardinality constraints
+// (the paper's "v1").
+func NewMSU4V1(o opt.Options) *MSU4 {
+	o.Encoding = card.BDD
+	return &MSU4{Opts: o, Label: "msu4-v1"}
+}
+
+// NewMSU4V2 returns msu4 with sorting-network cardinality constraints
+// (the paper's "v2").
+func NewMSU4V2(o opt.Options) *MSU4 {
+	o.Encoding = card.Sorter
+	return &MSU4{Opts: o, Label: "msu4-v2"}
+}
+
+// Name implements opt.Solver.
+func (m *MSU4) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return "msu4-" + m.Opts.Encoding.String()
+}
+
+// Solve implements opt.Solver. Soft clauses must have unit weight.
+func (m *MSU4) Solve(w *cnf.WCNF) (res opt.Result) {
+	requireUnweighted(w, "msu4")
+	start := time.Now()
+	res = opt.Result{Cost: -1}
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	s := sat.New()
+	s.SetBudget(m.Opts.Budget())
+	softs, ok := loadSoft(s, w)
+	if !ok {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	owner := selectorOwner(softs)
+
+	var (
+		bestCost = math.MaxInt // BV: blocking variables needed by best model
+		unsatIts = 0           // U: iterations with UNSAT outcome
+		relaxed  []cnf.Lit     // VB: blocking literals of relaxed clauses
+		assumps  []cnf.Lit
+	)
+
+	for {
+		if m.Opts.Expired() {
+			finishUnknown(&res, cnf.Weight(unsatIts))
+			return res
+		}
+		assumps = assumps[:0]
+		for _, c := range softs {
+			if !c.relaxed {
+				assumps = append(assumps, c.assumption())
+			}
+		}
+		st := s.Solve(assumps...)
+		res.Iterations++
+		res.Conflicts = s.Stats().Conflicts
+
+		switch st {
+		case sat.Unknown:
+			finishUnknown(&res, cnf.Weight(unsatIts))
+			return res
+
+		case sat.Unsat:
+			res.UnsatCalls++
+			coreSels := s.Core()
+			if m.MinimizeCores && len(coreSels) > 1 {
+				probeConflicts := m.MinimizeProbeConflicts
+				if probeConflicts <= 0 {
+					probeConflicts = 1000
+				}
+				// Probe calls are not main-loop iterations; their work is
+				// still visible through res.Conflicts.
+				coreSels, _ = minimizeCore(s, coreSels, m.Opts.Budget(), probeConflicts)
+			}
+			if len(coreSels) == 0 {
+				// The core contains no initial clause (paper line 21-22).
+				if res.Model == nil {
+					// Never satisfiable, even before any cardinality
+					// constraint: the hard clauses conflict.
+					res.Status = opt.StatusUnsat
+					return res
+				}
+				res.Status = opt.StatusOptimal
+				res.LowerBound = res.Cost
+				return res
+			}
+			// Relax every initial clause in the core (paper lines 13-18):
+			// the shell ω ∨ ¬s is already in the solver; dropping the
+			// assumption turns ¬s into the blocking variable b.
+			newBlocking := make([]cnf.Lit, 0, len(coreSels))
+			for _, sel := range coreSels {
+				c := owner[sel.Var()]
+				c.relaxed = true
+				newBlocking = append(newBlocking, c.blocking())
+			}
+			relaxed = append(relaxed, newBlocking...)
+			if !m.SkipAtLeast1 {
+				// Paper line 19: CNF(Σ_{i∈I} bᵢ >= 1) — simply the clause
+				// over the new blocking literals. Optional but it prevents
+				// the solver from re-deriving the same core.
+				s.AddClause(newBlocking...)
+			}
+			unsatIts++ // paper lines 23-24 refine the upper bound
+			if res.Model != nil && unsatIts >= bestCost {
+				// Lower and upper bound met (paper lines 32-33).
+				res.Status = opt.StatusOptimal
+				res.LowerBound = res.Cost
+				return res
+			}
+
+		case sat.Sat:
+			res.SatCalls++
+			model := s.Model()
+			// Paper line 26 counts blocking variables assigned 1; counting
+			// the relaxed clauses the model actually falsifies is the same
+			// quantity after discarding gratuitous blockings (a model
+			// shrink MiniSat-based implementations also perform), and all
+			// initial clauses are enforced by their assumptions.
+			cost := modelCost(softs, model)
+			if cost < bestCost {
+				bestCost = cost
+				res.Cost = cnf.Weight(cost)
+				res.Model = snapshotModel(model, w.NumVars)
+			}
+			if cost == 0 {
+				res.Status = opt.StatusOptimal
+				res.LowerBound = 0
+				return res
+			}
+			if unsatIts >= bestCost {
+				res.Status = opt.StatusOptimal
+				res.LowerBound = res.Cost
+				return res
+			}
+			// Paper lines 30-31: require fewer blocking variables than the
+			// best model used, over all blocking variables so far.
+			card.AtMost(s, m.Opts.Encoding, relaxed, bestCost-1)
+		}
+	}
+}

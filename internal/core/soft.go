@@ -1,0 +1,97 @@
+package core
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/opt"
+	"repro/internal/sat"
+)
+
+// softClause tracks one soft clause inside an incremental core-guided run.
+type softClause struct {
+	lits     cnf.Clause // original literals
+	selector cnf.Var    // s: assumed while the clause is initial
+	relaxed  bool       // once relaxed, ¬s acts as the blocking variable b
+	index    int        // position in the original WCNF
+}
+
+// blocking returns the clause's blocking literal b = ¬s.
+func (c *softClause) blocking() cnf.Lit { return cnf.NegLit(c.selector) }
+
+// assumption returns the selector literal assumed while the clause is
+// enforced.
+func (c *softClause) assumption() cnf.Lit { return cnf.PosLit(c.selector) }
+
+// requireUnweighted panics if w carries non-unit soft weights; the
+// core-guided algorithms in this package are defined for unit weights and
+// the public facade routes weighted instances elsewhere.
+func requireUnweighted(w *cnf.WCNF, algo string) {
+	if w.Weighted() {
+		panic("core: " + algo + " requires unit-weight soft clauses; route weighted instances to the PBO optimizer")
+	}
+}
+
+// loadSoft adds w's hard clauses directly to s and every soft clause as a
+// selector-guarded shell (ω ∨ ¬sel). It returns the soft clause states, or
+// ok=false if the hard clauses alone are unsatisfiable.
+func loadSoft(s *sat.Solver, w *cnf.WCNF) (softs []*softClause, ok bool) {
+	s.EnsureVars(w.NumVars)
+	for i, c := range w.Clauses {
+		if c.Hard() {
+			if !s.AddClauseFrom(c.Clause) {
+				return nil, false
+			}
+			continue
+		}
+		sel := s.NewVar()
+		shell := append(c.Clause.Clone(), cnf.NegLit(sel))
+		// A shell can never conflict: ¬sel is fresh and unassigned.
+		s.AddClause(shell...)
+		softs = append(softs, &softClause{lits: c.Clause, selector: sel, index: i})
+	}
+	return softs, true
+}
+
+// selectorOwner builds a map from selector variable to soft clause.
+func selectorOwner(softs []*softClause) map[cnf.Var]*softClause {
+	m := make(map[cnf.Var]*softClause, len(softs))
+	for _, c := range softs {
+		m[c.selector] = c
+	}
+	return m
+}
+
+// modelCost counts the soft clauses falsified by the model. All soft
+// clauses are inspected against their original literals, so gratuitously
+// set blocking variables never inflate the count.
+func modelCost(softs []*softClause, model cnf.Assignment) int {
+	cost := 0
+	for _, c := range softs {
+		sat := false
+		for _, l := range c.lits {
+			if model.Lit(l) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			cost++
+		}
+	}
+	return cost
+}
+
+// snapshotModel copies the first n values of the model.
+func snapshotModel(m cnf.Assignment, n int) cnf.Assignment {
+	out := make(cnf.Assignment, n)
+	copy(out, m[:n])
+	return out
+}
+
+// finishUnknown fills the Unknown-result fields shared by all algorithms.
+func finishUnknown(res *opt.Result, lowerBound cnf.Weight) {
+	res.Status = opt.StatusUnknown
+	if res.Cost >= 0 && lowerBound > res.Cost {
+		lowerBound = res.Cost
+	}
+	res.LowerBound = lowerBound
+}

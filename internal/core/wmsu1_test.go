@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+	"repro/internal/opt"
+)
+
+func TestWMSU1UnweightedMatchesMSU1(t *testing.T) {
+	w := paperExample2()
+	r := NewWMSU1(opt.Options{}).Solve(w)
+	if r.Status != opt.StatusOptimal || r.Cost != 2 {
+		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
+	}
+	if !opt.VerifyModel(w, r) {
+		t.Fatal("model inconsistent")
+	}
+}
+
+func TestWMSU1WeightedBasics(t *testing.T) {
+	// Weighted contradiction: must pay the cheaper side.
+	w := cnf.NewWCNF(1)
+	w.AddSoft(5, lit(1))
+	w.AddSoft(2, lit(-1))
+	r := NewWMSU1(opt.Options{}).Solve(w)
+	if r.Status != opt.StatusOptimal || r.Cost != 2 {
+		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
+	}
+	if !r.Model[0] {
+		t.Fatal("model should set x1 true (weight 5 kept)")
+	}
+}
+
+func TestWMSU1ClauseSplitting(t *testing.T) {
+	// Two contradictions sharing a heavy clause exercise the split path:
+	// (x, 10), (¬x, 3), (¬x∨y, 4), (¬y, 2) — optimum: brute force decides.
+	w := cnf.NewWCNF(2)
+	w.AddSoft(10, lit(1))
+	w.AddSoft(3, lit(-1))
+	w.AddSoft(4, lit(-1), lit(2))
+	w.AddSoft(2, lit(-2))
+	want, _, _ := brute.MinCostWCNF(w)
+	r := NewWMSU1(opt.Options{}).Solve(w)
+	if r.Cost != want {
+		t.Fatalf("cost %d, want %d", r.Cost, want)
+	}
+}
+
+func TestWMSU1AgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for iter := 0; iter < 80; iter++ {
+		w := cnf.NewWCNF(3 + rng.Intn(6))
+		nc := 4 + rng.Intn(18)
+		for i := 0; i < nc; i++ {
+			width := 1 + rng.Intn(3)
+			c := make([]cnf.Lit, 0, width)
+			for j := 0; j < width; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(w.NumVars)), rng.Intn(2) == 0))
+			}
+			if rng.Intn(5) == 0 {
+				w.AddHard(c...)
+			} else {
+				w.AddSoft(cnf.Weight(1+rng.Intn(6)), c...)
+			}
+		}
+		want, _, feasible := brute.MinCostWCNF(w)
+		r := NewWMSU1(opt.Options{}).Solve(w)
+		if !feasible {
+			if r.Status != opt.StatusUnsat {
+				t.Fatalf("iter %d: status %v, want UNSAT", iter, r.Status)
+			}
+			continue
+		}
+		if r.Status != opt.StatusOptimal {
+			t.Fatalf("iter %d: status %v", iter, r.Status)
+		}
+		if r.Cost != want {
+			t.Fatalf("iter %d: cost %d, want %d\n%v", iter, r.Cost, want, w.Clauses)
+		}
+		if !opt.VerifyModel(w, r) {
+			t.Fatalf("iter %d: model inconsistent", iter)
+		}
+	}
+}
+
+func TestWMSU1HardUnsat(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddHard(lit(1))
+	w.AddHard(lit(-1))
+	w.AddSoft(3, lit(1))
+	if r := NewWMSU1(opt.Options{}).Solve(w); r.Status != opt.StatusUnsat {
+		t.Fatalf("got %v, want UNSAT", r.Status)
+	}
+}
+
+func TestWMSU1Deadline(t *testing.T) {
+	w := paperExample2()
+	o := opt.Options{Deadline: time.Now().Add(-time.Second)}
+	if r := NewWMSU1(o).Solve(w); r.Status != opt.StatusUnknown {
+		t.Fatalf("got %v, want Unknown", r.Status)
+	}
+}
+
+func TestWMSU1EmptySoftClause(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddSoft(4)
+	w.AddSoft(1, lit(1))
+	r := NewWMSU1(opt.Options{}).Solve(w)
+	if r.Status != opt.StatusOptimal || r.Cost != 4 {
+		t.Fatalf("status %v cost %d, want optimal 4", r.Status, r.Cost)
+	}
+}
+
+func TestWMSU1Name(t *testing.T) {
+	if NewWMSU1(opt.Options{}).Name() != "wmsu1" {
+		t.Fatal("name")
+	}
+}

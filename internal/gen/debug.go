@@ -1,0 +1,185 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/card"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+)
+
+// DesignDebug builds a design-debugging MaxSAT instance in the style of
+// Safarpour et al. (FMCAD 2007), the application motivating the DATE 2008
+// paper (its Table 2):
+//
+//   - take a golden circuit and inject one gate fault (the "design error");
+//   - simulate the golden circuit on test vectors to obtain the expected
+//     input/output behaviour;
+//   - encode the faulty circuit once per vector with a shared per-gate
+//     correctness guard, the I/O values as hard unit clauses, and a soft
+//     unit clause per guard.
+//
+// Maximizing satisfied soft clauses minimizes the number of suspended
+// gates; every optimal solution is a minimal diagnosis, and the injected
+// fault site is always one explanation, so the optimum cost is at least 1
+// (exactly 1 whenever a single suspension suffices, which holds for single
+// injected faults by construction).
+//
+// The generator retries fault injection until the fault is observable on
+// the sampled vectors, so the instance is never trivially satisfiable.
+func DesignDebug(seed int64, golden *circuit.Circuit, nVectors int) Instance {
+	return DesignDebugDetailed(seed, golden, nVectors).Instance
+}
+
+// DebugInstance augments a design-debugging instance with the injected
+// fault and the suspect-gate map, for diagnosis-quality checks: soft clause
+// i (in WCNF order) guards gate SuspectGates[i] of Bad.
+type DebugInstance struct {
+	Instance
+	Fault        circuit.Fault
+	SuspectGates []int
+	Bad          *circuit.Circuit
+	Vectors      [][]bool
+}
+
+// DesignDebugDetailed is DesignDebug with the diagnosis ground truth kept.
+func DesignDebugDetailed(seed int64, golden *circuit.Circuit, nVectors int) DebugInstance {
+	rng := rand.New(rand.NewSource(seed))
+	var bad *circuit.Circuit
+	var fault circuit.Fault
+	var vectors [][]bool
+	for tries := 0; ; tries++ {
+		if tries > 200 {
+			panic("gen: could not inject an observable fault")
+		}
+		bad, fault = circuit.InjectFault(rng, golden)
+		vectors = circuit.RandomVectors(rng, golden.NumInputs(), nVectors)
+		if circuit.FaultObservable(golden, bad, vectors) {
+			break
+		}
+	}
+
+	w := cnf.NewWCNF(0)
+	d := &wcnfHardDest{w: w}
+
+	// Shared per-gate guards for every substitutable gate.
+	guards := map[int]cnf.Lit{}
+	var guardOrder []int
+	for id, g := range bad.Gates {
+		switch g.Type {
+		case circuit.Input:
+			// not a suspect
+		default:
+			guards[id] = cnf.PosLit(cnf.Var(d.NewVar()))
+			guardOrder = append(guardOrder, id)
+		}
+	}
+
+	for _, vec := range vectors {
+		lits := circuit.TseitinGuarded(d, bad, guards)
+		// Hard input values.
+		for i, id := range bad.Inputs {
+			l := lits[id]
+			if !vec[i] {
+				l = l.Neg()
+			}
+			w.AddHard(l)
+		}
+		// Hard golden output values.
+		goldenOut := golden.OutputsOf(golden.Eval(vec))
+		for i, id := range bad.Outputs {
+			l := lits[id]
+			if !goldenOut[i] {
+				l = l.Neg()
+			}
+			w.AddHard(l)
+		}
+	}
+	// Soft: each gate is presumed correct.
+	for _, id := range guardOrder {
+		w.AddSoft(1, guards[id])
+	}
+	return DebugInstance{
+		Instance: Instance{
+			Name:      fmt.Sprintf("debug-g%d-v%d-s%d", golden.NumGates(), nVectors, seed),
+			Family:    "debug",
+			W:         w,
+			KnownCost: -1, // at least 1; exact minimal diagnosis size data-dependent
+		},
+		Fault:        fault,
+		SuspectGates: guardOrder,
+		Bad:          bad,
+		Vectors:      vectors,
+	}
+}
+
+// DesignDebugPlain builds the plain-MaxSAT reading of a design-debugging
+// instance, matching how the DATE 2008 paper consumes the instances of
+// Safarpour et al. in Table 2: the faulty circuit is replicated per test
+// vector and every clause — gate consistency and observed I/O values alike —
+// is a unit-weight soft clause. The CNF is unsatisfiable (the fault is
+// observable), so the optimum is >= 1; the clause count grows as
+// vectors × gates × ~4, which is exactly the blocking-variable blow-up that
+// makes the PBO formulation collapse on this family while msu4, relaxing
+// only core clauses, stays fast.
+func DesignDebugPlain(seed int64, golden *circuit.Circuit, nVectors int) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var bad *circuit.Circuit
+	var vectors [][]bool
+	for tries := 0; ; tries++ {
+		if tries > 200 {
+			panic("gen: could not inject an observable fault")
+		}
+		bad, _ = circuit.InjectFault(rng, golden)
+		vectors = circuit.RandomVectors(rng, golden.NumInputs(), nVectors)
+		if circuit.FaultObservable(golden, bad, vectors) {
+			break
+		}
+	}
+	f := cnf.NewFormula(0)
+	d := card.NewFormulaDest(f)
+	for _, vec := range vectors {
+		lits := circuit.Tseitin(d, bad)
+		for i, id := range bad.Inputs {
+			l := lits[id]
+			if !vec[i] {
+				l = l.Neg()
+			}
+			f.AddClause(l)
+		}
+		goldenOut := golden.OutputsOf(golden.Eval(vec))
+		for i, id := range bad.Outputs {
+			l := lits[id]
+			if !goldenOut[i] {
+				l = l.Neg()
+			}
+			f.AddClause(l)
+		}
+	}
+	return Instance{
+		Name:      fmt.Sprintf("debugp-g%d-v%d-s%d", golden.NumGates(), nVectors, seed),
+		Family:    "debug",
+		W:         cnf.FromFormula(f),
+		KnownCost: -1,
+	}
+}
+
+// wcnfHardDest adapts a WCNF as a hard-clause encoding destination.
+type wcnfHardDest struct {
+	w *cnf.WCNF
+}
+
+func (d *wcnfHardDest) NewVar() cnf.Var {
+	v := cnf.Var(d.w.NumVars)
+	d.w.NumVars++
+	return v
+}
+
+func (d *wcnfHardDest) AddClause(lits ...cnf.Lit) bool {
+	d.w.AddHard(lits...)
+	return true
+}
+
+var _ circuit.Dest = (*wcnfHardDest)(nil)
+var _ card.Dest = (*wcnfHardDest)(nil)

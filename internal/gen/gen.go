@@ -1,0 +1,352 @@
+// Package gen synthesizes the benchmark families of the DATE 2008 paper's
+// evaluation. The paper ran on 691 unsatisfiable industrial instances from
+// the SAT competition archives and SATLIB — "model checking, equivalence
+// checking and test-pattern generation" — plus 29 design-debugging MaxSAT
+// instances (Safarpour et al.). Those archives are fixed artifacts we do not
+// redistribute; this package generates structurally analogous, seeded,
+// laptop-scale families from the same application domains (see DESIGN.md §3,
+// substitution 2):
+//
+//   - equivalence-checking miters between structurally different but
+//     functionally equal arithmetic circuits;
+//   - bounded-model-checking unrollings with unreachable properties;
+//   - test-pattern-generation instances for undetectable faults;
+//   - pigeonhole and fixed-seed over-constrained random k-SAT as the
+//     classic combinatorial fillers present in SATLIB;
+//   - over-constrained graph colouring, giving instances whose MaxSAT
+//     optimum is large (the paper's routing/scheduling-like tail);
+//   - design-debugging WCNF instances: a golden circuit, an injected gate
+//     fault, observed I/O vectors as hard clauses and per-gate correctness
+//     guards as soft clauses.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/card"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+)
+
+// Instance is one benchmark instance.
+type Instance struct {
+	Name   string
+	Family string
+	W      *cnf.WCNF
+	// KnownCost is the externally known MaxSAT optimum (minimum falsified
+	// soft weight), or -1 when not known analytically. The harness uses it
+	// to cross-validate solver agreement.
+	KnownCost cnf.Weight
+}
+
+// Pigeonhole returns PHP(p+1, p) as a plain MaxSAT instance. The CNF is
+// unsatisfiable; dropping a single "pigeon placed" clause makes it
+// satisfiable, so the MaxSAT cost is exactly 1.
+func Pigeonhole(p int) Instance {
+	f := cnf.NewFormula(0)
+	pigeons, holes := p+1, p
+	v := func(pg, h int) cnf.Lit { return cnf.PosLit(cnf.Var(pg*holes + h)) }
+	for pg := 0; pg < pigeons; pg++ {
+		c := make([]cnf.Lit, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = v(pg, h)
+		}
+		f.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(v(p1, h).Neg(), v(p2, h).Neg())
+			}
+		}
+	}
+	return Instance{
+		Name:      fmt.Sprintf("php-%d", p),
+		Family:    "pigeonhole",
+		W:         cnf.FromFormula(f),
+		KnownCost: 1,
+	}
+}
+
+// RandomKSAT returns a fixed-seed random k-SAT instance at the given
+// clause/variable ratio. At ratios well above the satisfiability threshold
+// the instance is unsatisfiable with overwhelming probability and has a
+// non-trivial MaxSAT optimum — the SATLIB-style random filler family.
+func RandomKSAT(seed int64, vars, k int, ratio float64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.NewFormula(vars)
+	clauses := int(ratio * float64(vars))
+	for i := 0; i < clauses; i++ {
+		c := make([]cnf.Lit, 0, k)
+		used := map[int]bool{}
+		for len(c) < k {
+			v := rng.Intn(vars)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			c = append(c, cnf.NewLit(cnf.Var(v), rng.Intn(2) == 0))
+		}
+		f.AddClause(c...)
+	}
+	return Instance{
+		Name:      fmt.Sprintf("rand%d-v%d-r%.1f-s%d", k, vars, ratio, seed),
+		Family:    "random",
+		W:         cnf.FromFormula(f),
+		KnownCost: -1,
+	}
+}
+
+// circuitCNF encodes a circuit into a fresh formula and returns the formula
+// plus the literal of each gate.
+func circuitCNF(c *circuit.Circuit) (*cnf.Formula, []cnf.Lit) {
+	f := cnf.NewFormula(0)
+	d := card.NewFormulaDest(f)
+	lits := circuit.Tseitin(d, c)
+	return f, lits
+}
+
+// EquivMiter returns an equivalence-checking miter between two functionally
+// equivalent adder implementations, with the disagreement output asserted:
+// an unsatisfiable CNF whose MaxSAT cost is 1 (retracting the assertion
+// satisfies the rest).
+func EquivMiter(bits int) Instance {
+	m := circuit.Miter(circuit.RippleAdder(bits), circuit.CarrySelectAdder(bits))
+	f, lits := circuitCNF(m)
+	f.AddClause(lits[m.Outputs[0]])
+	return Instance{
+		Name:      fmt.Sprintf("ec-adder-%d", bits),
+		Family:    "equivalence",
+		W:         cnf.FromFormula(f),
+		KnownCost: 1,
+	}
+}
+
+// EquivMiterMultiplier is the multiplier self-equivalence variant, the
+// denser and harder instance class of equivalence checking.
+func EquivMiterMultiplier(bits int) Instance {
+	a := circuit.Multiplier(bits)
+	b := circuit.Multiplier(bits)
+	m := circuit.Miter(a, b)
+	f, lits := circuitCNF(m)
+	f.AddClause(lits[m.Outputs[0]])
+	return Instance{
+		Name:      fmt.Sprintf("ec-mult-%d", bits),
+		Family:    "equivalence",
+		W:         cnf.FromFormula(f),
+		KnownCost: 1,
+	}
+}
+
+// BMCCounter returns the k-frame unrolling of an n-bit counter with the
+// "counter reaches all-ones" property asserted within the window. For
+// k < 2^n the property is unreachable and the CNF is unsatisfiable with
+// MaxSAT cost 1.
+func BMCCounter(n, k int) Instance {
+	u := circuit.Counter(n).Unroll(k)
+	f, lits := circuitCNF(u)
+	prop := make([]cnf.Lit, 0, len(u.Outputs))
+	for _, o := range u.Outputs {
+		prop = append(prop, lits[o])
+	}
+	f.AddClause(prop...)
+	known := cnf.Weight(1)
+	if k >= 1<<n {
+		known = 0
+	}
+	return Instance{
+		Name:      fmt.Sprintf("bmc-counter-%d-k%d", n, k),
+		Family:    "bmc",
+		W:         cnf.FromFormula(f),
+		KnownCost: known,
+	}
+}
+
+// BMCShift returns the k-frame unrolling of a w-bit shift register with the
+// all-ones property asserted within the window (unreachable for k <= w).
+func BMCShift(w, k int) Instance {
+	u := circuit.ShiftRegisterEqual(w).Unroll(k)
+	f, lits := circuitCNF(u)
+	prop := make([]cnf.Lit, 0, len(u.Outputs))
+	for _, o := range u.Outputs {
+		prop = append(prop, lits[o])
+	}
+	f.AddClause(prop...)
+	known := cnf.Weight(1)
+	if k > w {
+		known = 0
+	}
+	return Instance{
+		Name:      fmt.Sprintf("bmc-shift-%d-k%d", w, k),
+		Family:    "bmc",
+		W:         cnf.FromFormula(f),
+		KnownCost: known,
+	}
+}
+
+// ATPGRedundant builds a test-pattern-generation instance for a redundant
+// (undetectable) fault: the miter between a circuit and a faulty copy whose
+// fault never propagates to an output. Asserting the miter output yields an
+// unsatisfiable CNF — the ATPG tool's proof that no test pattern exists.
+// The redundancy is constructed, not searched for: the faulty site feeds a
+// masked sub-circuit (x AND ¬x), so any gate substitution there is
+// unobservable.
+func ATPGRedundant(bits int) Instance {
+	good := buildMaskedCircuit(bits)
+	bad := good.Clone()
+	// The masked gate is the one AND feeding the contradiction; flip it.
+	bad.Gates[maskedGateIndex(bits)].Type = circuit.Or
+	m := circuit.Miter(good, bad)
+	f, lits := circuitCNF(m)
+	f.AddClause(lits[m.Outputs[0]])
+	return Instance{
+		Name:      fmt.Sprintf("atpg-red-%d", bits),
+		Family:    "atpg",
+		W:         cnf.FromFormula(f),
+		KnownCost: 1,
+	}
+}
+
+// buildMaskedCircuit creates an adder whose output is XORed with a masked
+// signal (g AND NOT g == 0): the masked region is redundant logic.
+func buildMaskedCircuit(bits int) *circuit.Circuit {
+	c := circuit.New()
+	a := make([]int, bits)
+	b := make([]int, bits)
+	for i := range a {
+		a[i] = c.NewInput()
+	}
+	for i := range b {
+		b[i] = c.NewInput()
+	}
+	carry := c.Const(false)
+	var sums []int
+	for i := 0; i < bits; i++ {
+		axb := c.Xor(a[i], b[i])
+		sums = append(sums, c.Xor(axb, carry))
+		carry = c.Or(c.And(a[i], b[i]), c.And(axb, carry))
+	}
+	// Redundant masked region: (a0 AND b0) AND NOT(a0 AND b0) == 0.
+	inner := c.And(a[0], b[0]) // the substitutable masked gate
+	masked := c.And(inner, c.Not(inner))
+	for _, s := range sums {
+		c.MarkOutput(c.Xor(s, masked))
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+// maskedGateIndex returns the gate id of the masked AND inside
+// buildMaskedCircuit(bits). It relies on the deterministic construction
+// order: the gate is built right after the adder chain.
+func maskedGateIndex(bits int) int {
+	c := buildMaskedCircuit(bits)
+	// The masked gate is the third-from-last gate before outputs were
+	// appended; recompute by rebuilding and tracking: gate order is
+	// inputs, adder gates, inner, not, masked, xors, ... Find the AND whose
+	// fanins are inputs a0 and b0 appearing after the adder chain.
+	a0, b0 := c.Inputs[0], c.Inputs[bits]
+	last := -1
+	for id, g := range c.Gates {
+		if g.Type == circuit.And && len(g.Fanin) == 2 {
+			if (g.Fanin[0] == a0 && g.Fanin[1] == b0) || (g.Fanin[0] == b0 && g.Fanin[1] == a0) {
+				last = id
+			}
+		}
+	}
+	if last < 0 {
+		panic("gen: masked gate not found")
+	}
+	return last
+}
+
+// Coloring returns an over-constrained graph colouring MaxSAT instance:
+// hard exactly-one-colour constraints per vertex, soft "endpoints differ"
+// clauses per edge. Dense random graphs with too few colours yield optima
+// well above 1, filling the large-cost region of the scatter plots.
+func Coloring(seed int64, vertices, edges, colors int) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	w := cnf.NewWCNF(vertices * colors)
+	v := func(node, c int) cnf.Lit { return cnf.PosLit(cnf.Var(node*colors + c)) }
+	// Hard: exactly one colour per vertex (pairwise AMO is fine at this size).
+	for node := 0; node < vertices; node++ {
+		all := make([]cnf.Lit, colors)
+		for c := 0; c < colors; c++ {
+			all[c] = v(node, c)
+		}
+		w.AddHard(all...)
+		for c1 := 0; c1 < colors; c1++ {
+			for c2 := c1 + 1; c2 < colors; c2++ {
+				w.AddHard(v(node, c1).Neg(), v(node, c2).Neg())
+			}
+		}
+	}
+	// Soft: edge endpoints get different colours.
+	seen := map[[2]int]bool{}
+	added := 0
+	for added < edges {
+		x, y := rng.Intn(vertices), rng.Intn(vertices)
+		if x == y {
+			continue
+		}
+		if x > y {
+			x, y = y, x
+		}
+		if seen[[2]int{x, y}] {
+			continue
+		}
+		seen[[2]int{x, y}] = true
+		added++
+		for c := 0; c < colors; c++ {
+			w.AddSoft(1, v(x, c).Neg(), v(y, c).Neg())
+		}
+	}
+	return Instance{
+		Name:      fmt.Sprintf("color-v%d-e%d-c%d-s%d", vertices, edges, colors, seed),
+		Family:    "coloring",
+		W:         w,
+		KnownCost: -1,
+	}
+}
+
+// ColoringWeighted is the weighted variant of Coloring: each edge carries a
+// random positive weight (all of that edge's per-colour soft clauses share
+// it), producing weighted partial MaxSAT instances for the weighted
+// algorithm extensions (wmsu1/wmsu4).
+func ColoringWeighted(seed int64, vertices, edges, colors int, maxWeight int) Instance {
+	base := Coloring(seed, vertices, edges, colors)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	w := base.W
+	i := 0
+	var cur cnf.Weight
+	for ci := range w.Clauses {
+		if w.Clauses[ci].Hard() {
+			continue
+		}
+		// Soft clauses come in per-edge groups of size `colors`.
+		if i%colors == 0 {
+			cur = cnf.Weight(1 + rng.Intn(maxWeight))
+		}
+		w.Clauses[ci].Weight = cur
+		i++
+	}
+	base.Name = fmt.Sprintf("wcolor-v%d-e%d-c%d-s%d", vertices, edges, colors, seed)
+	base.Family = "coloring-weighted"
+	return base
+}
+
+// EquivMiterKS is the ripple vs Kogge-Stone equivalence pair — maximal
+// structural distance between the two implementations, the hardest of the
+// adder miters.
+func EquivMiterKS(bits int) Instance {
+	m := circuit.Miter(circuit.RippleAdder(bits), circuit.KoggeStoneAdder(bits))
+	f, lits := circuitCNF(m)
+	f.AddClause(lits[m.Outputs[0]])
+	return Instance{
+		Name:      fmt.Sprintf("ec-ks-%d", bits),
+		Family:    "equivalence",
+		W:         cnf.FromFormula(f),
+		KnownCost: 1,
+	}
+}

@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Suite returns the industrial-style benchmark suite standing in for the
+// paper's 691 unsatisfiable instances (Table 1, Figures 1–3). Instances are
+// deterministic for a given seed. Sizes are laptop-scale: the full suite
+// with the default harness timeout regenerates the table in minutes while
+// preserving the relative solver behaviour (see EXPERIMENTS.md).
+func Suite(seed int64) []Instance {
+	var out []Instance
+
+	// Pigeonhole: classic combinatorial UNSAT, brutal for branch and bound
+	// above toy sizes, trivial cost structure (1).
+	for _, p := range []int{3, 4, 5, 6, 7} {
+		out = append(out, Pigeonhole(p))
+	}
+
+	// Random over-constrained 3-SAT: the family where branch and bound is
+	// competitive (small, random, large optimum).
+	i := 0
+	for _, vars := range []int{16, 20, 24, 28} {
+		for s := int64(0); s < 3; s++ {
+			out = append(out, RandomKSAT(seed+100+int64(i), vars, 3, 6.0))
+			i++
+		}
+	}
+
+	// Equivalence checking: structured EDA UNSAT instances of increasing
+	// size; SAT solvers find small cores quickly, DPLL-based MaxSAT drowns.
+	for _, bits := range []int{3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 24} {
+		out = append(out, EquivMiter(bits))
+	}
+	for _, bits := range []int{2, 3, 4, 5} {
+		out = append(out, EquivMiterMultiplier(bits))
+	}
+	for _, bits := range []int{4, 8, 12, 16} {
+		out = append(out, EquivMiterKS(bits))
+	}
+
+	// Bounded model checking: unreachable properties at varying depth.
+	for _, nk := range [][2]int{{3, 5}, {3, 7}, {4, 8}, {4, 12}, {5, 16}, {5, 24}, {6, 32}} {
+		out = append(out, BMCCounter(nk[0], nk[1]))
+	}
+	for _, wk := range [][2]int{{6, 5}, {8, 7}, {10, 9}, {12, 11}, {14, 13}, {18, 17}, {24, 23}} {
+		out = append(out, BMCShift(wk[0], wk[1]))
+	}
+
+	// Test-pattern generation for redundant faults.
+	for _, bits := range []int{3, 4, 6, 8, 10, 12, 16} {
+		out = append(out, ATPGRedundant(bits))
+	}
+
+	// Over-constrained graph colouring: the large-optimum tail.
+	for idx, ve := range [][3]int{{8, 20, 3}, {10, 26, 3}, {12, 32, 3}, {10, 34, 3}, {14, 38, 3}, {16, 44, 3}} {
+		out = append(out, Coloring(seed+200+int64(idx), ve[0], ve[1], ve[2]))
+	}
+
+	return out
+}
+
+// DebugSuite returns 29 design-debugging instances, the analog of the
+// paper's Table 2 (29 instances from Safarpour et al.). Golden circuits
+// span the arithmetic and random netlists of this repository; each gets a
+// single injected observable gate fault and a handful of test vectors.
+// The instances use the plain-MaxSAT reading (every clause soft), the form
+// in which the paper's evaluation consumed them; DesignDebugDetailed
+// provides the per-gate-guard partial-MaxSAT reading for diagnosis work.
+func DebugSuite(seed int64) []Instance {
+	var out []Instance
+	add := func(golden *circuit.Circuit, vectors int) {
+		s := seed + int64(len(out))
+		out = append(out, DesignDebugPlain(s, golden, vectors))
+	}
+
+	for _, bits := range []int{6, 8, 10, 12, 16} {
+		add(circuit.RippleAdder(bits), 8)
+	}
+	for _, bits := range []int{8, 10, 12, 14} {
+		add(circuit.CarrySelectAdder(bits), 8)
+	}
+	for _, bits := range []int{8, 12, 16, 20} {
+		add(circuit.Comparator(bits), 8)
+	}
+	for _, n := range []int{16, 24, 32} {
+		add(circuit.ParityTree(n), 6)
+	}
+	for _, bits := range []int{3, 4} {
+		add(circuit.Multiplier(bits), 6)
+	}
+	rng := rand.New(rand.NewSource(seed + 999))
+	for i := 0; i < 11; i++ {
+		nIn := 8 + rng.Intn(8)
+		nGates := 60 + rng.Intn(200)
+		add(circuit.RandomCombinational(rng, nIn, nGates), 6)
+	}
+
+	if len(out) != 29 {
+		panic("gen: debug suite must have 29 instances to mirror Table 2")
+	}
+	return out
+}
+
+// Families returns the distinct family names of a suite, in first-seen
+// order.
+func Families(insts []Instance) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, in := range insts {
+		if !seen[in.Family] {
+			seen[in.Family] = true
+			out = append(out, in.Family)
+		}
+	}
+	return out
+}

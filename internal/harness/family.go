@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// FamilyAborts returns aborted counts and totals per benchmark family for
+// one solver.
+func (r *Report) FamilyAborts(solver string) (aborts, totals map[string]int) {
+	si := r.solverIndex(solver)
+	aborts = map[string]int{}
+	totals = map[string]int{}
+	if si < 0 {
+		return aborts, totals
+	}
+	for _, row := range r.Results {
+		res := row[si]
+		totals[res.Family]++
+		if res.Aborted {
+			aborts[res.Family]++
+		}
+	}
+	return aborts, totals
+}
+
+func (r *Report) solverIndex(name string) int {
+	for i, s := range r.Solvers {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RenderFamilyTable writes a per-family abort breakdown for every solver —
+// the drill-down behind Table 1 that shows *where* each algorithm collapses
+// (branch and bound on structured EDA families, PBO on blocking-variable-
+// heavy ones).
+func (r *Report) RenderFamilyTable(w io.Writer) {
+	famSet := map[string]int{}
+	var families []string
+	for _, row := range r.Results {
+		if len(row) == 0 {
+			continue
+		}
+		f := row[0].Family
+		if _, ok := famSet[f]; !ok {
+			famSet[f] = 0
+			families = append(families, f)
+		}
+		famSet[f]++
+	}
+	sort.Strings(families)
+	fmt.Fprintf(w, "%-14s %6s", "family", "total")
+	for _, s := range r.Solvers {
+		fmt.Fprintf(w, " %10s", s)
+	}
+	fmt.Fprintln(w)
+	for _, fam := range families {
+		fmt.Fprintf(w, "%-14s %6d", fam, famSet[fam])
+		for _, s := range r.Solvers {
+			aborts, _ := r.FamilyAborts(s)
+			fmt.Fprintf(w, " %10d", aborts[fam])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// VBS summarises the virtual best solver: for each instance the fastest
+// non-aborted run. It returns the number of instances some solver finished
+// and the total VBS time.
+func (r *Report) VBS() (solved int, total time.Duration) {
+	for _, row := range r.Results {
+		best := time.Duration(-1)
+		for _, res := range row {
+			if res.Aborted {
+				continue
+			}
+			if best < 0 || res.Elapsed < best {
+				best = res.Elapsed
+			}
+		}
+		if best >= 0 {
+			solved++
+			total += best
+		}
+	}
+	return solved, total
+}
+
+// SolvedWithin returns, for each solver, how many instances it finished
+// within the given per-instance time — the data behind cactus plots.
+func (r *Report) SolvedWithin(limit time.Duration) map[string]int {
+	out := map[string]int{}
+	for _, row := range r.Results {
+		for _, res := range row {
+			if !res.Aborted && res.Elapsed <= limit {
+				out[res.Solver]++
+			}
+		}
+	}
+	return out
+}

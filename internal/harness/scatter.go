@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderScatterASCII draws a log-log ASCII scatter plot in the style of the
+// paper's Figures 1–3: x axis = solverX time, y axis = solverY time, with
+// the main diagonal marked. Points above the diagonal are instances where
+// solverX (the x-axis solver, msu4-v2 in the paper's figures) is faster.
+func (r *Report) RenderScatterASCII(w io.Writer, solverX, solverY string, width, height int) {
+	pts := r.Scatter(solverX, solverY)
+	if len(pts) == 0 {
+		fmt.Fprintf(w, "no data for %s vs %s\n", solverX, solverY)
+		return
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 24
+	}
+	// Log range: from the smallest positive time (floored at 0.1 ms) to the
+	// timeout (or max observed).
+	lo := math.Inf(1)
+	hi := 0.0
+	for _, p := range pts {
+		for _, v := range []float64{p.X, p.Y} {
+			if v > 0 && v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if r.Timeout > 0 {
+		hi = r.Timeout.Seconds()
+	}
+	if lo < 1e-4 || math.IsInf(lo, 1) {
+		lo = 1e-4
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	span := logHi - logLo
+	scaleX := func(v float64) int {
+		if v < lo {
+			v = lo
+		}
+		return int((math.Log10(v) - logLo) / span * float64(width-1))
+	}
+	scaleY := func(v float64) int {
+		if v < lo {
+			v = lo
+		}
+		return int((math.Log10(v) - logLo) / span * float64(height-1))
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Diagonal (x == y).
+	for c := 0; c < width; c++ {
+		rr := int(float64(c) / float64(width-1) * float64(height-1))
+		grid[height-1-rr][c] = '.'
+	}
+	for _, p := range pts {
+		c := scaleX(p.X)
+		rr := scaleY(p.Y)
+		grid[height-1-rr][c] = '+'
+	}
+
+	fmt.Fprintf(w, "%s (y) vs %s (x), log-log, seconds in [%.2g, %.2g]\n",
+		solverY, solverX, lo, hi)
+	for i, line := range grid {
+		margin := " "
+		if i == 0 {
+			margin = "^"
+		}
+		fmt.Fprintf(w, "%s|%s|\n", margin, string(line))
+	}
+	fmt.Fprintf(w, "  %s>\n", strings.Repeat("-", width))
+	above, below := 0, 0
+	for _, p := range pts {
+		switch {
+		case p.Y > p.X:
+			above++
+		case p.Y < p.X:
+			below++
+		}
+	}
+	fmt.Fprintf(w, "points above diagonal (%s faster): %d; below: %d; total: %d\n",
+		solverX, above, below, len(pts))
+}

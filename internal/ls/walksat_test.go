@@ -1,0 +1,149 @@
+package ls
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+)
+
+func lit(i int) cnf.Lit { return cnf.FromDIMACS(i) }
+
+func TestWalkSATFindsSatisfyingAssignment(t *testing.T) {
+	w := cnf.NewWCNF(3)
+	w.AddSoft(1, lit(1), lit(2))
+	w.AddSoft(1, lit(-1), lit(3))
+	w.AddSoft(1, lit(-3), lit(2))
+	r := Minimize(w, Params{Seed: 1})
+	if r.Cost != 0 {
+		t.Fatalf("cost %d, want 0", r.Cost)
+	}
+	cost, hardOK := w.CostOf(r.Model)
+	if !hardOK || cost != 0 {
+		t.Fatal("model does not satisfy formula")
+	}
+}
+
+func TestWalkSATUpperBoundIsSound(t *testing.T) {
+	// On random instances the walk's cost must be a true upper bound:
+	// >= brute-force optimum and exactly the model's cost.
+	rng := rand.New(rand.NewSource(55))
+	reachedOptimum := 0
+	for iter := 0; iter < 40; iter++ {
+		w := cnf.NewWCNF(3 + rng.Intn(7))
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			width := 1 + rng.Intn(3)
+			c := make([]cnf.Lit, 0, width)
+			for j := 0; j < width; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(w.NumVars)), rng.Intn(2) == 0))
+			}
+			if rng.Intn(5) == 0 {
+				w.AddHard(c...)
+			} else {
+				w.AddSoft(cnf.Weight(1+rng.Intn(3)), c...)
+			}
+		}
+		want, _, feasible := brute.MinCostWCNF(w)
+		r := Minimize(w, Params{Seed: int64(iter), MaxFlips: 2000, Tries: 5})
+		if !feasible {
+			// The walk may or may not notice; it just can't return a
+			// feasible model.
+			if r.Cost >= 0 {
+				if _, hardOK := w.CostOf(r.Model); hardOK {
+					t.Fatalf("iter %d: infeasible instance but walk claims feasible model", iter)
+				}
+				t.Fatalf("iter %d: inconsistent result", iter)
+			}
+			continue
+		}
+		if r.Cost < 0 {
+			continue // walk failed to find a feasible assignment: allowed
+		}
+		if r.Cost < want {
+			t.Fatalf("iter %d: walk cost %d below optimum %d", iter, r.Cost, want)
+		}
+		cost, hardOK := w.CostOf(r.Model)
+		if !hardOK || cost != r.Cost {
+			t.Fatalf("iter %d: model cost %d (hard %v) != reported %d",
+				iter, cost, hardOK, r.Cost)
+		}
+		if r.Cost == want {
+			reachedOptimum++
+		}
+	}
+	// The walk should reach the optimum on most tiny instances.
+	if reachedOptimum < 25 {
+		t.Fatalf("walk reached the optimum only %d/40 times", reachedOptimum)
+	}
+}
+
+func TestWalkSATEmptyClauses(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddSoft(3)
+	w.AddSoft(1, lit(1))
+	r := Minimize(w, Params{Seed: 2})
+	if r.Cost != 3 {
+		t.Fatalf("cost %d, want 3 (empty soft clause unavoidable)", r.Cost)
+	}
+	// Hard empty clause: infeasible.
+	h := cnf.NewWCNF(1)
+	h.AddHard()
+	if r := Minimize(h, Params{Seed: 2}); r.Cost != -1 {
+		t.Fatalf("hard empty clause must be infeasible, got %d", r.Cost)
+	}
+}
+
+func TestWalkSATWeightedPreference(t *testing.T) {
+	// (x, 10) vs (¬x, 1): walk should quickly settle at cost 1.
+	w := cnf.NewWCNF(1)
+	w.AddSoft(10, lit(1))
+	w.AddSoft(1, lit(-1))
+	r := Minimize(w, Params{Seed: 3, MaxFlips: 1000})
+	if r.Cost != 1 {
+		t.Fatalf("cost %d, want 1", r.Cost)
+	}
+}
+
+func TestWalkSATDeadline(t *testing.T) {
+	w := cnf.NewWCNF(30)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		w.AddSoft(1,
+			cnf.NewLit(cnf.Var(rng.Intn(30)), rng.Intn(2) == 0),
+			cnf.NewLit(cnf.Var(rng.Intn(30)), rng.Intn(2) == 0),
+			cnf.NewLit(cnf.Var(rng.Intn(30)), rng.Intn(2) == 0))
+	}
+	start := time.Now()
+	Minimize(w, Params{Seed: 5, MaxFlips: 1 << 30, Tries: 1 << 20,
+		Deadline: time.Now().Add(50 * time.Millisecond)})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not honoured")
+	}
+}
+
+func TestWalkSATDeterministic(t *testing.T) {
+	w := cnf.NewWCNF(8)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		w.AddSoft(1,
+			cnf.NewLit(cnf.Var(rng.Intn(8)), rng.Intn(2) == 0),
+			cnf.NewLit(cnf.Var(rng.Intn(8)), rng.Intn(2) == 0))
+	}
+	a := Minimize(w, Params{Seed: 9, MaxFlips: 500, Tries: 3})
+	b := Minimize(w, Params{Seed: 9, MaxFlips: 500, Tries: 3})
+	if a.Cost != b.Cost || a.Flips != b.Flips {
+		t.Fatalf("same seed, different outcome: %v vs %v", a, b)
+	}
+}
+
+func TestWalkSATTautologyIgnored(t *testing.T) {
+	w := cnf.NewWCNF(2)
+	w.AddSoft(1, lit(1), lit(-1))
+	w.AddSoft(1, lit(2))
+	r := Minimize(w, Params{Seed: 7})
+	if r.Cost != 0 {
+		t.Fatalf("cost %d, want 0", r.Cost)
+	}
+}

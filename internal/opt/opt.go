@@ -1,0 +1,127 @@
+// Package opt defines the types shared by every MaxSAT optimizer in this
+// repository: verdicts, results, options, and the Solver interface the
+// experiment harness drives.
+//
+// Cost convention: all optimizers minimize the total weight of falsified
+// soft clauses. For the plain MaxSAT instances of the DATE 2008 paper
+// (every clause soft, weight 1), the paper's "MaxSAT solution" — the number
+// of satisfied clauses — is NumClauses - Cost; Result.MaxSatisfied performs
+// that conversion.
+package opt
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/card"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// Status is an optimizer verdict.
+type Status int8
+
+// Optimizer verdicts.
+const (
+	// StatusUnknown: resource budget exhausted before the optimum was proved.
+	StatusUnknown Status = iota
+	// StatusOptimal: Cost is the proved optimum and Model witnesses it.
+	StatusOptimal
+	// StatusUnsat: the hard clauses are unsatisfiable (partial MaxSAT only).
+	StatusUnsat
+)
+
+// String names the status for reports.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "OPTIMAL"
+	case StatusUnsat:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Result reports the outcome of a MaxSAT optimization.
+type Result struct {
+	Status Status
+	// Cost is the total weight of falsified soft clauses: the proved optimum
+	// when Status is StatusOptimal, otherwise the best upper bound found
+	// (or -1 if no feasible assignment was seen).
+	Cost cnf.Weight
+	// LowerBound is the best proved lower bound on Cost (useful when
+	// Status is StatusUnknown).
+	LowerBound cnf.Weight
+	// Model is an assignment achieving Cost, when one was found.
+	Model cnf.Assignment
+	// Iterations counts main-loop iterations of the algorithm.
+	Iterations int
+	// SatCalls / UnsatCalls count SAT-solver invocations by outcome.
+	SatCalls, UnsatCalls int
+	// Conflicts is the cumulative conflict count of the underlying solver(s).
+	Conflicts int64
+	// Elapsed is the wall-clock optimization time.
+	Elapsed time.Duration
+}
+
+// MaxSatisfied converts the cost into the paper's "MaxSAT solution": the
+// number of satisfied clauses for a plain MaxSAT instance with the given
+// total clause count.
+func (r Result) MaxSatisfied(totalClauses int) int {
+	return totalClauses - int(r.Cost)
+}
+
+// Options configures an optimizer run.
+type Options struct {
+	// Encoding selects the cardinality encoding where the algorithm uses one
+	// (msu4 v1 = card.BDD, v2 = card.Sorter).
+	Encoding card.Encoding
+	// Deadline, when non-zero, bounds the whole optimization; expiring it
+	// yields StatusUnknown.
+	Deadline time.Time
+	// MaxConflictsPerCall, when positive, caps each SAT call.
+	MaxConflictsPerCall int64
+	// Stop, when non-nil, aborts the optimization when set.
+	Stop *atomic.Bool
+}
+
+// Budget converts the options into a per-call SAT budget.
+func (o Options) Budget() sat.Budget {
+	return sat.Budget{
+		Deadline:     o.Deadline,
+		MaxConflicts: o.MaxConflictsPerCall,
+		Stop:         o.Stop,
+	}
+}
+
+// Expired reports whether the options' deadline or stop flag has fired.
+func (o Options) Expired() bool {
+	if o.Stop != nil && o.Stop.Load() {
+		return true
+	}
+	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+}
+
+// Solver is a complete MaxSAT optimizer.
+type Solver interface {
+	// Name identifies the algorithm in reports (e.g. "msu4-v2").
+	Name() string
+	// Solve optimizes w. Implementations must not retain w.
+	Solve(w *cnf.WCNF) Result
+}
+
+// VerifyModel recomputes the cost of r.Model on w and checks hard-clause
+// feasibility; it reports whether the model is consistent with r.Cost.
+// Optimizers' tests use it to guard against bookkeeping drift between the
+// incremental solver state and the original formula.
+func VerifyModel(w *cnf.WCNF, r Result) bool {
+	if r.Model == nil {
+		return false
+	}
+	if len(r.Model) < w.NumVars {
+		return false
+	}
+	cost, hardOK := w.CostOf(r.Model[:w.NumVars])
+	return hardOK && cost == r.Cost
+}

@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusOptimal: "OPTIMAL",
+		StatusUnsat:   "UNSATISFIABLE",
+		StatusUnknown: "UNKNOWN",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestMaxSatisfied(t *testing.T) {
+	r := Result{Cost: 2}
+	if got := r.MaxSatisfied(8); got != 6 {
+		t.Fatalf("MaxSatisfied = %d, want 6", got)
+	}
+}
+
+func TestOptionsBudget(t *testing.T) {
+	dl := time.Now().Add(time.Hour)
+	var stop atomic.Bool
+	o := Options{Deadline: dl, MaxConflictsPerCall: 42, Stop: &stop}
+	b := o.Budget()
+	if !b.Deadline.Equal(dl) || b.MaxConflicts != 42 || b.Stop != &stop {
+		t.Fatalf("budget does not mirror options: %+v", b)
+	}
+}
+
+func TestOptionsExpired(t *testing.T) {
+	if (Options{}).Expired() {
+		t.Fatal("zero options never expire")
+	}
+	if (Options{Deadline: time.Now().Add(time.Hour)}).Expired() {
+		t.Fatal("future deadline should not be expired")
+	}
+	if !(Options{Deadline: time.Now().Add(-time.Second)}).Expired() {
+		t.Fatal("past deadline should be expired")
+	}
+	var stop atomic.Bool
+	o := Options{Stop: &stop}
+	if o.Expired() {
+		t.Fatal("unset stop flag")
+	}
+	stop.Store(true)
+	if !o.Expired() {
+		t.Fatal("set stop flag should expire")
+	}
+}
+
+func TestVerifyModel(t *testing.T) {
+	w := cnf.NewWCNF(2)
+	w.AddHard(cnf.FromDIMACS(1))
+	w.AddSoft(1, cnf.FromDIMACS(2))
+	w.AddSoft(1, cnf.FromDIMACS(-2))
+
+	good := Result{Cost: 1, Model: cnf.Assignment{true, true}}
+	if !VerifyModel(w, good) {
+		t.Fatal("consistent model rejected")
+	}
+	wrongCost := Result{Cost: 0, Model: cnf.Assignment{true, true}}
+	if VerifyModel(w, wrongCost) {
+		t.Fatal("inconsistent cost accepted")
+	}
+	hardViolated := Result{Cost: 1, Model: cnf.Assignment{false, true}}
+	if VerifyModel(w, hardViolated) {
+		t.Fatal("hard-violating model accepted")
+	}
+	if VerifyModel(w, Result{Cost: 1}) {
+		t.Fatal("nil model accepted")
+	}
+	if VerifyModel(w, Result{Cost: 1, Model: cnf.Assignment{true}}) {
+		t.Fatal("short model accepted")
+	}
+}

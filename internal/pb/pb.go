@@ -1,0 +1,219 @@
+// Package pb provides linear pseudo-Boolean constraints over literals and
+// their translation to CNF through reduced ordered BDDs, following Eén &
+// Sörensson's minisat+ ("Translating Pseudo-Boolean Constraints into SAT",
+// JSAT 2006). The PBO formulation of MaxSAT evaluated in the DATE 2008 paper
+// (the "pbo" column of Table 1) relies on this translation for its
+// objective-bounding constraints.
+package pb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/card"
+	"repro/internal/cnf"
+)
+
+// Term is a weighted literal.
+type Term struct {
+	Coef int64
+	Lit  cnf.Lit
+}
+
+// LinearLE is the constraint sum(Coef_i * Lit_i) <= Bound.
+type LinearLE struct {
+	Terms []Term
+	Bound int64
+}
+
+// Normalize rewrites the constraint so that all coefficients are positive
+// (replacing c*l by c*¬l shifts the bound), merges duplicate literals,
+// cancels complementary pairs, and sorts terms by decreasing coefficient.
+// A trivially false constraint keeps a negative bound, which the encoder
+// turns into an empty clause.
+func (c *LinearLE) Normalize() {
+	// Flip negative coefficients.
+	for i := range c.Terms {
+		if c.Terms[i].Coef < 0 {
+			c.Terms[i].Coef = -c.Terms[i].Coef
+			c.Terms[i].Lit = c.Terms[i].Lit.Neg()
+			c.Bound += c.Terms[i].Coef
+		}
+	}
+	// Merge duplicate literals and cancel complements.
+	byVar := make(map[cnf.Var]int64) // signed coefficient of the positive literal
+	for _, t := range c.Terms {
+		if t.Coef == 0 {
+			continue
+		}
+		if t.Lit.Sign() {
+			byVar[t.Lit.Var()] -= t.Coef
+			// c*¬x = c - c*x: shift bound
+			c.Bound -= t.Coef
+		} else {
+			byVar[t.Lit.Var()] += t.Coef
+		}
+	}
+	// Rebuild the term list with positive coefficients, converting negative
+	// accumulated coefficients back to negated literals.
+	c.Terms = c.Terms[:0]
+	for v, coef := range byVar {
+		switch {
+		case coef > 0:
+			c.Terms = append(c.Terms, Term{Coef: coef, Lit: cnf.PosLit(v)})
+		case coef < 0:
+			c.Terms = append(c.Terms, Term{Coef: -coef, Lit: cnf.NegLit(v)})
+			c.Bound += -coef
+		}
+	}
+	sort.Slice(c.Terms, func(i, j int) bool {
+		if c.Terms[i].Coef != c.Terms[j].Coef {
+			return c.Terms[i].Coef > c.Terms[j].Coef
+		}
+		return c.Terms[i].Lit < c.Terms[j].Lit
+	})
+}
+
+// Eval returns the left-hand-side value under a.
+func (c *LinearLE) Eval(a cnf.Assignment) int64 {
+	var s int64
+	for _, t := range c.Terms {
+		if a.Lit(t.Lit) {
+			s += t.Coef
+		}
+	}
+	return s
+}
+
+// Holds reports whether a satisfies the constraint.
+func (c *LinearLE) Holds(a cnf.Assignment) bool { return c.Eval(a) <= c.Bound }
+
+// String renders the constraint.
+func (c *LinearLE) String() string {
+	s := ""
+	for i, t := range c.Terms {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%d·%v", t.Coef, t.Lit)
+	}
+	return fmt.Sprintf("%s <= %d", s, c.Bound)
+}
+
+// Encode asserts the constraint into d as CNF via its reduced ordered BDD.
+// The constraint is normalized first (in place).
+func (c *LinearLE) Encode(d card.Dest) {
+	c.Normalize()
+	n := len(c.Terms)
+	// Trivial cases.
+	var total int64
+	for _, t := range c.Terms {
+		total += t.Coef
+	}
+	switch {
+	case c.Bound < 0:
+		d.AddClause()
+		return
+	case total <= c.Bound:
+		return
+	}
+	// All-unit coefficients degenerate to a cardinality constraint, for
+	// which the dedicated grid BDD in package card is more compact.
+	if n > 0 && c.Terms[0].Coef == 1 {
+		lits := make([]cnf.Lit, n)
+		for i, t := range c.Terms {
+			lits[i] = t.Lit
+		}
+		card.AtMost(d, card.BDD, lits, int(c.Bound))
+		return
+	}
+	b := &pbBDD{
+		d:     d,
+		terms: c.Terms,
+		memo:  make(map[memoKey]pbRef),
+		sums:  make([]int64, n+1),
+	}
+	for i := n - 1; i >= 0; i-- {
+		b.sums[i] = b.sums[i+1] + c.Terms[i].Coef
+	}
+	root := b.node(0, c.Bound)
+	switch {
+	case root.isConst && root.cval:
+		return
+	case root.isConst:
+		d.AddClause()
+	default:
+		d.AddClause(root.lit)
+	}
+}
+
+type memoKey struct {
+	idx   int
+	bound int64
+}
+
+type pbRef struct {
+	isConst bool
+	cval    bool
+	lit     cnf.Lit
+}
+
+var (
+	pbTrue  = pbRef{isConst: true, cval: true}
+	pbFalse = pbRef{isConst: true, cval: false}
+)
+
+type pbBDD struct {
+	d     card.Dest
+	terms []Term
+	memo  map[memoKey]pbRef
+	sums  []int64 // sums[i] = sum of coefficients of terms[i:]
+	nodes int
+}
+
+// node returns a reference for "sum(terms[i:]) <= bound".
+func (b *pbBDD) node(i int, bound int64) pbRef {
+	if bound < 0 {
+		return pbFalse
+	}
+	if b.sums[i] <= bound {
+		return pbTrue
+	}
+	// Clamp the bound to the remaining sum so that equivalent subproblems
+	// share one memo entry (a light version of minisat+'s interval memo).
+	if bound > b.sums[i] {
+		bound = b.sums[i]
+	}
+	key := memoKey{i, bound}
+	if ref, ok := b.memo[key]; ok {
+		return ref
+	}
+	hi := b.node(i+1, bound-b.terms[i].Coef)
+	lo := b.node(i+1, bound)
+	ref := b.emitITE(b.terms[i].Lit, hi, lo)
+	b.memo[key] = ref
+	return ref
+}
+
+func (b *pbBDD) emitITE(x cnf.Lit, hi, lo pbRef) pbRef {
+	if hi == lo {
+		return hi
+	}
+	y := cnf.PosLit(b.d.NewVar())
+	b.nodes++
+	switch {
+	case hi.isConst && hi.cval:
+	case hi.isConst:
+		b.d.AddClause(y.Neg(), x.Neg())
+	default:
+		b.d.AddClause(y.Neg(), x.Neg(), hi.lit)
+	}
+	switch {
+	case lo.isConst && lo.cval:
+	case lo.isConst:
+		b.d.AddClause(y.Neg(), x)
+	default:
+		b.d.AddClause(y.Neg(), x, lo.lit)
+	}
+	return pbRef{lit: y}
+}

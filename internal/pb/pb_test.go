@@ -1,0 +1,175 @@
+package pb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func TestNormalizeFlipsNegativeCoefficients(t *testing.T) {
+	c := &LinearLE{
+		Terms: []Term{{Coef: -3, Lit: cnf.PosLit(0)}, {Coef: 2, Lit: cnf.PosLit(1)}},
+		Bound: 1,
+	}
+	c.Normalize()
+	for _, term := range c.Terms {
+		if term.Coef <= 0 {
+			t.Fatalf("negative coefficient survived: %+v", c)
+		}
+	}
+	// -3x0 + 2x1 <= 1  ≡  3¬x0 + 2x1 <= 4
+	if c.Bound != 4 {
+		t.Fatalf("bound = %d, want 4", c.Bound)
+	}
+}
+
+func TestNormalizeMergesDuplicates(t *testing.T) {
+	x := cnf.PosLit(0)
+	c := &LinearLE{
+		Terms: []Term{{Coef: 2, Lit: x}, {Coef: 3, Lit: x}, {Coef: 1, Lit: x.Neg()}},
+		Bound: 4,
+	}
+	c.Normalize()
+	// 2x + 3x + (1-x) <= 4  ≡  4x <= 3
+	if len(c.Terms) != 1 || c.Terms[0].Coef != 4 || c.Terms[0].Lit != x || c.Bound != 3 {
+		t.Fatalf("got %v", c)
+	}
+}
+
+func TestNormalizeSemanticInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(5)
+		c := &LinearLE{Bound: int64(rng.Intn(21) - 10)}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			c.Terms = append(c.Terms, Term{
+				Coef: int64(rng.Intn(11) - 5),
+				Lit:  cnf.NewLit(cnf.Var(rng.Intn(n)), rng.Intn(2) == 0),
+			})
+		}
+		orig := &LinearLE{Terms: append([]Term{}, c.Terms...), Bound: c.Bound}
+		c.Normalize()
+		a := make(cnf.Assignment, n)
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			for v := 0; v < n; v++ {
+				a[v] = bits&(1<<uint(v)) != 0
+			}
+			if orig.Holds(a) != c.Holds(a) {
+				t.Fatalf("normalize changed semantics:\norig %v\nnorm %v\nassignment %v",
+					orig, c, a)
+			}
+		}
+	}
+}
+
+// TestEncodeSemantics exhaustively checks that the BDD encoding is
+// satisfiable exactly when the constraint holds, for every assignment.
+func TestEncodeSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 150; iter++ {
+		n := 1 + rng.Intn(6)
+		c := &LinearLE{Bound: int64(rng.Intn(15))}
+		for v := 0; v < n; v++ {
+			c.Terms = append(c.Terms, Term{
+				Coef: int64(rng.Intn(9) - 4),
+				Lit:  cnf.NewLit(cnf.Var(v), rng.Intn(2) == 0),
+			})
+		}
+		spec := &LinearLE{Terms: append([]Term{}, c.Terms...), Bound: c.Bound}
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			s := sat.New()
+			s.EnsureVars(n)
+			enc := &LinearLE{Terms: append([]Term{}, c.Terms...), Bound: c.Bound}
+			enc.Encode(s)
+			a := make(cnf.Assignment, n)
+			for v := 0; v < n; v++ {
+				a[v] = bits&(1<<uint(v)) != 0
+				if a[v] {
+					s.AddClause(cnf.PosLit(cnf.Var(v)))
+				} else {
+					s.AddClause(cnf.NegLit(cnf.Var(v)))
+				}
+			}
+			st := s.Solve()
+			want := sat.Sat
+			if !spec.Holds(a) {
+				want = sat.Unsat
+			}
+			if st != want {
+				t.Fatalf("iter %d %v assignment %v: got %v, want %v",
+					iter, spec, a, st, want)
+			}
+		}
+	}
+}
+
+func TestEncodeUnitCoefficientsUsesCardinality(t *testing.T) {
+	// All-unit constraints route to the card grid BDD; semantics must hold.
+	for n := 1; n <= 6; n++ {
+		for k := 0; k <= n; k++ {
+			for bits := 0; bits < 1<<uint(n); bits++ {
+				s := sat.New()
+				s.EnsureVars(n)
+				c := &LinearLE{Bound: int64(k)}
+				ones := 0
+				for v := 0; v < n; v++ {
+					c.Terms = append(c.Terms, Term{Coef: 1, Lit: cnf.PosLit(cnf.Var(v))})
+					if bits&(1<<uint(v)) != 0 {
+						ones++
+						s.AddClause(cnf.PosLit(cnf.Var(v)))
+					} else {
+						s.AddClause(cnf.NegLit(cnf.Var(v)))
+					}
+				}
+				c.Encode(s)
+				want := sat.Sat
+				if ones > k {
+					want = sat.Unsat
+				}
+				if st := s.Solve(); st != want {
+					t.Fatalf("n=%d k=%d ones=%d: got %v want %v", n, k, ones, st, want)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeTrivial(t *testing.T) {
+	// Negative bound: empty clause.
+	s := sat.New()
+	c := &LinearLE{Terms: []Term{{Coef: 2, Lit: cnf.PosLit(s.NewVar())}}, Bound: -1}
+	c.Encode(s)
+	if st := s.Solve(); st != sat.Unsat {
+		t.Fatalf("negative bound: got %v", st)
+	}
+	// Bound above total: nothing.
+	f := cnf.NewFormula(1)
+	d := &formulaDest{f}
+	c2 := &LinearLE{Terms: []Term{{Coef: 2, Lit: cnf.PosLit(0)}}, Bound: 5}
+	c2.Encode(d)
+	if f.NumClauses() != 0 {
+		t.Fatalf("trivially true constraint emitted %d clauses", f.NumClauses())
+	}
+}
+
+func TestString(t *testing.T) {
+	c := &LinearLE{Terms: []Term{{Coef: 3, Lit: cnf.PosLit(0)}}, Bound: 2}
+	if got := c.String(); got != "3·1 <= 2" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+type formulaDest struct{ f *cnf.Formula }
+
+func (d *formulaDest) NewVar() cnf.Var {
+	v := cnf.Var(d.f.NumVars)
+	d.f.NumVars++
+	return v
+}
+
+func (d *formulaDest) AddClause(lits ...cnf.Lit) bool {
+	d.f.AddClause(lits...)
+	return true
+}

@@ -1,0 +1,157 @@
+package pbo
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+	"repro/internal/opt"
+)
+
+func lit(i int) cnf.Lit { return cnf.FromDIMACS(i) }
+
+func solvers(o opt.Options) []opt.Solver {
+	return []opt.Solver{&Linear{Opts: o}, &BinarySearch{Opts: o}}
+}
+
+func randomWCNF(rng *rand.Rand, vars, clauses int, partial, weighted bool) *cnf.WCNF {
+	w := cnf.NewWCNF(vars)
+	for i := 0; i < clauses; i++ {
+		width := 1 + rng.Intn(3)
+		c := make([]cnf.Lit, 0, width)
+		for j := 0; j < width; j++ {
+			c = append(c, cnf.NewLit(cnf.Var(rng.Intn(vars)), rng.Intn(2) == 0))
+		}
+		switch {
+		case partial && rng.Intn(4) == 0:
+			w.AddHard(c...)
+		case weighted:
+			w.AddSoft(cnf.Weight(1+rng.Intn(4)), c...)
+		default:
+			w.AddSoft(1, c...)
+		}
+	}
+	return w
+}
+
+func TestPaperExample1(t *testing.T) {
+	// φ = (x1)(x2 ∨ ¬x1)(¬x2): the PBO formulation must find cost 1.
+	w := cnf.NewWCNF(2)
+	w.AddSoft(1, lit(1))
+	w.AddSoft(1, lit(2), lit(-1))
+	w.AddSoft(1, lit(-2))
+	for _, s := range solvers(opt.Options{}) {
+		r := s.Solve(w)
+		if r.Status != opt.StatusOptimal || r.Cost != 1 {
+			t.Fatalf("%s: status %v cost %d, want optimal 1", s.Name(), r.Status, r.Cost)
+		}
+		if !opt.VerifyModel(w, r) {
+			t.Fatalf("%s: bad model", s.Name())
+		}
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 50; iter++ {
+		partial := iter%2 == 0
+		weighted := iter%3 == 0
+		w := randomWCNF(rng, 3+rng.Intn(7), 4+rng.Intn(20), partial, weighted)
+		want, _, feasible := brute.MinCostWCNF(w)
+		for _, s := range solvers(opt.Options{}) {
+			r := s.Solve(w)
+			if !feasible {
+				if r.Status != opt.StatusUnsat {
+					t.Fatalf("iter %d %s: status %v, want UNSAT", iter, s.Name(), r.Status)
+				}
+				continue
+			}
+			if r.Status != opt.StatusOptimal {
+				t.Fatalf("iter %d %s: status %v", iter, s.Name(), r.Status)
+			}
+			if r.Cost != want {
+				t.Fatalf("iter %d %s: cost %d, want %d (weighted=%v)\n%v",
+					iter, s.Name(), r.Cost, want, weighted, w.Clauses)
+			}
+			if !opt.VerifyModel(w, r) {
+				t.Fatalf("iter %d %s: model inconsistent", iter, s.Name())
+			}
+		}
+	}
+}
+
+func TestEmptySoftClause(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddSoft(3)
+	w.AddSoft(1, lit(1))
+	for _, s := range solvers(opt.Options{}) {
+		r := s.Solve(w)
+		if r.Status != opt.StatusOptimal || r.Cost != 3 {
+			t.Fatalf("%s: cost %d, want 3", s.Name(), r.Cost)
+		}
+	}
+}
+
+func TestHardUnsat(t *testing.T) {
+	w := cnf.NewWCNF(2)
+	w.AddHard(lit(1), lit(2))
+	w.AddHard(lit(-1), lit(2))
+	w.AddHard(lit(1), lit(-2))
+	w.AddHard(lit(-1), lit(-2))
+	w.AddSoft(1, lit(1))
+	for _, s := range solvers(opt.Options{}) {
+		if r := s.Solve(w); r.Status != opt.StatusUnsat {
+			t.Fatalf("%s: got %v, want UNSAT", s.Name(), r.Status)
+		}
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	o := opt.Options{Deadline: time.Now().Add(-time.Second)}
+	w := cnf.NewWCNF(1)
+	w.AddSoft(1, lit(1))
+	w.AddSoft(1, lit(-1))
+	for _, s := range solvers(o) {
+		if r := s.Solve(w); r.Status != opt.StatusUnknown {
+			t.Fatalf("%s: got %v, want Unknown", s.Name(), r.Status)
+		}
+	}
+}
+
+func TestBinarySearchFallsBackWeighted(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddSoft(5, lit(1))
+	w.AddSoft(2, lit(-1))
+	b := &BinarySearch{}
+	r := b.Solve(w)
+	if r.Status != opt.StatusOptimal || r.Cost != 2 {
+		t.Fatalf("weighted fallback: status %v cost %d, want optimal 2", r.Status, r.Cost)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&Linear{}).Name() != "pbo" {
+		t.Error("Linear name")
+	}
+	if (&BinarySearch{}).Name() != "pbo-bin" {
+		t.Error("BinarySearch name")
+	}
+}
+
+func TestBinarySearchFewerIterationsOnWideGap(t *testing.T) {
+	// 16 independent contradictory pairs: optimum 16. Binary search should
+	// need O(log ub) bound probes, linear needs one per improvement step;
+	// both must agree on the optimum.
+	w := cnf.NewWCNF(16)
+	for v := 1; v <= 16; v++ {
+		w.AddSoft(1, lit(v))
+		w.AddSoft(1, lit(-v))
+	}
+	lin := (&Linear{}).Solve(w)
+	bin := (&BinarySearch{}).Solve(w)
+	if lin.Cost != 16 || bin.Cost != 16 {
+		t.Fatalf("costs: linear %d binary %d, want 16", lin.Cost, bin.Cost)
+	}
+}

@@ -1,0 +1,90 @@
+package sat
+
+import "repro/internal/cnf"
+
+// varHeap is an indexed binary max-heap over variables ordered by VSIDS
+// activity. Activities live in the solver; the heap receives them as an
+// argument so it stays a plain value type inside Solver.
+type varHeap struct {
+	heap    []cnf.Var
+	indices []int32 // position of each var in heap, or -1
+}
+
+func (h *varHeap) inHeap(v cnf.Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) insert(v cnf.Var, act []float64) {
+	for int(v) >= len(h.indices) {
+		h.indices = append(h.indices, -1)
+	}
+	if h.inHeap(v) {
+		return
+	}
+	h.indices[v] = int32(len(h.heap))
+	h.heap = append(h.heap, v)
+	h.percolateUp(int(h.indices[v]), act)
+}
+
+// increased restores heap order after v's activity was bumped.
+func (h *varHeap) increased(v cnf.Var, act []float64) {
+	if h.inHeap(v) {
+		h.percolateUp(int(h.indices[v]), act)
+	}
+}
+
+// removeMax pops the most active variable, or VarUndef if empty.
+func (h *varHeap) removeMax(act []float64) cnf.Var {
+	if len(h.heap) == 0 {
+		return cnf.VarUndef
+	}
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[top] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.percolateDown(0, act)
+	}
+	return top
+}
+
+func (h *varHeap) percolateUp(i int, act []float64) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if act[h.heap[parent]] >= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.indices[h.heap[i]] = int32(i)
+		i = parent
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}
+
+func (h *varHeap) percolateDown(i int, act []float64) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if child+1 < n && act[h.heap[child+1]] > act[h.heap[child]] {
+			child++
+		}
+		if act[h.heap[child]] <= act[v] {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[i]] = int32(i)
+		i = child
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}
+
+func (h *varHeap) size() int { return len(h.heap) }

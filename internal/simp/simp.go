@@ -1,0 +1,431 @@
+// Package simp implements SatELite-style CNF preprocessing (Eén & Biere
+// 2005), the simplification layer MiniSat-family solvers apply before
+// search: level-0 unit propagation, clause subsumption, self-subsuming
+// resolution (strengthening), and bounded variable elimination (BVE) with
+// model reconstruction.
+//
+// Preprocessing is sound for plain satisfiability and for the hard part of
+// MaxSAT instances; it must not be applied to soft clauses (eliminating a
+// variable merges clauses and destroys the falsified-clause count), which is
+// why the MaxSAT algorithms in this repository use it only through explicit
+// opt-in on the SAT side (cmd/sat) and tests.
+package simp
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// Options bounds the preprocessing effort.
+type Options struct {
+	// MaxOccurrences skips variable elimination for variables occurring
+	// more often than this in either polarity. 0 means 10.
+	MaxOccurrences int
+	// MaxClauseGrowth aborts an elimination that would add more than this
+	// many clauses beyond the ones it removes. 0 means 0 (never grow).
+	MaxClauseGrowth int
+	// DisableBVE turns off bounded variable elimination.
+	DisableBVE bool
+	// DisableSubsumption turns off subsumption and strengthening.
+	DisableSubsumption bool
+}
+
+// Result carries the simplified formula and everything needed to lift a
+// model of the simplified formula back to the original variables.
+type Result struct {
+	// Formula is the simplified CNF over the same variable space (eliminated
+	// and fixed variables simply no longer occur).
+	Formula *cnf.Formula
+	// Unsat reports that preprocessing derived the empty clause.
+	Unsat bool
+
+	fixed      []int8       // 0 unknown, 1 true, -1 false (level-0 units)
+	elimStack  []elimRecord // reverse-order reconstruction data
+	numVars    int
+	eliminated []bool
+}
+
+type elimRecord struct {
+	v       cnf.Var
+	clauses []cnf.Clause // original clauses containing v or ¬v
+}
+
+// Eliminated reports whether v was removed by variable elimination.
+func (r *Result) Eliminated(v cnf.Var) bool {
+	return int(v) < len(r.eliminated) && r.eliminated[v]
+}
+
+// Reconstruct extends a model of the simplified formula to a model of the
+// original formula: fixed variables take their forced values, eliminated
+// variables are assigned in reverse elimination order so that their saved
+// clauses are satisfied. The input is not modified.
+func (r *Result) Reconstruct(model cnf.Assignment) cnf.Assignment {
+	out := make(cnf.Assignment, r.numVars)
+	copy(out, model)
+	for v := 0; v < r.numVars && v < len(r.fixed); v++ {
+		if r.fixed[v] == 1 {
+			out[v] = true
+		} else if r.fixed[v] == -1 {
+			out[v] = false
+		}
+	}
+	for i := len(r.elimStack) - 1; i >= 0; i-- {
+		rec := r.elimStack[i]
+		out[rec.v] = false
+		for _, c := range rec.clauses {
+			if !out.Satisfies(c) {
+				// All other literals are false; the clause's v-literal
+				// dictates the polarity.
+				for _, l := range c {
+					if l.Var() == rec.v {
+						out[rec.v] = !l.Sign()
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// preprocessor state over an occurrence-indexed clause database.
+type pp struct {
+	opts    Options
+	clauses []cnf.Clause // nil entries are deleted
+	occ     [][]int32    // per literal: clause indices (may contain stale ids)
+	fixed   []int8
+	units   []cnf.Lit
+	result  *Result
+	touched map[cnf.Var]bool
+}
+
+// Preprocess simplifies f (which is not modified) and returns the result.
+func Preprocess(f *cnf.Formula, opts Options) *Result {
+	if opts.MaxOccurrences == 0 {
+		opts.MaxOccurrences = 10
+	}
+	n := f.NumVars
+	p := &pp{
+		opts:    opts,
+		occ:     make([][]int32, 2*n),
+		fixed:   make([]int8, n),
+		touched: map[cnf.Var]bool{},
+		result: &Result{
+			numVars:    n,
+			eliminated: make([]bool, n),
+		},
+	}
+	for _, c := range f.Clauses {
+		norm, taut := c.Clone().Normalize()
+		if taut {
+			continue
+		}
+		switch len(norm) {
+		case 0:
+			p.result.Unsat = true
+		case 1:
+			p.units = append(p.units, norm[0])
+		default:
+			p.addClause(norm)
+		}
+	}
+	if !p.result.Unsat {
+		p.run()
+	}
+	out := cnf.NewFormula(n)
+	if p.result.Unsat {
+		out.Clauses = append(out.Clauses, cnf.Clause{})
+	} else {
+		for _, c := range p.clauses {
+			if c != nil {
+				out.Clauses = append(out.Clauses, c.Clone())
+			}
+		}
+	}
+	p.result.Formula = out
+	p.result.fixed = p.fixed
+	return p.result
+}
+
+func (p *pp) addClause(c cnf.Clause) int32 {
+	id := int32(len(p.clauses))
+	p.clauses = append(p.clauses, c)
+	for _, l := range c {
+		p.occ[l] = append(p.occ[l], id)
+		p.touched[l.Var()] = true
+	}
+	return id
+}
+
+func (p *pp) removeClause(id int32) {
+	p.clauses[id] = nil // occurrence lists are cleaned lazily
+}
+
+// occsOf returns the live clause ids containing l, compacting the list.
+func (p *pp) occsOf(l cnf.Lit) []int32 {
+	list := p.occ[l]
+	j := 0
+	for _, id := range list {
+		if c := p.clauses[id]; c != nil && c.Has(l) {
+			list[j] = id
+			j++
+		}
+	}
+	p.occ[l] = list[:j]
+	return p.occ[l]
+}
+
+func (p *pp) run() {
+	for {
+		if !p.propagateUnits() {
+			return
+		}
+		changed := false
+		if !p.opts.DisableSubsumption {
+			if p.subsumptionPass() {
+				changed = true
+			}
+			if p.result.Unsat || len(p.units) > 0 {
+				continue
+			}
+		}
+		if !p.opts.DisableBVE {
+			if p.eliminationPass() {
+				changed = true
+			}
+			if p.result.Unsat || len(p.units) > 0 {
+				continue
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// propagateUnits applies queued level-0 units; it reports false on UNSAT.
+func (p *pp) propagateUnits() bool {
+	for len(p.units) > 0 {
+		l := p.units[len(p.units)-1]
+		p.units = p.units[:len(p.units)-1]
+		v := l.Var()
+		want := int8(1)
+		if l.Sign() {
+			want = -1
+		}
+		switch p.fixed[v] {
+		case want:
+			continue
+		case -want:
+			p.result.Unsat = true
+			return false
+		}
+		p.fixed[v] = want
+		// Satisfied clauses disappear.
+		for _, id := range p.occsOf(l) {
+			p.removeClause(id)
+		}
+		// Falsified literals are stripped.
+		for _, id := range p.occsOf(l.Neg()) {
+			c := p.clauses[id]
+			stripped := make(cnf.Clause, 0, len(c)-1)
+			for _, x := range c {
+				if x != l.Neg() {
+					stripped = append(stripped, x)
+				}
+			}
+			p.removeClause(id)
+			switch len(stripped) {
+			case 0:
+				p.result.Unsat = true
+				return false
+			case 1:
+				p.units = append(p.units, stripped[0])
+			default:
+				p.addClause(stripped)
+			}
+		}
+	}
+	return true
+}
+
+// subsumptionPass removes subsumed clauses and applies self-subsuming
+// resolution; it reports whether anything changed.
+func (p *pp) subsumptionPass() bool {
+	changed := false
+	for id := int32(0); id < int32(len(p.clauses)); id++ {
+		c := p.clauses[id]
+		if c == nil {
+			continue
+		}
+		// Find candidates through the least-occurring literal of c.
+		best := c[0]
+		for _, l := range c[1:] {
+			if len(p.occ[l]) < len(p.occ[best]) {
+				best = l
+			}
+		}
+		for _, did := range append([]int32{}, p.occsOf(best)...) {
+			if did == id {
+				continue
+			}
+			d := p.clauses[did]
+			if d == nil || len(d) < len(c) {
+				continue
+			}
+			if subsumes(c, d) {
+				p.removeClause(did)
+				changed = true
+			}
+		}
+		// Self-subsuming resolution: for each literal l of c, if c with l
+		// negated subsumes some d, then l.Neg() can be removed from d.
+		for _, l := range c {
+			flipped := c.Clone()
+			for i := range flipped {
+				if flipped[i] == l {
+					flipped[i] = l.Neg()
+				}
+			}
+			flipped, _ = flipped.Normalize()
+			for _, did := range append([]int32{}, p.occsOf(l.Neg())...) {
+				if did == id {
+					continue
+				}
+				d := p.clauses[did]
+				if d == nil || len(d) < len(flipped) || !subsumes(flipped, d) {
+					continue
+				}
+				strengthened := make(cnf.Clause, 0, len(d)-1)
+				for _, x := range d {
+					if x != l.Neg() {
+						strengthened = append(strengthened, x)
+					}
+				}
+				p.removeClause(did)
+				changed = true
+				switch len(strengthened) {
+				case 0:
+					p.result.Unsat = true
+					return true
+				case 1:
+					p.units = append(p.units, strengthened[0])
+				default:
+					p.addClause(strengthened)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// subsumes reports c ⊆ d for normalized (sorted) clauses.
+func subsumes(c, d cnf.Clause) bool {
+	if len(c) > len(d) {
+		return false
+	}
+	i := 0
+	for _, l := range d {
+		if i < len(c) && c[i] == l {
+			i++
+		}
+	}
+	return i == len(c)
+}
+
+// eliminationPass tries bounded variable elimination on low-occurrence
+// variables; it reports whether anything changed.
+func (p *pp) eliminationPass() bool {
+	changed := false
+	vars := make([]cnf.Var, 0, len(p.touched))
+	for v := range p.touched {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	p.touched = map[cnf.Var]bool{}
+	for _, v := range vars {
+		if p.fixed[v] != 0 || p.result.eliminated[v] {
+			continue
+		}
+		pos := append([]int32{}, p.occsOf(cnf.PosLit(v))...)
+		neg := append([]int32{}, p.occsOf(cnf.NegLit(v))...)
+		if len(pos) == 0 && len(neg) == 0 {
+			continue
+		}
+		if len(pos) > p.opts.MaxOccurrences || len(neg) > p.opts.MaxOccurrences {
+			continue
+		}
+		// A pure literal eliminates trivially (no resolvents).
+		var resolvents []cnf.Clause
+		ok := true
+		if len(pos) > 0 && len(neg) > 0 {
+			budget := len(pos) + len(neg) + p.opts.MaxClauseGrowth
+			for _, pi := range pos {
+				for _, ni := range neg {
+					r, taut := resolve(p.clauses[pi], p.clauses[ni], v)
+					if taut {
+						continue
+					}
+					resolvents = append(resolvents, r)
+					if len(resolvents) > budget {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Commit: save original clauses for reconstruction, swap in
+		// resolvents.
+		rec := elimRecord{v: v}
+		for _, id := range pos {
+			rec.clauses = append(rec.clauses, p.clauses[id].Clone())
+			p.removeClause(id)
+		}
+		for _, id := range neg {
+			rec.clauses = append(rec.clauses, p.clauses[id].Clone())
+			p.removeClause(id)
+		}
+		p.result.elimStack = append(p.result.elimStack, rec)
+		p.result.eliminated[v] = true
+		for _, r := range resolvents {
+			switch len(r) {
+			case 0:
+				p.result.Unsat = true
+				return true
+			case 1:
+				p.units = append(p.units, r[0])
+			default:
+				p.addClause(r)
+			}
+		}
+		changed = true
+		if len(p.units) > 0 {
+			return true
+		}
+	}
+	return changed
+}
+
+// resolve returns the resolvent of c (containing v) and d (containing ¬v),
+// normalized, with a tautology flag.
+func resolve(c, d cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
+	out := make(cnf.Clause, 0, len(c)+len(d)-2)
+	for _, l := range c {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range d {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	return out.Normalize()
+}

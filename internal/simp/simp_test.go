@@ -1,0 +1,207 @@
+package simp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func lit(i int) cnf.Lit { return cnf.FromDIMACS(i) }
+
+func TestUnitPropagationFixesVariables(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(lit(1))
+	f.AddClause(lit(-1), lit(2))
+	f.AddClause(lit(-2), lit(3))
+	r := Preprocess(f, Options{})
+	if r.Unsat {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	if r.Formula.NumClauses() != 0 {
+		t.Fatalf("chain of units should simplify away, got %v", r.Formula.Clauses)
+	}
+	m := r.Reconstruct(make(cnf.Assignment, 3))
+	if !m[0] || !m[1] || !m[2] {
+		t.Fatalf("reconstruction lost forced values: %v", m)
+	}
+	if !f.Eval(m) {
+		t.Fatal("reconstructed model does not satisfy original")
+	}
+}
+
+func TestUnsatDetection(t *testing.T) {
+	f := cnf.NewFormula(1)
+	f.AddClause(lit(1))
+	f.AddClause(lit(-1))
+	r := Preprocess(f, Options{})
+	if !r.Unsat {
+		t.Fatal("contradiction not detected")
+	}
+	if r.Formula.NumClauses() != 1 || len(r.Formula.Clauses[0]) != 0 {
+		t.Fatal("unsat result should carry the empty clause")
+	}
+}
+
+func TestSubsumptionRemovesSuperset(t *testing.T) {
+	f := cnf.NewFormula(3)
+	f.AddClause(lit(1), lit(2))
+	f.AddClause(lit(1), lit(2), lit(3))
+	r := Preprocess(f, Options{DisableBVE: true})
+	if got := r.Formula.NumClauses(); got != 1 {
+		t.Fatalf("subsumed clause kept: %v", r.Formula.Clauses)
+	}
+}
+
+func TestSelfSubsumingResolution(t *testing.T) {
+	// (a ∨ b) and (¬a ∨ b ∨ c): strengthen the second to (b ∨ c).
+	f := cnf.NewFormula(3)
+	f.AddClause(lit(1), lit(2))
+	f.AddClause(lit(-1), lit(2), lit(3))
+	r := Preprocess(f, Options{DisableBVE: true})
+	found := false
+	for _, c := range r.Formula.Clauses {
+		if len(c) == 2 && c.Has(lit(2)) && c.Has(lit(3)) {
+			found = true
+		}
+		if c.Has(lit(-1)) {
+			t.Fatalf("¬a survived strengthening: %v", r.Formula.Clauses)
+		}
+	}
+	if !found {
+		t.Fatalf("strengthened clause missing: %v", r.Formula.Clauses)
+	}
+}
+
+func TestBVEEliminatesLowOccurrenceVar(t *testing.T) {
+	// v appears once positively and once negatively; elimination replaces
+	// the two clauses with one resolvent.
+	f := cnf.NewFormula(3)
+	f.AddClause(lit(1), lit(2))
+	f.AddClause(lit(-1), lit(3))
+	r := Preprocess(f, Options{DisableSubsumption: true})
+	if !r.Eliminated(0) {
+		t.Fatalf("variable 1 not eliminated: %v", r.Formula.Clauses)
+	}
+	for _, c := range r.Formula.Clauses {
+		if c.Has(lit(1)) || c.Has(lit(-1)) {
+			t.Fatalf("eliminated variable still occurs: %v", r.Formula.Clauses)
+		}
+	}
+}
+
+func TestPureLiteralElimination(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	f.AddClause(lit(1), lit(-2))
+	r := Preprocess(f, Options{DisableSubsumption: true})
+	if !r.Eliminated(0) {
+		t.Fatal("pure literal not eliminated")
+	}
+	if r.Formula.NumClauses() != 0 {
+		t.Fatalf("pure-literal clauses should vanish, got %v", r.Formula.Clauses)
+	}
+	m := r.Reconstruct(make(cnf.Assignment, 2))
+	if !f.Eval(m) {
+		t.Fatal("reconstructed model does not satisfy original")
+	}
+}
+
+// TestEquisatisfiableAndReconstructible is the central property: for random
+// formulas, preprocessing preserves satisfiability, and solving the
+// simplified formula plus reconstruction yields a model of the original.
+func TestEquisatisfiableAndReconstructible(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for iter := 0; iter < 300; iter++ {
+		vars := 3 + rng.Intn(10)
+		f := cnf.NewFormula(vars)
+		for i := 0; i < 3+rng.Intn(30); i++ {
+			width := 1 + rng.Intn(3)
+			var c []cnf.Lit
+			for j := 0; j < width; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(vars)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c...)
+		}
+		wantSat, _ := brute.SAT(f)
+		r := Preprocess(f, Options{})
+		if r.Unsat {
+			if wantSat {
+				t.Fatalf("iter %d: preprocessing claims unsat on sat formula\n%v",
+					iter, f.Clauses)
+			}
+			continue
+		}
+		s := sat.New()
+		s.EnsureVars(vars)
+		s.AddFormula(r.Formula)
+		st := s.Solve()
+		if (st == sat.Sat) != wantSat {
+			t.Fatalf("iter %d: simplified verdict %v, original sat=%v", iter, st, wantSat)
+		}
+		if st == sat.Sat {
+			m := r.Reconstruct(s.Model()[:vars])
+			if !f.Eval(m) {
+				t.Fatalf("iter %d: reconstructed model fails original formula\norig: %v\nsimplified: %v",
+					iter, f.Clauses, r.Formula.Clauses)
+			}
+		}
+	}
+}
+
+func TestPreprocessShrinksCircuitCNF(t *testing.T) {
+	// A Tseitin-encoded miter has many functionally-defined variables; BVE
+	// should remove a meaningful fraction.
+	f := cnf.NewFormula(4)
+	// Chain of definitions: y1 = x1∨x2 (as 3 clauses), used once.
+	f.AddClause(lit(5), lit(-1))
+	f.AddClause(lit(5), lit(-2))
+	f.AddClause(lit(-5), lit(1), lit(2))
+	f.AddClause(lit(-5), lit(3))
+	f.AddClause(lit(4), lit(3))
+	before := f.NumClauses()
+	r := Preprocess(f, Options{})
+	if r.Formula.NumClauses() >= before {
+		t.Fatalf("no shrink: %d -> %d", before, r.Formula.NumClauses())
+	}
+}
+
+func TestPreprocessDoesNotModifyInput(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1), lit(2))
+	f.AddClause(lit(-1), lit(2))
+	clone := f.Clone()
+	Preprocess(f, Options{})
+	if f.NumClauses() != clone.NumClauses() {
+		t.Fatal("input clause count changed")
+	}
+	for i := range f.Clauses {
+		if len(f.Clauses[i]) != len(clone.Clauses[i]) {
+			t.Fatal("input clause changed")
+		}
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(1), lit(-1))
+	f.AddClause(lit(2))
+	r := Preprocess(f, Options{})
+	if r.Unsat || r.Formula.NumClauses() != 0 {
+		t.Fatalf("tautology+unit should vanish, got %v", r.Formula.Clauses)
+	}
+}
+
+func TestEmptyFormula(t *testing.T) {
+	f := cnf.NewFormula(3)
+	r := Preprocess(f, Options{})
+	if r.Unsat || r.Formula.NumClauses() != 0 {
+		t.Fatal("empty formula mishandled")
+	}
+	m := r.Reconstruct(make(cnf.Assignment, 3))
+	if len(m) != 3 {
+		t.Fatal("reconstruction length")
+	}
+}

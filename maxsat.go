@@ -1,0 +1,320 @@
+// Package maxsat is the public API of this repository: a from-scratch Go
+// implementation of core-guided Maximum Satisfiability centred on the msu4
+// algorithm of Marques-Silva & Planes, "Algorithms for Maximum
+// Satisfiability using Unsatisfiable Cores" (DATE 2008), together with the
+// baselines the paper evaluates against (branch-and-bound "maxsatz"-style
+// search and the PBO blocking-variable formulation) and the related
+// core-guided algorithms msu1, msu2 and msu3.
+//
+// # Quick start
+//
+//	f := maxsat.NewFormula(0)
+//	f.AddClause(maxsat.FromDIMACS(1))
+//	f.AddClause(maxsat.FromDIMACS(-1))
+//	res, err := maxsat.SolveFormula(f, maxsat.Options{})
+//	// res.Cost == 1: one of the two unit clauses must be falsified.
+//
+// Plain MaxSAT instances are *Formula values (every clause soft, weight 1,
+// the paper's setting); weighted partial MaxSAT instances are *WCNF values
+// with hard clauses and positive soft weights. DIMACS .cnf and .wcnf files
+// round-trip through ParseDIMACS / ParseWCNF / WriteDIMACS / WriteWCNF.
+//
+// Algorithms are selected by Options.Algorithm. The default, AlgoAuto,
+// routes unweighted instances to msu4 with sorting networks (the paper's
+// best performer, "msu4 v2") and weighted instances to the PBO optimizer.
+package maxsat
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bnb"
+	"repro/internal/card"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/pbo"
+)
+
+// Re-exported formula types. The substrate lives in internal/cnf; these
+// aliases are the supported public names.
+type (
+	// Var is a 0-based propositional variable.
+	Var = cnf.Var
+	// Lit is a literal (variable plus sign).
+	Lit = cnf.Lit
+	// Clause is a disjunction of literals.
+	Clause = cnf.Clause
+	// Formula is a plain CNF formula (read as unit-weight soft clauses).
+	Formula = cnf.Formula
+	// WCNF is a weighted partial MaxSAT formula.
+	WCNF = cnf.WCNF
+	// Weight is a soft-clause weight.
+	Weight = cnf.Weight
+	// Assignment is a total truth assignment.
+	Assignment = cnf.Assignment
+)
+
+// HardWeight marks hard clauses in a WCNF.
+const HardWeight = cnf.HardWeight
+
+// Re-exported constructors and I/O.
+var (
+	NewFormula      = cnf.NewFormula
+	NewWCNF         = cnf.NewWCNF
+	FromFormula     = cnf.FromFormula
+	FromDIMACS      = cnf.FromDIMACS
+	NewLit          = cnf.NewLit
+	PosLit          = cnf.PosLit
+	NegLit          = cnf.NegLit
+	ParseDIMACS     = cnf.ParseDIMACS
+	ParseWCNF       = cnf.ParseWCNF
+	ParseDIMACSFile = cnf.ParseDIMACSFile
+	ParseWCNFFile   = cnf.ParseWCNFFile
+	WriteDIMACS     = cnf.WriteDIMACS
+	WriteWCNF       = cnf.WriteWCNF
+)
+
+// Algorithm selects a MaxSAT algorithm.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// AlgoAuto picks msu4-v2 for unweighted instances and PBO for weighted
+	// ones.
+	AlgoAuto Algorithm = ""
+	// AlgoMSU4V1 is the paper's msu4 with BDD cardinality encodings.
+	AlgoMSU4V1 Algorithm = "msu4-v1"
+	// AlgoMSU4V2 is the paper's msu4 with sorting-network encodings.
+	AlgoMSU4V2 Algorithm = "msu4-v2"
+	// AlgoMSU4 is msu4 with the encoding chosen by Options.Encoding.
+	AlgoMSU4 Algorithm = "msu4"
+	// AlgoMSU1 is Fu & Malik's algorithm.
+	AlgoMSU1 Algorithm = "msu1"
+	// AlgoMSU2 is the report's non-incremental lower-bound search.
+	AlgoMSU2 Algorithm = "msu2"
+	// AlgoMSU3 is the incremental lower-bound search.
+	AlgoMSU3 Algorithm = "msu3"
+	// AlgoWMSU1 is the weighted extension of Fu & Malik's algorithm
+	// (clause splitting; handles weighted partial MaxSAT).
+	AlgoWMSU1 Algorithm = "wmsu1"
+	// AlgoWMSU4 is msu4 lifted to weighted partial MaxSAT: the line-30
+	// cardinality constraint becomes a pseudo-Boolean constraint.
+	AlgoWMSU4 Algorithm = "wmsu4"
+	// AlgoPBO is the minisat+-style linear SAT-UNSAT optimizer on the
+	// blocking-variable formulation (handles weights).
+	AlgoPBO Algorithm = "pbo"
+	// AlgoPBOBin is the binary-search PBO variant.
+	AlgoPBOBin Algorithm = "pbo-bin"
+	// AlgoBnB is the maxsatz-style branch and bound (handles weights).
+	AlgoBnB Algorithm = "maxsatz"
+)
+
+// Algorithms lists every selectable algorithm name.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoMSU4V1, AlgoMSU4V2, AlgoMSU4, AlgoMSU1, AlgoMSU2, AlgoMSU3,
+		AlgoWMSU1, AlgoWMSU4, AlgoPBO, AlgoPBOBin, AlgoBnB,
+	}
+}
+
+// Options configures a Solve call. The zero value asks for automatic
+// algorithm selection with no resource bounds.
+type Options struct {
+	// Algorithm selects the optimizer; AlgoAuto routes by instance kind.
+	Algorithm Algorithm
+	// Encoding names the cardinality encoding for AlgoMSU4
+	// ("bdd", "sorter", "seq", "totalizer"); empty means "sorter".
+	Encoding string
+	// Timeout bounds the optimization; zero means unbounded.
+	Timeout time.Duration
+	// MaxConflictsPerCall caps each underlying SAT call (advanced).
+	MaxConflictsPerCall int64
+	// SkipAtLeast1 disables msu4's optional per-core "at least one
+	// blocking variable" constraint (paper Algorithm 1, line 19).
+	SkipAtLeast1 bool
+}
+
+// Status is the outcome class of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Unknown: resource budget exhausted before proving an optimum.
+	Unknown Status = iota
+	// Optimal: Cost is the proved optimum, witnessed by Model.
+	Optimal
+	// Unsatisfiable: the hard clauses conflict (partial MaxSAT only).
+	Unsatisfiable
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "OPTIMAL"
+	case Unsatisfiable:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Result reports a MaxSAT optimization outcome.
+type Result struct {
+	Status Status
+	// Cost is the minimum total weight of falsified soft clauses (the
+	// proved optimum when Status == Optimal; the best upper bound found
+	// otherwise, or -1 if no feasible assignment was seen).
+	Cost Weight
+	// LowerBound is the best proved lower bound on Cost.
+	LowerBound Weight
+	// Model is an assignment achieving Cost over the instance's variables,
+	// when one was found.
+	Model Assignment
+	// Algorithm is the algorithm that produced the result.
+	Algorithm Algorithm
+	// Iterations, SatCalls, UnsatCalls, Conflicts and Elapsed expose the
+	// algorithm's work profile.
+	Iterations int
+	SatCalls   int
+	UnsatCalls int
+	Conflicts  int64
+	Elapsed    time.Duration
+}
+
+// MaxSatisfied converts the cost into the paper's "MaxSAT solution" — the
+// number of satisfied clauses — for a plain instance with the given total
+// clause count.
+func (r Result) MaxSatisfied(totalClauses int) int {
+	return totalClauses - int(r.Cost)
+}
+
+// ErrWeighted is returned when a unit-weight-only algorithm is asked to
+// solve a weighted instance.
+var ErrWeighted = errors.New("maxsat: algorithm requires unit-weight soft clauses (use AlgoPBO, AlgoBnB, or AlgoAuto)")
+
+// Solve optimizes a weighted partial MaxSAT instance.
+func Solve(w *WCNF, o Options) (Result, error) {
+	solver, algo, err := buildSolver(w, o)
+	if err != nil {
+		return Result{}, err
+	}
+	r := solver.Solve(w)
+	return fromInternal(r, algo), nil
+}
+
+// SolveFormula optimizes a plain MaxSAT instance (every clause soft,
+// weight 1 — the DATE 2008 setting).
+func SolveFormula(f *Formula, o Options) (Result, error) {
+	return Solve(cnf.FromFormula(f), o)
+}
+
+// SolveReader parses a DIMACS .cnf or .wcnf stream and optimizes it.
+func SolveReader(rd io.Reader, o Options) (Result, error) {
+	w, err := cnf.ParseWCNF(rd)
+	if err != nil {
+		return Result{}, err
+	}
+	return Solve(w, o)
+}
+
+// SolveFile parses a DIMACS .cnf or .wcnf file and optimizes it.
+func SolveFile(path string, o Options) (Result, error) {
+	w, err := cnf.ParseWCNFFile(path)
+	if err != nil {
+		return Result{}, err
+	}
+	return Solve(w, o)
+}
+
+func buildSolver(w *WCNF, o Options) (opt.Solver, Algorithm, error) {
+	io_ := opt.Options{
+		MaxConflictsPerCall: o.MaxConflictsPerCall,
+	}
+	if o.Timeout > 0 {
+		io_.Deadline = time.Now().Add(o.Timeout)
+	}
+	algo := o.Algorithm
+	if algo == AlgoAuto {
+		if w.Weighted() {
+			algo = AlgoPBO
+		} else {
+			algo = AlgoMSU4V2
+		}
+	}
+	unitOnly := false
+	var solver opt.Solver
+	switch algo {
+	case AlgoMSU4V1:
+		io_.Encoding = card.BDD
+		solver = &core.MSU4{Opts: io_, SkipAtLeast1: o.SkipAtLeast1, Label: "msu4-v1"}
+		unitOnly = true
+	case AlgoMSU4V2:
+		io_.Encoding = card.Sorter
+		solver = &core.MSU4{Opts: io_, SkipAtLeast1: o.SkipAtLeast1, Label: "msu4-v2"}
+		unitOnly = true
+	case AlgoMSU4:
+		enc := card.Sorter
+		if o.Encoding != "" {
+			var err error
+			enc, err = card.ParseEncoding(o.Encoding)
+			if err != nil {
+				return nil, algo, err
+			}
+		}
+		io_.Encoding = enc
+		solver = &core.MSU4{Opts: io_, SkipAtLeast1: o.SkipAtLeast1}
+		unitOnly = true
+	case AlgoMSU1:
+		solver = core.NewMSU1(io_)
+		unitOnly = true
+	case AlgoMSU2:
+		solver = core.NewMSU2(io_)
+		unitOnly = true
+	case AlgoMSU3:
+		solver = core.NewMSU3(io_)
+		unitOnly = true
+	case AlgoWMSU1:
+		solver = core.NewWMSU1(io_)
+	case AlgoWMSU4:
+		solver = &core.WMSU4{Opts: io_, SkipAtLeast1: o.SkipAtLeast1}
+	case AlgoPBO:
+		solver = &pbo.Linear{Opts: io_}
+	case AlgoPBOBin:
+		solver = &pbo.BinarySearch{Opts: io_}
+	case AlgoBnB:
+		solver = bnb.New(io_)
+	default:
+		return nil, algo, fmt.Errorf("maxsat: unknown algorithm %q", algo)
+	}
+	if unitOnly && w.Weighted() {
+		return nil, algo, ErrWeighted
+	}
+	return solver, algo, nil
+}
+
+func fromInternal(r opt.Result, algo Algorithm) Result {
+	out := Result{
+		Cost:       r.Cost,
+		LowerBound: r.LowerBound,
+		Model:      r.Model,
+		Algorithm:  algo,
+		Iterations: r.Iterations,
+		SatCalls:   r.SatCalls,
+		UnsatCalls: r.UnsatCalls,
+		Conflicts:  r.Conflicts,
+		Elapsed:    r.Elapsed,
+	}
+	switch r.Status {
+	case opt.StatusOptimal:
+		out.Status = Optimal
+	case opt.StatusUnsat:
+		out.Status = Unsatisfiable
+	default:
+		out.Status = Unknown
+	}
+	return out
+}

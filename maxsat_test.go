@@ -1,0 +1,228 @@
+package maxsat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+)
+
+// paperFormula is Example 2 of the paper (§3.3): MaxSAT solution 6 of 8.
+func paperFormula() *Formula {
+	f := NewFormula(4)
+	f.AddClause(FromDIMACS(1))
+	f.AddClause(FromDIMACS(-1), FromDIMACS(-2))
+	f.AddClause(FromDIMACS(2))
+	f.AddClause(FromDIMACS(-1), FromDIMACS(-3))
+	f.AddClause(FromDIMACS(3))
+	f.AddClause(FromDIMACS(-2), FromDIMACS(-3))
+	f.AddClause(FromDIMACS(1), FromDIMACS(-4))
+	f.AddClause(FromDIMACS(-1), FromDIMACS(4))
+	return f
+}
+
+func TestSolveFormulaAllAlgorithms(t *testing.T) {
+	f := paperFormula()
+	for _, algo := range Algorithms() {
+		o := Options{Algorithm: algo}
+		r, err := SolveFormula(f, o)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if r.Status != Optimal || r.Cost != 2 {
+			t.Fatalf("%s: status %v cost %d, want optimal 2", algo, r.Status, r.Cost)
+		}
+		if r.MaxSatisfied(f.NumClauses()) != 6 {
+			t.Fatalf("%s: MaxSatisfied != 6", algo)
+		}
+		if r.Algorithm != algo {
+			t.Fatalf("result algorithm %q, want %q", r.Algorithm, algo)
+		}
+		if len(r.Model) < f.NumVars {
+			t.Fatalf("%s: model too short", algo)
+		}
+	}
+}
+
+func TestAutoRouting(t *testing.T) {
+	// Unweighted routes to msu4-v2.
+	r, err := SolveFormula(paperFormula(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != AlgoMSU4V2 {
+		t.Fatalf("auto picked %q for unweighted, want msu4-v2", r.Algorithm)
+	}
+	// Weighted routes to pbo.
+	w := NewWCNF(1)
+	w.AddSoft(5, FromDIMACS(1))
+	w.AddSoft(2, FromDIMACS(-1))
+	rw, err := Solve(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Algorithm != AlgoPBO {
+		t.Fatalf("auto picked %q for weighted, want pbo", rw.Algorithm)
+	}
+	if rw.Cost != 2 {
+		t.Fatalf("weighted optimum %d, want 2", rw.Cost)
+	}
+}
+
+func TestWeightedRejectedByCoreGuided(t *testing.T) {
+	w := NewWCNF(1)
+	w.AddSoft(5, FromDIMACS(1))
+	for _, algo := range []Algorithm{AlgoMSU1, AlgoMSU2, AlgoMSU3, AlgoMSU4V1, AlgoMSU4V2, AlgoMSU4} {
+		if _, err := Solve(w, Options{Algorithm: algo}); err != ErrWeighted {
+			t.Fatalf("%s: err = %v, want ErrWeighted", algo, err)
+		}
+	}
+	// BnB and PBO handle weights.
+	for _, algo := range []Algorithm{AlgoPBO, AlgoPBOBin, AlgoBnB} {
+		if _, err := Solve(w, Options{Algorithm: algo}); err != nil {
+			t.Fatalf("%s: unexpected error %v", algo, err)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := SolveFormula(paperFormula(), Options{Algorithm: "zchaff"}); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestMSU4EncodingSelection(t *testing.T) {
+	for _, enc := range []string{"bdd", "sorter", "seq", "totalizer"} {
+		r, err := SolveFormula(paperFormula(), Options{Algorithm: AlgoMSU4, Encoding: enc})
+		if err != nil {
+			t.Fatalf("encoding %s: %v", enc, err)
+		}
+		if r.Cost != 2 {
+			t.Fatalf("encoding %s: cost %d", enc, r.Cost)
+		}
+	}
+	if _, err := SolveFormula(paperFormula(), Options{Algorithm: AlgoMSU4, Encoding: "nope"}); err == nil {
+		t.Fatal("bad encoding should error")
+	}
+}
+
+func TestSolveReader(t *testing.T) {
+	in := "p cnf 1 2\n1 0\n-1 0\n"
+	r, err := SolveReader(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 1 {
+		t.Fatalf("cost %d, want 1", r.Cost)
+	}
+	if _, err := SolveReader(strings.NewReader("garbage"), Options{}); err == nil {
+		t.Fatal("parse error should propagate")
+	}
+}
+
+func TestSolveFileMissing(t *testing.T) {
+	if _, err := SolveFile("/nonexistent/path.cnf", Options{}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestTimeoutYieldsUnknown(t *testing.T) {
+	// A 1 ns timeout has always expired by the first loop check.
+	r, err := SolveFormula(paperFormula(), Options{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unknown {
+		t.Fatalf("status %v, want Unknown with expired timeout", r.Status)
+	}
+	if r.Status.String() != "UNKNOWN" {
+		t.Fatal("status string")
+	}
+}
+
+func TestHardUnsatStatus(t *testing.T) {
+	w := NewWCNF(1)
+	w.AddHard(FromDIMACS(1))
+	w.AddHard(FromDIMACS(-1))
+	w.AddSoft(1, FromDIMACS(1))
+	for _, algo := range []Algorithm{AlgoMSU4V2, AlgoPBO, AlgoBnB} {
+		r, err := Solve(w, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Unsatisfiable {
+			t.Fatalf("%s: status %v, want Unsatisfiable", algo, r.Status)
+		}
+	}
+}
+
+func TestPublicAPIAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for iter := 0; iter < 25; iter++ {
+		f := NewFormula(3 + rng.Intn(7))
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			width := 1 + rng.Intn(3)
+			var c []Lit
+			for j := 0; j < width; j++ {
+				c = append(c, NewLit(Var(rng.Intn(f.NumVars)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c...)
+		}
+		wantSat, _ := brute.MaxSAT(f)
+		want := Weight(f.NumClauses() - wantSat)
+		for _, algo := range Algorithms() {
+			r, err := SolveFormula(f, Options{Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cost != want {
+				t.Fatalf("iter %d %s: cost %d, want %d", iter, algo, r.Cost, want)
+			}
+			cost, hardOK := cnf.FromFormula(f).CostOf(r.Model[:f.NumVars])
+			if !hardOK || cost != r.Cost {
+				t.Fatalf("iter %d %s: model does not witness cost", iter, algo)
+			}
+		}
+	}
+}
+
+func TestSkipAtLeast1Option(t *testing.T) {
+	r, err := SolveFormula(paperFormula(), Options{Algorithm: AlgoMSU4V2, SkipAtLeast1: true})
+	if err != nil || r.Cost != 2 {
+		t.Fatalf("SkipAtLeast1: cost %d err %v", r.Cost, err)
+	}
+}
+
+func TestWMSU1ViaFacade(t *testing.T) {
+	w := NewWCNF(1)
+	w.AddSoft(5, FromDIMACS(1))
+	w.AddSoft(2, FromDIMACS(-1))
+	r, err := Solve(w, Options{Algorithm: AlgoWMSU1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || r.Cost != 2 {
+		t.Fatalf("wmsu1: status %v cost %d, want optimal 2", r.Status, r.Cost)
+	}
+	// And on unweighted instances it behaves like msu1.
+	ru, err := SolveFormula(paperFormula(), Options{Algorithm: AlgoWMSU1})
+	if err != nil || ru.Cost != 2 {
+		t.Fatalf("wmsu1 unweighted: cost %d err %v", ru.Cost, err)
+	}
+}
+
+func TestWMSU4ViaFacade(t *testing.T) {
+	w := NewWCNF(1)
+	w.AddSoft(5, FromDIMACS(1))
+	w.AddSoft(2, FromDIMACS(-1))
+	r, err := Solve(w, Options{Algorithm: AlgoWMSU4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || r.Cost != 2 {
+		t.Fatalf("wmsu4: status %v cost %d, want optimal 2", r.Status, r.Cost)
+	}
+}
