@@ -1,0 +1,145 @@
+package sat
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// buildPropagationChain returns a solver whose clause set propagates a long
+// implication cascade from a single assumption: a binary chain x_i → x_{i+1}
+// (the arena-free binary watcher path) plus ternary shells ¬x_i ∨ y ∨ x_{i+2}
+// (the long-clause watcher path). Solving under {¬y, x_0} drives both paths
+// through the whole chain without a single conflict.
+func buildPropagationChain(n int) (s *Solver, y, x0 cnf.Lit) {
+	s = New()
+	y = cnf.PosLit(s.NewVar())
+	xs := make([]cnf.Lit, n)
+	for i := range xs {
+		xs[i] = cnf.PosLit(s.NewVar())
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(xs[i].Neg(), xs[i+1])
+	}
+	for i := 0; i+2 < n; i++ {
+		s.AddClause(xs[i].Neg(), y, xs[i+2])
+	}
+	return s, y, xs[0]
+}
+
+// buildGuardedPigeonhole returns PHP(n+1, n) with pigeon p's placement
+// clause guarded by ¬sels[p] (the msu selector pattern). Assuming every
+// selector yields the unsatisfiable proof; leaving one out asks for a
+// placement of n pigeons into n holes, which is satisfiable but needs
+// search. Rotating the left-out pigeon between Solve calls keeps conflict
+// analysis genuinely busy instead of letting the learnt DB memoize a single
+// query.
+func buildGuardedPigeonhole(n int) (s *Solver, sels []cnf.Lit) {
+	s = New()
+	pigeons, holes := n+1, n
+	sels = make([]cnf.Lit, pigeons)
+	for p := range sels {
+		sels[p] = cnf.PosLit(s.NewVar())
+	}
+	pv := func(p, h int) cnf.Lit {
+		return cnf.PosLit(cnf.Var(pigeons + p*holes + h))
+	}
+	for p := 0; p < pigeons; p++ {
+		c := []cnf.Lit{sels[p].Neg()}
+		for h := 0; h < holes; h++ {
+			c = append(c, pv(p, h))
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(pv(p1, h).Neg(), pv(p2, h).Neg())
+			}
+		}
+	}
+	return s, sels
+}
+
+// TestPropagateSteadyStateAllocs asserts the arena's core claim: once watch
+// lists and scratch buffers have reached steady state, a Solve call that
+// propagates thousands of implications performs zero heap allocations.
+func TestPropagateSteadyStateAllocs(t *testing.T) {
+	s, y, x0 := buildPropagationChain(2000)
+	withY := []cnf.Lit{y, x0}
+	withoutY := []cnf.Lit{y.Neg(), x0}
+	for i := 0; i < 6; i++ { // warm up watch lists, trail, model buffer
+		if s.Solve(withY...) != Sat || s.Solve(withoutY...) != Sat {
+			t.Fatal("chain instance must be Sat")
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if s.Solve(withY...) != Sat {
+			t.Fatal("want Sat")
+		}
+		if s.Solve(withoutY...) != Sat {
+			t.Fatal("want Sat")
+		}
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady-state Solve allocates %.1f times per run, want ~0", avg)
+	}
+}
+
+// BenchmarkPropagateAllocs reports ns/op and allocs/op for the two hot
+// loops: "chain" is pure unit propagation (binary fast path + long watcher
+// path, no conflicts), "search" is a full conflict-driven proof under an
+// assumption (propagate + analyze + learn + reduceDB). Both should show ~0
+// allocs/op after warm-up; see CHANGES.md for before/after numbers.
+func BenchmarkPropagateAllocs(b *testing.B) {
+	b.Run("chain", func(b *testing.B) {
+		s, y, x0 := buildPropagationChain(2000)
+		withY := []cnf.Lit{y, x0}
+		withoutY := []cnf.Lit{y.Neg(), x0}
+		for i := 0; i < 6; i++ {
+			s.Solve(withY...)
+			s.Solve(withoutY...)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := withY
+			if i&1 == 0 {
+				a = withoutY
+			}
+			if s.Solve(a...) != Sat {
+				b.Fatal("want Sat")
+			}
+		}
+	})
+	b.Run("search", func(b *testing.B) {
+		s, sels := buildGuardedPigeonhole(7)
+		pigeons := len(sels)
+		assumps := make([]cnf.Lit, 0, pigeons)
+		query := func(i int) Status {
+			assumps = assumps[:0]
+			leaveOut := i % (pigeons + 1)
+			for p, sel := range sels {
+				if p != leaveOut {
+					assumps = append(assumps, sel)
+				}
+			}
+			st := s.Solve(assumps...)
+			if leaveOut < pigeons && st != Sat {
+				b.Fatalf("leave-one-out PHP query %d: %v, want Sat", i, st)
+			}
+			if leaveOut == pigeons && st != Unsat {
+				b.Fatalf("full PHP query %d: %v, want Unsat", i, st)
+			}
+			return st
+		}
+		for i := 0; i <= pigeons; i++ { // warm up: one full rotation
+			query(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			query(i)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package sat
+
+import (
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+)
+
+// FuzzSolverVsBrute differential-tests the arena solver against exhaustive
+// enumeration on fuzzer-chosen instances, including the msu access pattern:
+// interleaved clause additions and incremental Solve calls under
+// assumptions.
+//
+// Input encoding (one byte stream):
+//   - 0xFF starts a Solve: the next two bytes select the assumption set
+//     (inclusion mask over the variables, sign mask).
+//   - Any other byte b starts a clause of width b%3+1, whose literals are
+//     read from the following bytes (variable = byte % fuzzVars, negative if
+//     byte >= 128).
+//
+// A trailing Solve without assumptions closes every run.
+func FuzzSolverVsBrute(f *testing.F) {
+	// A few hand-written seeds: plain clauses, an unsat pair of units, and
+	// incremental solve-add-solve sequences under assumptions.
+	f.Add([]byte{2, 1, 2, 2, 129, 2, 0xFF, 0x03, 0x01})
+	f.Add([]byte{0, 1, 0, 129}) // x1 and ¬x1: level-0 unsat
+	f.Add([]byte{2, 1, 2, 0xFF, 0x01, 0x00, 2, 130, 3, 0xFF, 0x07, 0x05, 1, 4, 5, 0xFF, 0x3F, 0x2A})
+	f.Add([]byte{0xFF, 0x00, 0x00}) // solve the empty formula
+	f.Add([]byte{1, 0, 1, 1, 2, 131, 0xFF, 0x0B, 0x08, 0xFF, 0x0B, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const fuzzVars = 6
+		const maxClauses = 48
+		const maxSolves = 8
+
+		s := New()
+		s.EnsureVars(fuzzVars)
+		form := cnf.NewFormula(fuzzVars)
+
+		solveAndCheck := func(include, signs byte) bool {
+			var assumps []cnf.Lit
+			for v := 0; v < fuzzVars; v++ {
+				if include&(1<<uint(v)) != 0 {
+					assumps = append(assumps, cnf.NewLit(cnf.Var(v), signs&(1<<uint(v)) != 0))
+				}
+			}
+			st := s.Solve(assumps...)
+			g := form.Clone()
+			for _, a := range assumps {
+				g.AddClause(a)
+			}
+			want, _ := brute.SAT(g)
+			switch st {
+			case Sat:
+				if !want {
+					t.Fatalf("solver Sat, brute Unsat\nclauses: %v\nassumps: %v", form.Clauses, assumps)
+				}
+				m := s.Model()[:fuzzVars]
+				if !form.Eval(m) {
+					t.Fatalf("model %v does not satisfy formula %v", m, form.Clauses)
+				}
+				for _, a := range assumps {
+					if !m.Lit(a) {
+						t.Fatalf("model %v violates assumption %v", m, a)
+					}
+				}
+			case Unsat:
+				if want {
+					t.Fatalf("solver Unsat, brute Sat\nclauses: %v\nassumps: %v", form.Clauses, assumps)
+				}
+				inAssumps := map[cnf.Lit]bool{}
+				for _, a := range assumps {
+					inAssumps[a] = true
+				}
+				core := s.Core()
+				g2 := form.Clone()
+				for _, l := range core {
+					if !inAssumps[l] {
+						t.Fatalf("core literal %v is not among assumptions %v", l, assumps)
+					}
+					g2.AddClause(l)
+				}
+				if coreWant, _ := brute.SAT(g2); coreWant {
+					t.Fatalf("core %v of %v is not unsatisfiable", core, assumps)
+				}
+			default:
+				t.Fatalf("unbudgeted Solve returned %v", st)
+			}
+			return s.Okay()
+		}
+
+		clauses, solves := 0, 0
+		i := 0
+		for i < len(data) && clauses < maxClauses && solves < maxSolves {
+			b := data[i]
+			i++
+			if b == 0xFF {
+				var include, signs byte
+				if i < len(data) {
+					include = data[i]
+					i++
+				}
+				if i < len(data) {
+					signs = data[i]
+					i++
+				}
+				solves++
+				if !solveAndCheck(include, signs) {
+					return // permanently unsat, verified against brute above
+				}
+				continue
+			}
+			width := int(b%3) + 1
+			if i+width > len(data) {
+				break
+			}
+			c := make([]cnf.Lit, 0, width)
+			for k := 0; k < width; k++ {
+				lb := data[i]
+				i++
+				c = append(c, cnf.NewLit(cnf.Var(lb%fuzzVars), lb >= 128))
+			}
+			form.AddClause(c...)
+			added := s.AddClause(c...)
+			clauses++
+			if !added {
+				// Level-0 conflict: brute force must agree the formula is
+				// unsatisfiable, and the solver must stay in the Unsat state.
+				if want, _ := brute.SAT(form); want {
+					t.Fatalf("AddClause reported unsat but %v is satisfiable", form.Clauses)
+				}
+				if s.Solve() != Unsat {
+					t.Fatal("solver must stay Unsat after level-0 conflict")
+				}
+				return
+			}
+		}
+		solveAndCheck(0, 0)
+	})
+}

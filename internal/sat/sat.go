@@ -2,13 +2,17 @@
 // in the architecture of MiniSat 1.14/2.2, the solver underlying the msu4
 // algorithm of Marques-Silva & Planes (DATE 2008).
 //
-// Features: two-watched-literal propagation with blocker literals, VSIDS
-// variable activities with phase saving, Luby restarts, first-UIP clause
-// learning with recursive minimization, activity-based learnt-clause
-// deletion, incremental solving under assumptions, and extraction of a
-// subset of the assumptions responsible for unsatisfiability (the mechanism
-// the MaxSAT algorithms in this repository use to obtain unsatisfiable
-// cores).
+// Features: two-watched-literal propagation with blocker literals and a
+// dedicated binary-clause watch list, VSIDS variable activities with phase
+// saving, Luby restarts, first-UIP clause learning with recursive
+// minimization, activity-based learnt-clause deletion, incremental solving
+// under assumptions, and extraction of a subset of the assumptions
+// responsible for unsatisfiability (the mechanism the MaxSAT algorithms in
+// this repository use to obtain unsatisfiable cores).
+//
+// Clauses are stored in a flat []uint32 arena addressed by integer CRef
+// handles (see arena.go), so the hot propagate/analyze loop is free of
+// pointer chasing and steady-state heap allocation.
 //
 // The solver is resource-bounded: a Budget can cap conflicts and wall-clock
 // time, in which case Solve returns Unknown. This is how the experiment
@@ -75,17 +79,16 @@ type Stats struct {
 	Learnt       int64
 	Removed      int64
 	MinimizedLit int64 // literals deleted by conflict-clause minimization
+	ArenaGCs     int64 // compacting collections of the clause arena
 }
 
-type clause struct {
-	lits   []cnf.Lit
-	act    float64
-	lbd    int32
-	learnt bool
-}
-
+// watcher is one entry of a watch list: the watched clause plus a blocker
+// literal whose truth lets propagate skip the clause without touching the
+// arena. For binary clauses the blocker is the clause's other literal, so
+// binary propagation never dereferences the arena at all. The struct is
+// 8 bytes and pointer-free.
 type watcher struct {
-	c       *clause
+	cref    CRef
 	blocker cnf.Lit
 }
 
@@ -105,13 +108,16 @@ const (
 // construct with New.
 type Solver struct {
 	ok      bool // false once the clause set is known unsat at level 0
-	clauses []*clause
-	learnts []*clause
-	watches [][]watcher // indexed by literal p: clauses watching ¬p
+	ca      arena
+	clauses []CRef
+	learnts []CRef
+
+	watches    [][]watcher // long clauses; indexed by literal p: clauses watching ¬p
+	watchesBin [][]watcher // binary clauses; blocker is the implied literal
 
 	assigns  []lbool // per variable
 	level    []int32
-	reason   []*clause
+	reason   []CRef // CRefUndef for decisions and unassigned variables
 	polarity []bool // saved phase: sign to use on next decision
 	activity []float64
 	order    varHeap
@@ -123,6 +129,7 @@ type Solver struct {
 	seen           []byte
 	analyzeToClear []cnf.Lit
 	analyzeStack   []cnf.Lit
+	analyzeLearnt  []cnf.Lit // reused backing for the learnt clause under construction
 
 	varInc   float64
 	varDecay float64
@@ -137,7 +144,8 @@ type Solver struct {
 	assumptions []cnf.Lit
 	conflictSet []cnf.Lit // failed assumptions from last Unsat-under-assumptions
 
-	model cnf.Assignment
+	model    cnf.Assignment
+	modelBuf cnf.Assignment // reused backing for model
 
 	budget Budget
 	stats  Stats
@@ -171,12 +179,13 @@ func (s *Solver) NewVar() cnf.Var {
 	v := cnf.Var(len(s.assigns))
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, CRefUndef)
 	s.polarity = append(s.polarity, true) // negative-first, MiniSat default
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.lbdStamp = append(s.lbdStamp, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.watchesBin = append(s.watchesBin, nil, nil)
 	s.order.insert(v, s.activity)
 	return v
 }
@@ -260,43 +269,60 @@ func (s *Solver) addClauseOwned(tmp cnf.Clause) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(tmp[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(tmp[0], CRefUndef)
+		if s.propagate() != CRefUndef {
 			s.ok = false
 			return false
 		}
 		return true
 	default:
-		c := &clause{lits: tmp}
-		s.clauses = append(s.clauses, c)
-		s.attach(c)
+		cr := s.ca.alloc(tmp, false)
+		s.clauses = append(s.clauses, cr)
+		s.attach(cr)
 		return true
 	}
 }
 
-func (s *Solver) attach(c *clause) {
-	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{c, l1})
-	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{c, l0})
+func (s *Solver) attach(cr CRef) {
+	lits := s.ca.lits(cr)
+	l0, l1 := cnf.Lit(lits[0]), cnf.Lit(lits[1])
+	if len(lits) == 2 {
+		s.watchesBin[l0.Neg()] = append(s.watchesBin[l0.Neg()], watcher{cr, l1})
+		s.watchesBin[l1.Neg()] = append(s.watchesBin[l1.Neg()], watcher{cr, l0})
+		return
+	}
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{cr, l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{cr, l0})
 }
 
-func (s *Solver) detach(c *clause) {
-	s.removeWatch(c.lits[0].Neg(), c)
-	s.removeWatch(c.lits[1].Neg(), c)
+// removeClause marks cr dead. Long clauses are detached lazily: propagate
+// skips (and drops) watchers of dead clauses, and the next arena GC sweeps
+// the rest, so deletion is O(1) with no watch-list scan. Binary watchers
+// never consult the arena and so cannot observe the dead mark; they are
+// detached eagerly, which only happens on the cold simplify path (reduceDB
+// never deletes binary clauses).
+func (s *Solver) removeClause(cr CRef) {
+	lits := s.ca.lits(cr)
+	if len(lits) == 2 {
+		s.removeWatchBin(cnf.Lit(lits[0]).Neg(), cr)
+		s.removeWatchBin(cnf.Lit(lits[1]).Neg(), cr)
+	}
+	s.ca.free(cr)
+	s.stats.Removed++
 }
 
-func (s *Solver) removeWatch(p cnf.Lit, c *clause) {
-	ws := s.watches[p]
+func (s *Solver) removeWatchBin(p cnf.Lit, cr CRef) {
+	ws := s.watchesBin[p]
 	for i := range ws {
-		if ws[i].c == c {
+		if ws[i].cref == cr {
 			ws[i] = ws[len(ws)-1]
-			s.watches[p] = ws[:len(ws)-1]
+			s.watchesBin[p] = ws[:len(ws)-1]
 			return
 		}
 	}
 }
 
-func (s *Solver) uncheckedEnqueue(p cnf.Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(p cnf.Lit, from CRef) {
 	v := p.Var()
 	if p.Sign() {
 		s.assigns[v] = lFalse
@@ -309,14 +335,28 @@ func (s *Solver) uncheckedEnqueue(p cnf.Lit, from *clause) {
 }
 
 // propagate performs unit propagation over the trail; it returns a
-// conflicting clause or nil.
-func (s *Solver) propagate() *clause {
-	var confl *clause
+// conflicting clause or CRefUndef.
+func (s *Solver) propagate() CRef {
+	confl := CRefUndef
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is now true
 		s.qhead++
 		s.stats.Propagations++
+
+		// Binary fast path: the blocker is the clause's only other literal,
+		// so implication and conflict detection need no arena access.
+		for _, w := range s.watchesBin[p] {
+			switch s.value(w.blocker) {
+			case lFalse:
+				s.qhead = len(s.trail)
+				return w.cref
+			case lUndef:
+				s.uncheckedEnqueue(w.blocker, w.cref)
+			}
+		}
+
 		ws := s.watches[p]
+		data := s.ca.data
 		i, j := 0, 0
 	nextWatcher:
 		for i < len(ws) {
@@ -327,33 +367,38 @@ func (s *Solver) propagate() *clause {
 				j++
 				continue
 			}
-			c := w.c
-			lits := c.lits
-			falseLit := p.Neg()
+			h := data[w.cref]
+			if h&hdrDead != 0 {
+				i++ // lazily deleted clause: self-clean the watcher
+				continue
+			}
+			base := int(w.cref) + hdrWords
+			lits := data[base : base+int(h>>hdrSizeShift)]
+			falseLit := uint32(p.Neg())
 			if lits[0] == falseLit {
 				lits[0], lits[1] = lits[1], lits[0]
 			}
 			// Invariant: lits[1] == falseLit.
 			i++
-			first := lits[0]
+			first := cnf.Lit(lits[0])
 			if first != w.blocker && s.value(first) == lTrue {
-				ws[j] = watcher{c, first}
+				ws[j] = watcher{w.cref, first}
 				j++
 				continue
 			}
 			for k := 2; k < len(lits); k++ {
-				if s.value(lits[k]) != lFalse {
+				if s.value(cnf.Lit(lits[k])) != lFalse {
 					lits[1], lits[k] = lits[k], lits[1]
-					q := lits[1].Neg()
-					s.watches[q] = append(s.watches[q], watcher{c, first})
+					q := cnf.Lit(lits[1]).Neg()
+					s.watches[q] = append(s.watches[q], watcher{w.cref, first})
 					continue nextWatcher
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[j] = watcher{c, first}
+			ws[j] = watcher{w.cref, first}
 			j++
 			if s.value(first) == lFalse {
-				confl = c
+				confl = w.cref
 				s.qhead = len(s.trail)
 				for i < len(ws) {
 					ws[j] = ws[i]
@@ -361,15 +406,15 @@ func (s *Solver) propagate() *clause {
 					i++
 				}
 			} else {
-				s.uncheckedEnqueue(first, c)
+				s.uncheckedEnqueue(first, w.cref)
 			}
 		}
 		s.watches[p] = ws[:j]
-		if confl != nil {
+		if confl != CRefUndef {
 			return confl
 		}
 	}
-	return nil
+	return CRefUndef
 }
 
 func (s *Solver) newDecisionLevel() {
@@ -387,7 +432,7 @@ func (s *Solver) cancelUntil(level int) {
 		v := p.Var()
 		s.polarity[v] = p.Sign()
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = CRefUndef
 		s.order.insert(v, s.activity)
 	}
 	s.trail = s.trail[:limit]
@@ -406,11 +451,12 @@ func (s *Solver) varBumpActivity(v cnf.Var) {
 	s.order.increased(v, s.activity)
 }
 
-func (s *Solver) claBumpActivity(c *clause) {
-	c.act += s.claInc
-	if c.act > 1e20 {
-		for _, l := range s.learnts {
-			l.act *= 1e-20
+func (s *Solver) claBumpActivity(cr CRef) {
+	act := s.ca.activity(cr) + float32(s.claInc)
+	s.ca.setActivity(cr, act)
+	if act > 1e20 {
+		for _, lr := range s.learnts {
+			s.ca.setActivity(lr, s.ca.activity(lr)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -419,19 +465,20 @@ func (s *Solver) claBumpActivity(c *clause) {
 func abstractLevel(level int32) uint32 { return 1 << (uint(level) & 31) }
 
 // analyze performs first-UIP conflict analysis, returning the learnt clause
-// (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
-	learnt := []cnf.Lit{cnf.LitUndef}
+// (asserting literal first) and the backtrack level. The returned slice is
+// scratch owned by the solver, valid until the next analyze call.
+func (s *Solver) analyze(confl CRef) ([]cnf.Lit, int) {
+	learnt := append(s.analyzeLearnt[:0], cnf.LitUndef)
 	pathC := 0
 	p := cnf.LitUndef
 	index := len(s.trail) - 1
 
 	for {
-		lits := confl.lits
-		if confl.learnt {
+		if s.ca.learnt(confl) {
 			s.claBumpActivity(confl)
 		}
-		for _, q := range lits {
+		for _, qw := range s.ca.lits(confl) {
+			q := cnf.Lit(qw)
 			if p != cnf.LitUndef && q.Var() == p.Var() {
 				continue
 			}
@@ -469,7 +516,7 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		l := learnt[i]
-		if s.reason[l.Var()] == nil || !s.litRedundant(l, levels) {
+		if s.reason[l.Var()] == CRefUndef || !s.litRedundant(l, levels) {
 			learnt[j] = l
 			j++
 		} else {
@@ -495,6 +542,7 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
 		s.seen[l.Var()] = 0
 	}
 	s.analyzeToClear = s.analyzeToClear[:0]
+	s.analyzeLearnt = learnt
 	return learnt, btLevel
 }
 
@@ -521,8 +569,8 @@ func (s *Solver) litRedundant(p cnf.Lit, abstractLevels uint32) bool {
 	for len(s.analyzeStack) > 0 {
 		q := s.analyzeStack[len(s.analyzeStack)-1]
 		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
-		c := s.reason[q.Var()]
-		for _, l := range c.lits {
+		for _, lw := range s.ca.lits(s.reason[q.Var()]) {
+			l := cnf.Lit(lw)
 			if l.Var() == q.Var() {
 				continue
 			}
@@ -530,7 +578,7 @@ func (s *Solver) litRedundant(p cnf.Lit, abstractLevels uint32) bool {
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
 			}
-			if s.reason[v] != nil && abstractLevel(s.level[v])&abstractLevels != 0 {
+			if s.reason[v] != CRefUndef && abstractLevel(s.level[v])&abstractLevels != 0 {
 				s.seen[v] = 1
 				s.analyzeStack = append(s.analyzeStack, l)
 				s.analyzeToClear = append(s.analyzeToClear, l)
@@ -559,11 +607,12 @@ func (s *Solver) analyzeFinal(p cnf.Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == CRefUndef {
 			// A decision inside the assumption prefix is an assumption.
 			s.conflictSet = append(s.conflictSet, s.trail[i])
 		} else {
-			for _, l := range s.reason[v].lits {
+			for _, lw := range s.ca.lits(s.reason[v]) {
+				l := cnf.Lit(lw)
 				if l.Var() != v && s.level[l.Var()] > 0 {
 					s.seen[l.Var()] = 1
 				}
@@ -574,14 +623,22 @@ func (s *Solver) analyzeFinal(p cnf.Lit) {
 	s.seen[p.Var()] = 0
 }
 
-func (s *Solver) locked(c *clause) bool {
-	l := c.lits[0]
-	return s.value(l) == lTrue && s.reason[l.Var()] == c
-}
-
-func (s *Solver) removeClause(c *clause) {
-	s.detach(c)
-	s.stats.Removed++
+// locked reports whether cr is the reason of one of its watched literals.
+// Long clauses keep the implied literal at index 0 (propagate maintains it);
+// binary implications enqueue the blocker without reordering the clause, so
+// either position may hold the implied literal.
+func (s *Solver) locked(cr CRef) bool {
+	l0 := s.ca.lit(cr, 0)
+	if s.value(l0) == lTrue && s.reason[l0.Var()] == cr {
+		return true
+	}
+	if s.ca.size(cr) == 2 {
+		l1 := s.ca.lit(cr, 1)
+		if s.value(l1) == lTrue && s.reason[l1.Var()] == cr {
+			return true
+		}
+	}
+	return false
 }
 
 // reduceDB removes roughly half of the learnt clauses, keeping binary,
@@ -591,60 +648,53 @@ func (s *Solver) reduceDB() {
 	ls := s.learnts
 	lbdMode := s.Management == LBDBased
 	// Sort ascending: clauses to delete first.
-	sortLearnts(ls, lbdMode)
+	s.quickSortLearnts(ls, 0, len(ls)-1, lbdMode)
 	j := 0
-	for i, c := range ls {
-		keepGlue := lbdMode && c.lbd <= 2
-		del := len(c.lits) > 2 && !s.locked(c) && !keepGlue
+	for i, cr := range ls {
+		keepGlue := lbdMode && s.ca.lbd(cr) <= 2
+		del := s.ca.size(cr) > 2 && !s.locked(cr) && !keepGlue
 		if lbdMode {
 			del = del && i < len(ls)/2
 		} else {
-			del = del && (i < len(ls)/2 || c.act < extraLim)
+			del = del && (i < len(ls)/2 || float64(s.ca.activity(cr)) < extraLim)
 		}
 		if del {
-			s.removeClause(c)
+			s.removeClause(cr)
 		} else {
-			ls[j] = c
+			ls[j] = cr
 			j++
 		}
 	}
 	s.learnts = ls[:j]
+	s.checkGarbage()
 }
 
-func sortLearnts(ls []*clause, lbdMode bool) {
-	less := learntLessActivity
+// learntLess orders learnt clauses for deletion: clauses to delete first.
+// ActivityBased is MiniSat's order (long low-activity first); LBDBased is
+// Glucose's (high LBD first, activity as tie-breaker).
+func (s *Solver) learntLess(a, b CRef, lbdMode bool) bool {
 	if lbdMode {
-		less = learntLessLBD
+		la, lb := s.ca.lbd(a), s.ca.lbd(b)
+		if la != lb {
+			return la > lb
+		}
+		return s.ca.activity(a) < s.ca.activity(b)
 	}
-	quickSortLearnts(ls, 0, len(ls)-1, less)
-}
-
-// learntLessActivity: MiniSat order — long low-activity clauses first.
-func learntLessActivity(a, b *clause) bool {
-	ab := len(a.lits) > 2
-	bb := len(b.lits) > 2
+	ab := s.ca.size(a) > 2
+	bb := s.ca.size(b) > 2
 	if ab != bb {
 		return ab // long clauses sort first (deleted first)
 	}
-	return a.act < b.act
+	return s.ca.activity(a) < s.ca.activity(b)
 }
 
-// learntLessLBD: Glucose order — high-LBD clauses first (deleted first),
-// activity as the tie-breaker.
-func learntLessLBD(a, b *clause) bool {
-	if a.lbd != b.lbd {
-		return a.lbd > b.lbd
-	}
-	return a.act < b.act
-}
-
-func quickSortLearnts(ls []*clause, lo, hi int, less func(a, b *clause) bool) {
+func (s *Solver) quickSortLearnts(ls []CRef, lo, hi int, lbdMode bool) {
 	for lo < hi {
 		if hi-lo < 12 {
 			for i := lo + 1; i <= hi; i++ {
 				c := ls[i]
 				j := i - 1
-				for j >= lo && less(c, ls[j]) {
+				for j >= lo && s.learntLess(c, ls[j], lbdMode) {
 					ls[j+1] = ls[j]
 					j--
 				}
@@ -657,13 +707,13 @@ func quickSortLearnts(ls []*clause, lo, hi int, less func(a, b *clause) bool) {
 		for {
 			for {
 				i++
-				if !less(ls[i], p) {
+				if !s.learntLess(ls[i], p, lbdMode) {
 					break
 				}
 			}
 			for {
 				j--
-				if !less(p, ls[j]) {
+				if !s.learntLess(p, ls[j], lbdMode) {
 					break
 				}
 			}
@@ -672,7 +722,7 @@ func quickSortLearnts(ls []*clause, lo, hi int, less func(a, b *clause) bool) {
 			}
 			ls[i], ls[j] = ls[j], ls[i]
 		}
-		quickSortLearnts(ls, lo, j, less)
+		s.quickSortLearnts(ls, lo, j, lbdMode)
 		lo = j + 1
 	}
 }
@@ -684,24 +734,87 @@ func (s *Solver) simplify() {
 	}
 	s.learnts = s.removeSatisfied(s.learnts)
 	s.clauses = s.removeSatisfied(s.clauses)
+	s.checkGarbage()
 }
 
-func (s *Solver) removeSatisfied(cs []*clause) []*clause {
+func (s *Solver) removeSatisfied(cs []CRef) []CRef {
 	j := 0
-	for _, c := range cs {
+	for _, cr := range cs {
 		sat := false
-		for _, l := range c.lits {
+		for _, lw := range s.ca.lits(cr) {
+			l := cnf.Lit(lw)
 			if s.value(l) == lTrue && s.level[l.Var()] == 0 {
 				sat = true
 				break
 			}
 		}
-		if sat && !s.locked(c) {
-			s.removeClause(c)
+		if sat && !s.locked(cr) {
+			s.removeClause(cr)
 		} else {
-			cs[j] = c
+			cs[j] = cr
 			j++
 		}
+	}
+	return cs[:j]
+}
+
+// checkGarbage compacts the arena once at least 20% of it is dead words.
+func (s *Solver) checkGarbage() {
+	if s.ca.wasted*5 > len(s.ca.data) {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect copies the live clauses into a fresh arena and remaps every
+// stored CRef: watch lists (dropping watchers of dead clauses — this is
+// where lazily deleted clauses finally disappear), trail reasons, and the
+// clause lists.
+func (s *Solver) garbageCollect() {
+	to := arena{data: make([]uint32, 0, len(s.ca.data)-s.ca.wasted)}
+	for li := range s.watches {
+		s.watches[li] = s.relocWatchers(s.watches[li], &to)
+		s.watchesBin[li] = s.relocWatchers(s.watchesBin[li], &to)
+	}
+	for _, p := range s.trail {
+		v := p.Var()
+		cr := s.reason[v]
+		if cr == CRefUndef {
+			continue
+		}
+		if s.ca.dead(cr) {
+			// A satisfied level-0 reason may have been deleted by simplify;
+			// such reasons are never dereferenced again.
+			s.reason[v] = CRefUndef
+		} else {
+			s.reason[v] = s.ca.reloc(cr, &to)
+		}
+	}
+	s.clauses = s.relocCRefs(s.clauses, &to)
+	s.learnts = s.relocCRefs(s.learnts, &to)
+	s.ca = to
+	s.stats.ArenaGCs++
+}
+
+func (s *Solver) relocWatchers(ws []watcher, to *arena) []watcher {
+	j := 0
+	for _, w := range ws {
+		if s.ca.dead(w.cref) {
+			continue
+		}
+		ws[j] = watcher{s.ca.reloc(w.cref, to), w.blocker}
+		j++
+	}
+	return ws[:j]
+}
+
+func (s *Solver) relocCRefs(cs []CRef, to *arena) []CRef {
+	j := 0
+	for _, cr := range cs {
+		if s.ca.dead(cr) {
+			continue
+		}
+		cs[j] = s.ca.reloc(cr, to)
+		j++
 	}
 	return cs[:j]
 }
@@ -752,7 +865,7 @@ func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome
 	var conflictC int64
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != CRefUndef {
 			s.stats.Conflicts++
 			conflictC++
 			*conflictBudget--
@@ -763,14 +876,15 @@ func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], CRefUndef)
 			} else {
-				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
-				s.learnts = append(s.learnts, c)
-				s.attach(c)
-				s.claBumpActivity(c)
+				cr := s.ca.alloc(learnt, true)
+				s.ca.setLBD(cr, s.computeLBD(learnt))
+				s.learnts = append(s.learnts, cr)
+				s.attach(cr)
+				s.claBumpActivity(cr)
 				s.stats.Learnt++
-				s.uncheckedEnqueue(learnt[0], c)
+				s.uncheckedEnqueue(learnt[0], cr)
 			}
 			s.varInc /= s.varDecay
 			s.claInc /= s.claDecay
@@ -825,7 +939,7 @@ func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome
 			}
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, CRefUndef)
 	}
 }
 
@@ -878,10 +992,15 @@ func (s *Solver) Solve(assumps ...cnf.Lit) Status {
 		restartLim := int64(luby(2, curRestarts) * float64(s.restartFirst))
 		switch s.search(restartLim, &conflictBudget) {
 		case outSat:
-			s.model = make(cnf.Assignment, s.NumVars())
-			for v := range s.assigns {
-				s.model[v] = s.assigns[v] == lTrue
+			n := s.NumVars()
+			if cap(s.modelBuf) < n {
+				s.modelBuf = make(cnf.Assignment, n)
 			}
+			m := s.modelBuf[:n]
+			for v := range s.assigns {
+				m[v] = s.assigns[v] == lTrue
+			}
+			s.model = m
 			status = Sat
 		case outUnsat:
 			status = Unsat
