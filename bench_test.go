@@ -19,15 +19,18 @@ package maxsat
 // benchmark metrics (aborts_<solver>, x_faster, ...).
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"repro/internal/bnb"
 	"repro/internal/card"
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/harness"
 	"repro/internal/opt"
+	"repro/internal/portfolio"
 	"repro/internal/sat"
 )
 
@@ -153,7 +156,7 @@ func BenchmarkMSU4AtLeast1(b *testing.B) {
 				iterations = 0
 				for _, in := range insts {
 					m := &core.MSU4{Opts: opt.Options{Encoding: card.Sorter}, SkipAtLeast1: skip}
-					r := m.Solve(in.W)
+					r := m.Solve(context.Background(), in.W, nil)
 					if r.Status != opt.StatusOptimal {
 						b.Fatalf("%s: %v", in.Name, r.Status)
 					}
@@ -179,7 +182,7 @@ func BenchmarkMSU1Variants(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, in := range insts {
 					m := &core.MSU1{AMOEncoding: enc}
-					if r := m.Solve(in.W); r.Status != opt.StatusOptimal {
+					if r := m.Solve(context.Background(), in.W, nil); r.Status != opt.StatusOptimal {
 						b.Fatalf("%s: %v", in.Name, r.Status)
 					}
 				}
@@ -205,6 +208,62 @@ func BenchmarkSolvers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPortfolio races the bound-sharing portfolio against its
+// strongest members on two instance families with opposite winners: random
+// over-constrained 3-SAT (branch-and-bound territory, where maxsatz alone
+// times out msu4 by orders of magnitude on bigger sizes) and an equivalence
+// miter (msu4 territory, where maxsatz aborts at the 10 s cap). No fixed
+// single choice is good on both; the portfolio is. On the miter family the
+// portfolio typically beats even its best member outright: the WalkSAT
+// seeder publishes an upper bound that lets msu4 prune its first
+// cardinality constraints tighter than it could alone (bound exchange, not
+// just early-winner selection). An aborts metric reports member timeouts.
+func BenchmarkPortfolio(b *testing.B) {
+	insts := []gen.Instance{
+		gen.RandomKSAT(7, 24, 3, 6.0),
+		gen.EquivMiter(12),
+	}
+	solvers := []struct {
+		name string
+		run  func(ctx context.Context, w *cnf.WCNF) opt.Result
+	}{
+		{"portfolio-4", func(ctx context.Context, w *cnf.WCNF) opt.Result {
+			return portfolio.New(opt.Options{}, 4).Solve(ctx, w, nil)
+		}},
+		{"msu4-v2", func(ctx context.Context, w *cnf.WCNF) opt.Result {
+			return core.NewMSU4V2(opt.Options{}).Solve(ctx, w, nil)
+		}},
+		{"maxsatz", func(ctx context.Context, w *cnf.WCNF) opt.Result {
+			return bnb.New(opt.Options{}).Solve(ctx, w, nil)
+		}},
+	}
+	for _, in := range insts {
+		in := in
+		for _, s := range solvers {
+			s := s
+			b.Run(in.Name+"/"+s.name, func(b *testing.B) {
+				aborts := 0
+				for i := 0; i < b.N; i++ {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					r := s.run(ctx, in.W)
+					cancel()
+					switch r.Status {
+					case opt.StatusOptimal:
+						if in.KnownCost >= 0 && r.Cost != in.KnownCost {
+							b.Fatalf("cost %d, known optimum %d", r.Cost, in.KnownCost)
+						}
+					case opt.StatusUnknown:
+						aborts++
+					default:
+						b.Fatalf("unexpected status %v", r.Status)
+					}
+				}
+				b.ReportMetric(float64(aborts), "aborts")
+			})
+		}
 	}
 }
 
@@ -243,7 +302,7 @@ func BenchmarkMSU4Minimize(b *testing.B) {
 				relaxed = 0
 				for _, in := range insts {
 					m := &core.MSU4{Opts: opt.Options{Encoding: card.Sorter}, MinimizeCores: minimize}
-					r := m.Solve(in.W)
+					r := m.Solve(context.Background(), in.W, nil)
 					if r.Status != opt.StatusOptimal {
 						b.Fatalf("%s: %v", in.Name, r.Status)
 					}

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	experiments [-run all] [-timeout 5s] [-seed 42] [-extended] [-csv dir] [-v]
+//	experiments [-run all] [-timeout 5s] [-seed 42] [-extended] [-portfolio N] [-csv dir] [-v]
 package main
 
 import (
@@ -32,12 +32,13 @@ func main() {
 func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		what     = fs.String("run", "all", "experiment: table1, table2, fig1, fig2, fig3, all")
-		timeout  = fs.Duration("timeout", 5*time.Second, "per-instance per-solver timeout (paper: 1000s)")
-		seed     = fs.Int64("seed", 42, "benchmark generator seed")
-		extended = fs.Bool("extended", false, "add msu1/msu2/msu3/pbo-bin to the line-up")
-		csvDir   = fs.String("csv", "", "also write CSV files into this directory")
-		verbose  = fs.Bool("v", false, "per-run progress output")
+		what      = fs.String("run", "all", "experiment: table1, table2, fig1, fig2, fig3, all")
+		timeout   = fs.Duration("timeout", 5*time.Second, "per-instance per-solver timeout (paper: 1000s)")
+		seed      = fs.Int64("seed", 42, "benchmark generator seed")
+		extended  = fs.Bool("extended", false, "add msu1/msu2/msu3/pbo-bin to the line-up")
+		portfolio = fs.Int("portfolio", 0, "also run the bound-sharing portfolio with N parallel solvers (0 = off)")
+		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
+		verbose   = fs.Bool("v", false, "per-run progress output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -46,6 +47,12 @@ func run(args []string, out io.Writer) int {
 	cfg := harness.Config{Timeout: *timeout}
 	if *extended {
 		cfg.Solvers = harness.ExtendedSolvers()
+	}
+	if *portfolio > 0 {
+		if cfg.Solvers == nil {
+			cfg.Solvers = harness.DefaultSolvers()
+		}
+		cfg.Solvers = append(cfg.Solvers, harness.PortfolioSpec(*portfolio))
 	}
 	if *verbose {
 		cfg.Progress = os.Stderr

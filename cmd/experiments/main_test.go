@@ -38,6 +38,17 @@ func TestExperimentsFig1Tiny(t *testing.T) {
 	}
 }
 
+func TestExperimentsPortfolioRow(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-run", "table2", "-timeout", "1ms", "-portfolio", "2"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "portfolio-2") {
+		t.Fatalf("portfolio row missing from table:\n%s", out.String())
+	}
+}
+
 func TestExperimentsBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if code := run([]string{"-run", "bogus", "-timeout", "1ms"}, &out); code != 2 {

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	maxsat [-alg msu4-v2] [-enc sorter] [-timeout 30s] [-stats] [-no-model] file
+//	maxsat [-alg msu4-v2] [-enc sorter] [-jobs 4] [-timeout 30s] [-stats] [-no-model] file
 package main
 
 import (
@@ -28,8 +28,9 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("maxsat", flag.ContinueOnError)
 	var (
-		alg     = fs.String("alg", "", "algorithm: auto (default), msu4-v1, msu4-v2, msu4, msu1, msu2, msu3, pbo, pbo-bin, maxsatz")
+		alg     = fs.String("alg", "", "algorithm: auto (default), msu4-v1, msu4-v2, msu4, msu1, msu2, msu3, pbo, pbo-bin, maxsatz, portfolio")
 		enc     = fs.String("enc", "", "cardinality encoding for -alg msu4: bdd, sorter, seq, totalizer")
+		jobs    = fs.Int("jobs", 0, "parallel solvers raced by -alg portfolio (0 = full line-up)")
 		timeout = fs.Duration("timeout", 0, "overall solve timeout (0 = unbounded)")
 		stats   = fs.Bool("stats", false, "print iteration/conflict statistics")
 		noModel = fs.Bool("no-model", false, "suppress the v line")
@@ -56,9 +57,10 @@ func run(args []string) int {
 		path, w.NumVars, w.NumClauses(), w.NumHard(), w.NumSoft())
 
 	o := maxsat.Options{
-		Algorithm: maxsat.Algorithm(*alg),
-		Encoding:  *enc,
-		Timeout:   *timeout,
+		Algorithm:   maxsat.Algorithm(*alg),
+		Encoding:    *enc,
+		Timeout:     *timeout,
+		Parallelism: *jobs,
 	}
 	start := time.Now()
 	r, err := maxsat.Solve(w, o)
@@ -68,8 +70,7 @@ func run(args []string) int {
 	}
 	fmt.Printf("c algorithm %s, %.3fs\n", r.Algorithm, time.Since(start).Seconds())
 	if *stats {
-		fmt.Printf("c iterations %d (sat %d, unsat %d), conflicts %d\n",
-			r.Iterations, r.SatCalls, r.UnsatCalls, r.Conflicts)
+		fmt.Printf("c %v\n", r)
 	}
 	switch r.Status {
 	case maxsat.Optimal:

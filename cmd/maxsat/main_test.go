@@ -42,6 +42,18 @@ func TestRunWCNF(t *testing.T) {
 	}
 }
 
+func TestRunPortfolio(t *testing.T) {
+	path := writeFile(t, "m.cnf", "p cnf 2 3\n1 0\n-1 2 0\n-2 0\n")
+	if code := run([]string{"-alg", "portfolio", "-jobs", "2", "-stats", path}); code != 0 {
+		t.Fatalf("portfolio exit %d, want 0", code)
+	}
+	// Portfolio handles weighted instances via the weighted line-up.
+	wpath := writeFile(t, "m.wcnf", "p wcnf 2 3 10\n10 1 2 0\n3 -1 0\n1 -2 0\n")
+	if code := run([]string{"-alg", "portfolio", wpath}); code != 0 {
+		t.Fatalf("weighted portfolio exit %d, want 0", code)
+	}
+}
+
 func TestRunHardUnsat(t *testing.T) {
 	path := writeFile(t, "u.wcnf", "p wcnf 1 3 10\n10 1 0\n10 -1 0\n1 1 0\n")
 	if code := run([]string{path}); code != 0 {

@@ -18,6 +18,7 @@
 package bnb
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/cnf"
@@ -73,6 +74,11 @@ type searcher struct {
 	ub   int64 // best complete cost found so far (exclusive pruning bound)
 	best cnf.Assignment
 
+	// Bound exchange (nil-safe): improvements to ub are published, and an
+	// externally improved model replaces ub/best at every budget check.
+	shared   *opt.Bounds
+	baseCost int64
+
 	// Probe scratch (versioned to avoid clearing):
 	vval      []int8
 	vversion  []uint32
@@ -81,24 +87,23 @@ type searcher struct {
 	vreason   []int32
 	consumed  []uint32 // stamped with roundBase when used by an inconsistency
 
-	nodes     int64
-	deadline  time.Time
-	stopCheck func() bool
-	aborted   bool
-	upLB      bool
-	hardBad   bool // hard clause falsified during the current assign batch
+	nodes   int64
+	ctx     context.Context
+	aborted bool
+	upLB    bool
+	hardBad bool // hard clause falsified during the current assign batch
 }
 
 // Solve implements opt.Solver.
-func (b *BnB) Solve(w *cnf.WCNF) (res opt.Result) {
+func (b *BnB) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	start := time.Now()
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
-	s := &searcher{nv: w.NumVars, upLB: !b.DisableUPLB, deadline: b.Opts.Deadline}
-	if b.Opts.Stop != nil {
-		stop := b.Opts.Stop
-		s.stopCheck = func() bool { return stop.Load() }
+	s := &searcher{nv: w.NumVars, upLB: !b.DisableUPLB, ctx: ctx, shared: shared}
+	if s.expired() {
+		res.Status = opt.StatusUnknown
+		return res
 	}
 	var baseCost int64
 	for _, c := range w.Clauses {
@@ -121,6 +126,7 @@ func (b *BnB) Solve(w *cnf.WCNF) (res opt.Result) {
 		s.clauses = append(s.clauses, bClause{lits: norm, weight: weight})
 	}
 	s.init()
+	s.baseCost = baseCost
 
 	// Greedy majority-polarity assignment provides the initial upper bound
 	// (inclusive: the search only looks for strictly better assignments).
@@ -132,17 +138,20 @@ func (b *BnB) Solve(w *cnf.WCNF) (res opt.Result) {
 		s.best = greedy
 	}
 	if b.LocalSearchUB > 0 {
-		lr := ls.Minimize(w, ls.Params{
+		lr := ls.Minimize(ctx, w, ls.Params{
 			Seed:     1,
 			MaxFlips: b.LocalSearchUB,
 			Tries:    3,
-			Deadline: b.Opts.Deadline,
 		})
 		if lr.Cost >= 0 && int64(lr.Cost)-baseCost < s.ub {
 			s.ub = int64(lr.Cost) - baseCost
 			s.best = lr.Model
 		}
 	}
+	if s.best != nil {
+		shared.PublishUB(cnf.Weight(s.ub+baseCost), s.best)
+	}
+	s.observeShared()
 
 	s.dfs()
 
@@ -298,18 +307,31 @@ func (s *searcher) propagateHard() bool {
 }
 
 func (s *searcher) expired() bool {
-	if s.stopCheck != nil && s.stopCheck() {
-		return true
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// observeShared adopts an externally published model when it beats the
+// current upper bound, tightening the pruning threshold mid-search.
+func (s *searcher) observeShared() {
+	ext, ok := s.shared.UB()
+	if !ok || int64(ext)-s.baseCost >= s.ub {
+		return
 	}
-	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+	if cost, model, ok := s.shared.Best(); ok && int64(cost)-s.baseCost < s.ub {
+		s.ub = int64(cost) - s.baseCost
+		s.best = model
+	}
 }
 
 // dfs explores the subtree under the current partial assignment.
 func (s *searcher) dfs() {
 	s.nodes++
-	if s.nodes&63 == 0 && s.expired() {
-		s.aborted = true
-		return
+	if s.nodes&63 == 0 {
+		if s.expired() {
+			s.aborted = true
+			return
+		}
+		s.observeShared()
 	}
 	if s.cost >= s.ub {
 		return
@@ -336,6 +358,7 @@ func (s *searcher) dfs() {
 			// Unassigned isolated variables default to false.
 			s.best[i] = s.val[i] == vTrue
 		}
+		s.shared.PublishUB(cnf.Weight(s.ub+s.baseCost), s.best)
 		s.undoTo(mark)
 		return
 	}

@@ -1,6 +1,7 @@
 package bnb
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestPaperExample2(t *testing.T) {
 	f.AddClause(lit(1), lit(-4))
 	f.AddClause(lit(-1), lit(4))
 	w := cnf.FromFormula(f)
-	r := New(opt.Options{}).Solve(w)
+	r := New(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 2 {
 		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
 	}
@@ -61,7 +62,7 @@ func TestAgainstBruteForce(t *testing.T) {
 		w := randomWCNF(rng, 3+rng.Intn(8), 4+rng.Intn(24), partial, weighted)
 		want, _, feasible := brute.MinCostWCNF(w)
 		for _, solver := range []*BnB{New(opt.Options{}), {DisableUPLB: true}} {
-			r := solver.Solve(w)
+			r := solver.Solve(context.Background(), w, nil)
 			if !feasible {
 				if r.Status != opt.StatusUnsat {
 					t.Fatalf("iter %d (uplb=%v): status %v, want UNSAT",
@@ -91,8 +92,8 @@ func TestUPLBPrunesMore(t *testing.T) {
 		w.AddSoft(1, lit(v))
 		w.AddSoft(1, lit(-v))
 	}
-	with := New(opt.Options{}).Solve(w)
-	without := (&BnB{DisableUPLB: true}).Solve(w)
+	with := New(opt.Options{}).Solve(context.Background(), w, nil)
+	without := (&BnB{DisableUPLB: true}).Solve(context.Background(), w, nil)
 	if with.Cost != 8 || without.Cost != 8 {
 		t.Fatalf("costs %d/%d, want 8", with.Cost, without.Cost)
 	}
@@ -109,7 +110,7 @@ func TestHardUnsat(t *testing.T) {
 	w.AddHard(lit(1), lit(-2))
 	w.AddHard(lit(-1), lit(-2))
 	w.AddSoft(1, lit(1))
-	if r := New(opt.Options{}).Solve(w); r.Status != opt.StatusUnsat {
+	if r := New(opt.Options{}).Solve(context.Background(), w, nil); r.Status != opt.StatusUnsat {
 		t.Fatalf("got %v, want UNSAT", r.Status)
 	}
 }
@@ -118,7 +119,7 @@ func TestEmptyHardClauseUnsat(t *testing.T) {
 	w := cnf.NewWCNF(1)
 	w.AddHard()
 	w.AddSoft(1, lit(1))
-	if r := New(opt.Options{}).Solve(w); r.Status != opt.StatusUnsat {
+	if r := New(opt.Options{}).Solve(context.Background(), w, nil); r.Status != opt.StatusUnsat {
 		t.Fatalf("got %v, want UNSAT", r.Status)
 	}
 }
@@ -127,7 +128,7 @@ func TestEmptySoftClauses(t *testing.T) {
 	w := cnf.NewWCNF(1)
 	w.AddSoft(2)
 	w.AddSoft(1, lit(1))
-	r := New(opt.Options{}).Solve(w)
+	r := New(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 2 {
 		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
 	}
@@ -137,7 +138,7 @@ func TestSatisfiableCostZero(t *testing.T) {
 	w := cnf.NewWCNF(3)
 	w.AddSoft(1, lit(1), lit(2))
 	w.AddSoft(1, lit(-1), lit(3))
-	r := New(opt.Options{}).Solve(w)
+	r := New(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 0 {
 		t.Fatalf("status %v cost %d, want optimal 0", r.Status, r.Cost)
 	}
@@ -147,7 +148,7 @@ func TestTautologyIgnored(t *testing.T) {
 	w := cnf.NewWCNF(2)
 	w.AddSoft(1, lit(1), lit(-1))
 	w.AddSoft(1, lit(2))
-	r := New(opt.Options{}).Solve(w)
+	r := New(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Cost != 0 {
 		t.Fatalf("cost %d, want 0 (tautology always satisfied)", r.Cost)
 	}
@@ -157,8 +158,9 @@ func TestDeadlineAbort(t *testing.T) {
 	// A hard random instance with an immediate deadline must return Unknown.
 	rng := rand.New(rand.NewSource(9))
 	w := randomWCNF(rng, 40, 300, false, false)
-	o := opt.Options{Deadline: time.Now().Add(5 * time.Millisecond)}
-	r := New(o).Solve(w)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	r := New(opt.Options{}).Solve(ctx, w, nil)
 	if r.Status == opt.StatusUnsat {
 		t.Fatal("plain MaxSAT can never be UNSAT")
 	}
@@ -178,7 +180,7 @@ func TestLocalSearchUBCorrectness(t *testing.T) {
 		w := randomWCNF(rng, 3+rng.Intn(7), 4+rng.Intn(20), iter%2 == 0, false)
 		want, _, feasible := brute.MinCostWCNF(w)
 		solver := &BnB{LocalSearchUB: 500}
-		r := solver.Solve(w)
+		r := solver.Solve(context.Background(), w, nil)
 		if !feasible {
 			if r.Status != opt.StatusUnsat {
 				t.Fatalf("iter %d: status %v, want UNSAT", iter, r.Status)
@@ -198,8 +200,8 @@ func TestLocalSearchUBReducesNodes(t *testing.T) {
 	// With a strong initial UB the search should not explore more nodes.
 	rng := rand.New(rand.NewSource(607))
 	w := randomWCNF(rng, 14, 80, false, false)
-	plain := New(opt.Options{}).Solve(w)
-	seeded := (&BnB{LocalSearchUB: 5000}).Solve(w)
+	plain := New(opt.Options{}).Solve(context.Background(), w, nil)
+	seeded := (&BnB{LocalSearchUB: 5000}).Solve(context.Background(), w, nil)
 	if plain.Cost != seeded.Cost {
 		t.Fatalf("costs differ: %d vs %d", plain.Cost, seeded.Cost)
 	}

@@ -257,6 +257,32 @@ func atMostSeq(d Dest, lits []cnf.Lit, k int) {
 	d.AddClause(lits[n-1].Neg(), s[n-2][k-1].Neg())
 }
 
+// guardedDest appends a fixed disabling literal to every emitted clause.
+type guardedDest struct {
+	d       Dest
+	disable cnf.Lit
+}
+
+func (g guardedDest) NewVar() cnf.Var { return g.d.NewVar() }
+
+func (g guardedDest) AddClause(lits ...cnf.Lit) bool {
+	out := make([]cnf.Lit, len(lits)+1)
+	copy(out, lits)
+	out[len(lits)] = g.disable
+	return g.d.AddClause(out...)
+}
+
+// Guarded wraps d so that every emitted clause carries the extra literal
+// `disable`. The encoded constraint is then switchable: assuming
+// disable.Neg() activates it, while adding the unit clause {disable}
+// permanently satisfies every clause of the encoding, retiring it.
+//
+// msu4 uses this to keep only its latest upper-bound cardinality constraint
+// active instead of accumulating one permanent encoding per SAT iteration.
+func Guarded(d Dest, disable cnf.Lit) Dest {
+	return guardedDest{d: d, disable: disable}
+}
+
 // FormulaDest adapts a *cnf.Formula as an encoding destination, for tests
 // and for callers that assemble CNF before handing it to a solver.
 type FormulaDest struct {

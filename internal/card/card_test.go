@@ -388,6 +388,45 @@ func TestParseEncoding(t *testing.T) {
 	}
 }
 
+func TestGuarded(t *testing.T) {
+	// Structural: every emitted clause carries the disabling literal.
+	f := cnf.NewFormula(3)
+	d := NewFormulaDest(f)
+	disable := cnf.PosLit(d.NewVar())
+	g := Guarded(d, disable)
+	if v := g.NewVar(); v != 4 {
+		t.Fatalf("NewVar passthrough = %v", v)
+	}
+	g.AddClause(cnf.PosLit(0), cnf.PosLit(1))
+	g.AddClause()
+	for _, c := range f.Clauses {
+		if c[len(c)-1] != disable {
+			t.Fatalf("clause %v missing disable literal %v", c, disable)
+		}
+	}
+
+	// Semantic: a guarded AtMost-1 over x1..x3 is enforced while assuming
+	// ¬disable, and retired by the unit clause {disable}.
+	s := sat.New()
+	s.EnsureVars(3)
+	lits := []cnf.Lit{cnf.PosLit(0), cnf.PosLit(1), cnf.PosLit(2)}
+	for _, l := range lits {
+		s.AddClause(l) // force all three true: violates AtMost-1
+	}
+	dis := cnf.PosLit(s.NewVar())
+	AtMost(Guarded(s, dis), Pairwise, lits, 1)
+	if st := s.Solve(dis.Neg()); st != sat.Unsat {
+		t.Fatalf("active guarded constraint: %v, want UNSAT", st)
+	}
+	if st := s.Solve(); st != sat.Sat {
+		t.Fatalf("without activation the constraint must not bind: %v", st)
+	}
+	s.AddClause(dis) // retire
+	if st := s.Solve(); st != sat.Sat {
+		t.Fatalf("retired constraint must not bind: %v", st)
+	}
+}
+
 func TestFormulaDest(t *testing.T) {
 	f := cnf.NewFormula(2)
 	d := NewFormulaDest(f)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -37,8 +38,8 @@ func allSolvers(o opt.Options) []opt.Solver {
 		NewMSU3(o),
 		NewMSU4V1(o),
 		NewMSU4V2(o),
-		&MSU4{Opts: opt.Options{Encoding: card.Sequential, Deadline: o.Deadline}, Label: "msu4-seq"},
-		&MSU4{Opts: opt.Options{Encoding: card.Totalizer, Deadline: o.Deadline}, Label: "msu4-tot"},
+		&MSU4{Opts: opt.Options{Encoding: card.Sequential}, Label: "msu4-seq"},
+		&MSU4{Opts: opt.Options{Encoding: card.Totalizer}, Label: "msu4-tot"},
 		&MSU4{Opts: o, SkipAtLeast1: true, Label: "msu4-noal1"},
 		&MSU3{Opts: o, DisjointPhase: true},
 	}
@@ -47,7 +48,7 @@ func allSolvers(o opt.Options) []opt.Solver {
 func TestMSU4PaperExample(t *testing.T) {
 	w := paperExample2()
 	for _, s := range allSolvers(opt.Options{}) {
-		r := s.Solve(w)
+		r := s.Solve(context.Background(), w, nil)
 		if r.Status != opt.StatusOptimal {
 			t.Fatalf("%s: status %v", s.Name(), r.Status)
 		}
@@ -69,7 +70,7 @@ func TestMSU4PaperExampleIterationShape(t *testing.T) {
 	// solver heuristics, but msu4 must finish such instances within a few
 	// iterations and report both SAT and UNSAT outcomes.
 	m := NewMSU4V2(opt.Options{})
-	r := m.Solve(paperExample2())
+	r := m.Solve(context.Background(), paperExample2(), nil)
 	if r.UnsatCalls < 2 {
 		t.Fatalf("expected at least 2 UNSAT iterations (two disjoint cores), got %d", r.UnsatCalls)
 	}
@@ -105,7 +106,7 @@ func TestAgainstBruteForcePlain(t *testing.T) {
 			t.Fatal("plain MaxSAT is always feasible")
 		}
 		for _, s := range solvers {
-			r := s.Solve(w)
+			r := s.Solve(context.Background(), w, nil)
 			if r.Status != opt.StatusOptimal {
 				t.Fatalf("iter %d %s: status %v", iter, s.Name(), r.Status)
 			}
@@ -127,7 +128,7 @@ func TestAgainstBruteForcePartial(t *testing.T) {
 		w := randomWCNF(rng, 3+rng.Intn(7), 4+rng.Intn(20), true)
 		want, _, feasible := brute.MinCostWCNF(w)
 		for _, s := range solvers {
-			r := s.Solve(w)
+			r := s.Solve(context.Background(), w, nil)
 			if !feasible {
 				if r.Status != opt.StatusUnsat {
 					t.Fatalf("iter %d %s: status %v, want UNSAT (hard conflict)",
@@ -154,7 +155,7 @@ func TestSatisfiableInstanceCostZero(t *testing.T) {
 	w.AddSoft(1, lit(1), lit(2))
 	w.AddSoft(1, lit(-1))
 	for _, s := range allSolvers(opt.Options{}) {
-		r := s.Solve(w)
+		r := s.Solve(context.Background(), w, nil)
 		if r.Status != opt.StatusOptimal || r.Cost != 0 {
 			t.Fatalf("%s: got status %v cost %d, want optimal 0", s.Name(), r.Status, r.Cost)
 		}
@@ -167,7 +168,7 @@ func TestHardUnsat(t *testing.T) {
 	w.AddHard(lit(-1))
 	w.AddSoft(1, lit(1))
 	for _, s := range allSolvers(opt.Options{}) {
-		if r := s.Solve(w); r.Status != opt.StatusUnsat {
+		if r := s.Solve(context.Background(), w, nil); r.Status != opt.StatusUnsat {
 			t.Fatalf("%s: got %v, want UNSAT", s.Name(), r.Status)
 		}
 	}
@@ -184,7 +185,7 @@ func TestHardUnsatDiscoveredLate(t *testing.T) {
 	w.AddSoft(1, lit(4))
 	w.AddSoft(1, lit(-4))
 	for _, s := range allSolvers(opt.Options{}) {
-		if r := s.Solve(w); r.Status != opt.StatusUnsat {
+		if r := s.Solve(context.Background(), w, nil); r.Status != opt.StatusUnsat {
 			t.Fatalf("%s: got %v, want UNSAT", s.Name(), r.Status)
 		}
 	}
@@ -197,7 +198,7 @@ func TestEmptySoftClauses(t *testing.T) {
 	w.AddSoft(1)
 	w.AddSoft(1, lit(1))
 	for _, s := range allSolvers(opt.Options{}) {
-		r := s.Solve(w)
+		r := s.Solve(context.Background(), w, nil)
 		if r.Status != opt.StatusOptimal || r.Cost != 2 {
 			t.Fatalf("%s: got status %v cost %d, want optimal 2", s.Name(), r.Status, r.Cost)
 		}
@@ -212,20 +213,34 @@ func TestAllClausesContradictory(t *testing.T) {
 		w.AddSoft(1, lit(-1))
 	}
 	for _, s := range allSolvers(opt.Options{}) {
-		r := s.Solve(w)
+		r := s.Solve(context.Background(), w, nil)
 		if r.Status != opt.StatusOptimal || r.Cost != 4 {
 			t.Fatalf("%s: got status %v cost %d, want optimal 4", s.Name(), r.Status, r.Cost)
 		}
 	}
 }
 
-func TestDeadlineExpiry(t *testing.T) {
-	// A deadline in the past must yield Unknown immediately (not hang, not
-	// fabricate an optimum).
-	o := opt.Options{Deadline: time.Now().Add(-time.Second)}
+func TestCancelledContext(t *testing.T) {
+	// An already-cancelled context must yield Unknown immediately (not hang,
+	// not fabricate an optimum).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	w := paperExample2()
-	for _, s := range allSolvers(o) {
-		r := s.Solve(w)
+	for _, s := range allSolvers(opt.Options{}) {
+		r := s.Solve(ctx, w, nil)
+		if r.Status != opt.StatusUnknown {
+			t.Fatalf("%s: got %v, want Unknown under cancelled context", s.Name(), r.Status)
+		}
+	}
+}
+
+func TestExpiredDeadlineContext(t *testing.T) {
+	// A context deadline in the past behaves like cancellation.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	w := paperExample2()
+	for _, s := range allSolvers(opt.Options{}) {
+		r := s.Solve(ctx, w, nil)
 		if r.Status != opt.StatusUnknown {
 			t.Fatalf("%s: got %v, want Unknown under expired deadline", s.Name(), r.Status)
 		}
@@ -242,7 +257,7 @@ func TestWeightedPanics(t *testing.T) {
 					t.Errorf("%s: weighted input should panic", s.Name())
 				}
 			}()
-			s.Solve(w)
+			s.Solve(context.Background(), w, nil)
 		}()
 	}
 }
@@ -256,7 +271,7 @@ func TestMSU4BoundsMeetTermination(t *testing.T) {
 		w.AddSoft(1, lit(-v))
 	}
 	m := NewMSU4V2(opt.Options{})
-	r := m.Solve(w)
+	r := m.Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 6 {
 		t.Fatalf("got status %v cost %d, want optimal 6", r.Status, r.Cost)
 	}
@@ -267,7 +282,7 @@ func TestMSU4BoundsMeetTermination(t *testing.T) {
 
 func TestMSU4StatsPopulated(t *testing.T) {
 	m := NewMSU4V1(opt.Options{})
-	r := m.Solve(paperExample2())
+	r := m.Solve(context.Background(), paperExample2(), nil)
 	if r.Iterations == 0 || r.Conflicts == 0 || r.Elapsed <= 0 {
 		t.Fatalf("stats not populated: %+v", r)
 	}
@@ -315,7 +330,7 @@ func TestMSU4LargerStructured(t *testing.T) {
 	w.NumVars = base
 	want, _, _ := brute.MinCostWCNF(w)
 	for _, s := range allSolvers(opt.Options{}) {
-		r := s.Solve(w)
+		r := s.Solve(context.Background(), w, nil)
 		if r.Status != opt.StatusOptimal || r.Cost != want {
 			t.Fatalf("%s: cost %d, want %d", s.Name(), r.Cost, want)
 		}
@@ -329,7 +344,7 @@ func TestMSU4MinimizeCores(t *testing.T) {
 		w := randomWCNF(rng, 3+rng.Intn(7), 4+rng.Intn(20), iter%2 == 0)
 		want, _, feasible := brute.MinCostWCNF(w)
 		m := &MSU4{Opts: opt.Options{Encoding: card.Sorter}, MinimizeCores: true, Label: "msu4-min"}
-		r := m.Solve(w)
+		r := m.Solve(context.Background(), w, nil)
 		if !feasible {
 			if r.Status != opt.StatusUnsat {
 				t.Fatalf("iter %d: status %v, want UNSAT", iter, r.Status)
@@ -367,6 +382,49 @@ func TestMinimizeCoreShrinks(t *testing.T) {
 	}
 }
 
+func TestSharedBoundsShortCircuit(t *testing.T) {
+	// Closed shared bounds (an external member proved the optimum) make
+	// every core-guided algorithm return the shared model without a single
+	// SAT call.
+	w := paperExample2()
+	ref := NewMSU4V2(opt.Options{}).Solve(context.Background(), w, nil)
+	if ref.Status != opt.StatusOptimal {
+		t.Fatal("reference solve failed")
+	}
+	shared := opt.NewBounds()
+	shared.PublishUB(ref.Cost, ref.Model)
+	shared.PublishLB(ref.Cost)
+	for _, s := range allSolvers(opt.Options{}) {
+		r := s.Solve(context.Background(), w, shared)
+		if r.Status != opt.StatusOptimal || r.Cost != ref.Cost {
+			t.Fatalf("%s: status %v cost %d, want optimal %d", s.Name(), r.Status, r.Cost, ref.Cost)
+		}
+		if r.Iterations != 0 {
+			t.Fatalf("%s: %d iterations, want 0 (closed bounds short-circuit)", s.Name(), r.Iterations)
+		}
+		if !opt.VerifyModel(w, r) {
+			t.Fatalf("%s: adopted model inconsistent", s.Name())
+		}
+	}
+}
+
+func TestMSU4AdoptsExternalUB(t *testing.T) {
+	// An externally published model (e.g. from WalkSAT) tightens msu4's
+	// cardinality bound exactly like a locally found one: the run stays
+	// correct and its lower bound closes against the adopted cost.
+	w := paperExample2()
+	ref := NewMSU4V2(opt.Options{}).Solve(context.Background(), w, nil)
+	shared := opt.NewBounds()
+	shared.PublishUB(ref.Cost, ref.Model)
+	r := NewMSU4V2(opt.Options{}).Solve(context.Background(), w, shared)
+	if r.Status != opt.StatusOptimal || r.Cost != ref.Cost {
+		t.Fatalf("status %v cost %d, want optimal %d", r.Status, r.Cost, ref.Cost)
+	}
+	if !opt.VerifyModel(w, r) {
+		t.Fatal("model inconsistent with cost")
+	}
+}
+
 func TestMSU3DisjointPhaseLowerBound(t *testing.T) {
 	// Six disjoint contradictory pairs: the disjoint phase alone should
 	// reach lb = 6 and the main loop should confirm immediately.
@@ -376,11 +434,11 @@ func TestMSU3DisjointPhaseLowerBound(t *testing.T) {
 		w.AddSoft(1, lit(-v))
 	}
 	m := &MSU3{DisjointPhase: true}
-	r := m.Solve(w)
+	r := m.Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 6 {
 		t.Fatalf("status %v cost %d, want optimal 6", r.Status, r.Cost)
 	}
-	plain := NewMSU3(opt.Options{}).Solve(w)
+	plain := NewMSU3(opt.Options{}).Solve(context.Background(), w, nil)
 	if plain.Cost != r.Cost {
 		t.Fatalf("disjoint phase changed the optimum: %d vs %d", r.Cost, plain.Cost)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/card"
@@ -35,7 +36,7 @@ func NewMSU1(o opt.Options) *MSU1 {
 func (m *MSU1) Name() string { return "msu1" }
 
 // Solve implements opt.Solver. Soft clauses must have unit weight.
-func (m *MSU1) Solve(w *cnf.WCNF) (res opt.Result) {
+func (m *MSU1) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	requireUnweighted(w, "msu1")
 	amo := m.AMOEncoding
 	start := time.Now()
@@ -43,7 +44,7 @@ func (m *MSU1) Solve(w *cnf.WCNF) (res opt.Result) {
 	defer func() { res.Elapsed = time.Since(start) }()
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget())
+	s.SetBudget(m.Opts.Budget(ctx))
 	softs, ok := loadSoft(s, w)
 	if !ok {
 		res.Status = opt.StatusUnsat
@@ -60,8 +61,14 @@ func (m *MSU1) Solve(w *cnf.WCNF) (res opt.Result) {
 	cost := 0
 	var assumps []cnf.Lit
 	for {
-		if m.Opts.Expired() {
+		if ctx.Err() != nil {
 			finishUnknown(&res, cnf.Weight(cost))
+			return res
+		}
+		// cost is a valid global lower bound (each core raises the optimum
+		// by one); if it meets an externally published model's cost, that
+		// model is optimal and the remaining SAT call is unnecessary.
+		if adoptClosed(shared, &res, cnf.Weight(cost)) {
 			return res
 		}
 		assumps = assumps[:0]
@@ -84,6 +91,7 @@ func (m *MSU1) Solve(w *cnf.WCNF) (res opt.Result) {
 			res.Cost = cnf.Weight(cost)
 			res.LowerBound = res.Cost
 			res.Model = snapshotModel(model, w.NumVars)
+			shared.PublishUB(res.Cost, res.Model)
 			return res
 
 		case sat.Unsat:
@@ -98,6 +106,7 @@ func (m *MSU1) Solve(w *cnf.WCNF) (res opt.Result) {
 				return res
 			}
 			cost++
+			shared.PublishLB(cnf.Weight(cost))
 			newRelax := make([]cnf.Lit, 0, len(coreSels))
 			for _, sel := range coreSels {
 				c := owner[sel.Var()]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/card"
@@ -32,7 +33,7 @@ func NewMSU2(o opt.Options) *MSU2 {
 func (m *MSU2) Name() string { return "msu2" }
 
 // Solve implements opt.Solver. Soft clauses must have unit weight.
-func (m *MSU2) Solve(w *cnf.WCNF) (res opt.Result) {
+func (m *MSU2) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	requireUnweighted(w, "msu2")
 	start := time.Now()
 	res = opt.Result{Cost: -1}
@@ -44,12 +45,15 @@ func (m *MSU2) Solve(w *cnf.WCNF) (res opt.Result) {
 	lb := 0
 
 	for {
-		if m.Opts.Expired() {
+		if ctx.Err() != nil {
 			finishUnknown(&res, cnf.Weight(lb))
 			return res
 		}
+		if adoptClosed(shared, &res, cnf.Weight(lb)) {
+			return res
+		}
 		s := sat.New()
-		s.SetBudget(m.Opts.Budget())
+		s.SetBudget(m.Opts.Budget(ctx))
 		s.EnsureVars(w.NumVars)
 
 		// Rebuild: hard clauses, enforced soft clauses with selectors (for
@@ -117,6 +121,7 @@ func (m *MSU2) Solve(w *cnf.WCNF) (res opt.Result) {
 			res.Cost = cnf.Weight(cost)
 			res.LowerBound = res.Cost
 			res.Model = snapshotModel(model, w.NumVars)
+			shared.PublishUB(res.Cost, res.Model)
 			return res
 
 		case sat.Unsat:
@@ -136,6 +141,7 @@ func (m *MSU2) Solve(w *cnf.WCNF) (res opt.Result) {
 				// Core involves only the cardinality constraint and
 				// context: the bound is too tight.
 				lb++
+				shared.PublishLB(cnf.Weight(lb))
 			default:
 				// No enforced soft clause and no effective bound in the
 				// conflict: the hard clauses are unsatisfiable.

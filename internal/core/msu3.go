@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/card"
@@ -43,14 +44,14 @@ func NewMSU3(o opt.Options) *MSU3 { return &MSU3{Opts: o} }
 func (m *MSU3) Name() string { return "msu3" }
 
 // Solve implements opt.Solver. Soft clauses must have unit weight.
-func (m *MSU3) Solve(w *cnf.WCNF) (res opt.Result) {
+func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	requireUnweighted(w, "msu3")
 	start := time.Now()
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget())
+	s.SetBudget(m.Opts.Budget(ctx))
 	softs, ok := loadSoft(s, w)
 	if !ok {
 		res.Status = opt.StatusUnsat
@@ -68,7 +69,10 @@ func (m *MSU3) Solve(w *cnf.WCNF) (res opt.Result) {
 		// from everything already relaxed, so it raises the lower bound by
 		// one. Stop at the first SAT/empty-core outcome.
 	disjoint:
-		for !m.Opts.Expired() {
+		for ctx.Err() == nil {
+			if adoptClosed(shared, &res, cnf.Weight(lb)) {
+				return res
+			}
 			assumps = assumps[:0]
 			for _, c := range softs {
 				if !c.relaxed {
@@ -109,12 +113,16 @@ func (m *MSU3) Solve(w *cnf.WCNF) (res opt.Result) {
 				}
 				tot.AddInputs(newBlocking)
 				lb++
+				shared.PublishLB(cnf.Weight(lb))
 			}
 		}
 	}
 	for {
-		if m.Opts.Expired() {
+		if ctx.Err() != nil {
 			finishUnknown(&res, cnf.Weight(lb))
+			return res
+		}
+		if adoptClosed(shared, &res, cnf.Weight(lb)) {
 			return res
 		}
 		assumps = assumps[:0]
@@ -145,6 +153,7 @@ func (m *MSU3) Solve(w *cnf.WCNF) (res opt.Result) {
 			res.Cost = cnf.Weight(cost)
 			res.LowerBound = res.Cost
 			res.Model = snapshotModel(model, w.NumVars)
+			shared.PublishUB(res.Cost, res.Model)
 			return res
 
 		case sat.Unsat:
@@ -170,6 +179,7 @@ func (m *MSU3) Solve(w *cnf.WCNF) (res opt.Result) {
 				// Core is {bound} (possibly with hard/relaxed context):
 				// the bound itself is too tight.
 				lb++
+				shared.PublishLB(cnf.Weight(lb))
 			default:
 				// Unsatisfiable without any assumption: hard clauses
 				// conflict.

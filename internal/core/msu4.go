@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -20,6 +21,17 @@ import (
 // when U reaches BV. (The pseudo-code's line 22 returns its UB variable; at
 // both exits the bounds have met, so the best model's cost is the returned
 // optimum, and returning it keeps the result witnessed by a model.)
+//
+// The line-30 cardinality constraint CNF(Σ b ≤ BV−1) is emitted through a
+// guarded destination: every clause of the encoding carries a fresh
+// disabling literal, the constraint is activated by assuming its negation,
+// and a superseded bound is retired with a unit clause on the disabler. The
+// solver therefore carries at most one active bound encoding instead of
+// accumulating every bound it ever searched under.
+//
+// When run inside a portfolio, MSU4 publishes U as a lower bound and every
+// improved model as an upper bound, and prunes against externally improved
+// models by re-encoding the bound constraint at the tighter value.
 type MSU4 struct {
 	Opts opt.Options
 	// SkipAtLeast1 disables the optional cardinality constraint of line 19
@@ -62,14 +74,14 @@ func (m *MSU4) Name() string {
 }
 
 // Solve implements opt.Solver. Soft clauses must have unit weight.
-func (m *MSU4) Solve(w *cnf.WCNF) (res opt.Result) {
+func (m *MSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	requireUnweighted(w, "msu4")
 	start := time.Now()
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget())
+	s.SetBudget(m.Opts.Budget(ctx))
 	softs, ok := loadSoft(s, w)
 	if !ok {
 		res.Status = opt.StatusUnsat
@@ -82,14 +94,61 @@ func (m *MSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 		unsatIts = 0           // U: iterations with UNSAT outcome
 		relaxed  []cnf.Lit     // VB: blocking literals of relaxed clauses
 		assumps  []cnf.Lit
+
+		// Active guarded bound encoding (see setBound).
+		boundAssump  = cnf.LitUndef // assumed to activate the constraint
+		boundDisable = cnf.LitUndef // unit-added to retire it
+		curBound     = math.MaxInt  // k of the active AtMost(relaxed, k)
 	)
 
+	// setBound retires the active bound encoding (if any) and emits
+	// AtMost(relaxed, k) behind a fresh guard. Vacuous bounds need no
+	// encoding and leave no active guard.
+	setBound := func(k int) {
+		if boundDisable != cnf.LitUndef {
+			s.AddClause(boundDisable)
+			boundAssump, boundDisable = cnf.LitUndef, cnf.LitUndef
+		}
+		curBound = k
+		if k >= len(relaxed) {
+			return
+		}
+		gv := s.NewVar()
+		boundDisable = cnf.PosLit(gv)
+		boundAssump = cnf.NegLit(gv)
+		card.AtMost(card.Guarded(s, boundDisable), m.Opts.Encoding, relaxed, k)
+	}
+
 	for {
-		if m.Opts.Expired() {
+		if ctx.Err() != nil {
 			finishUnknown(&res, cnf.Weight(unsatIts))
 			return res
 		}
+		if adoptClosed(shared, &res, cnf.Weight(unsatIts)) {
+			return res
+		}
+		// Pull an externally improved model: it tightens BV exactly as a
+		// locally found one would (paper lines 26-31).
+		if cost, ok := adoptBetterUB(shared, &res); ok && int(cost) < bestCost {
+			bestCost = int(cost)
+			if bestCost == 0 {
+				res.Status = opt.StatusOptimal
+				res.LowerBound = 0
+				return res
+			}
+			if unsatIts >= bestCost {
+				res.Status = opt.StatusOptimal
+				res.LowerBound = res.Cost
+				return res
+			}
+			if bestCost-1 < curBound {
+				setBound(bestCost - 1)
+			}
+		}
 		assumps = assumps[:0]
+		if boundAssump != cnf.LitUndef {
+			assumps = append(assumps, boundAssump)
+		}
 		for _, c := range softs {
 			if !c.relaxed {
 				assumps = append(assumps, c.assumption())
@@ -107,6 +166,10 @@ func (m *MSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 		case sat.Unsat:
 			res.UnsatCalls++
 			coreSels := s.Core()
+			// The bound guard is not a soft-clause selector; a core that
+			// contains only it plays the role the permanently-encoded
+			// bound's empty core played before guarding.
+			coreSels = dropLit(coreSels, boundAssump)
 			if m.MinimizeCores && len(coreSels) > 1 {
 				probeConflicts := m.MinimizeProbeConflicts
 				if probeConflicts <= 0 {
@@ -114,7 +177,7 @@ func (m *MSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 				}
 				// Probe calls are not main-loop iterations; their work is
 				// still visible through res.Conflicts.
-				coreSels, _ = minimizeCore(s, coreSels, m.Opts.Budget(), probeConflicts)
+				coreSels, _ = minimizeCore(s, coreSels, m.Opts.Budget(ctx), probeConflicts)
 			}
 			if len(coreSels) == 0 {
 				// The core contains no initial clause (paper line 21-22).
@@ -145,6 +208,7 @@ func (m *MSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 				s.AddClause(newBlocking...)
 			}
 			unsatIts++ // paper lines 23-24 refine the upper bound
+			shared.PublishLB(cnf.Weight(unsatIts))
 			if res.Model != nil && unsatIts >= bestCost {
 				// Lower and upper bound met (paper lines 32-33).
 				res.Status = opt.StatusOptimal
@@ -165,6 +229,7 @@ func (m *MSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 				bestCost = cost
 				res.Cost = cnf.Weight(cost)
 				res.Model = snapshotModel(model, w.NumVars)
+				shared.PublishUB(res.Cost, res.Model)
 			}
 			if cost == 0 {
 				res.Status = opt.StatusOptimal
@@ -177,8 +242,24 @@ func (m *MSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 				return res
 			}
 			// Paper lines 30-31: require fewer blocking variables than the
-			// best model used, over all blocking variables so far.
-			card.AtMost(s, m.Opts.Encoding, relaxed, bestCost-1)
+			// best model used, over all blocking variables so far. The
+			// relaxed set has grown since the last encoding, so re-encode
+			// even when the numeric bound is unchanged.
+			setBound(bestCost - 1)
 		}
 	}
+}
+
+// dropLit returns lits without l (order preserved). LitUndef never matches.
+func dropLit(lits []cnf.Lit, l cnf.Lit) []cnf.Lit {
+	if l == cnf.LitUndef {
+		return lits
+	}
+	out := lits[:0]
+	for _, x := range lits {
+		if x != l {
+			out = append(out, x)
+		}
+	}
+	return out
 }

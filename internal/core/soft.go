@@ -95,3 +95,29 @@ func finishUnknown(res *opt.Result, lowerBound cnf.Weight) {
 	}
 	res.LowerBound = lowerBound
 }
+
+// adoptClosed checks whether the shared bounds have met (another portfolio
+// member proved the optimum); if so it fills res with the shared best model
+// and reports true. lb is the caller's own proved lower bound, published
+// before the check so the caller's final proof round also counts.
+func adoptClosed(shared *opt.Bounds, res *opt.Result, lb cnf.Weight) bool {
+	shared.PublishLB(lb)
+	return shared.AdoptClosed(res)
+}
+
+// adoptBetterUB pulls an externally improved upper bound (and its witnessing
+// model) into res when it beats res.Cost. It returns the adopted cost and
+// true, or res.Cost and false.
+func adoptBetterUB(shared *opt.Bounds, res *opt.Result) (cnf.Weight, bool) {
+	ub, ok := shared.UB()
+	if !ok || (res.Cost >= 0 && ub >= res.Cost) {
+		return res.Cost, false
+	}
+	cost, model, ok := shared.Best()
+	if !ok || (res.Cost >= 0 && cost >= res.Cost) {
+		return res.Cost, false
+	}
+	res.Cost = cost
+	res.Model = model
+	return cost, true
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/card"
@@ -44,13 +45,13 @@ type softItem struct {
 }
 
 // Solve implements opt.Solver. Handles weighted partial MaxSAT.
-func (m *WMSU1) Solve(w *cnf.WCNF) (res opt.Result) {
+func (m *WMSU1) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	start := time.Now()
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget())
+	s.SetBudget(m.Opts.Budget(ctx))
 	s.EnsureVars(w.NumVars)
 
 	items := make(map[cnf.Var]*softItem)
@@ -79,8 +80,14 @@ func (m *WMSU1) Solve(w *cnf.WCNF) (res opt.Result) {
 	var cost cnf.Weight
 	var assumps []cnf.Lit
 	for {
-		if m.Opts.Expired() {
+		if ctx.Err() != nil {
 			finishUnknown(&res, cost)
+			return res
+		}
+		// cost (the sum of per-core minimum weights) is a valid global lower
+		// bound; when it meets an externally published model's cost that
+		// model is optimal.
+		if adoptClosed(shared, &res, cost) {
 			return res
 		}
 		assumps = assumps[:0]
@@ -105,6 +112,7 @@ func (m *WMSU1) Solve(w *cnf.WCNF) (res opt.Result) {
 			res.Cost = cost
 			res.LowerBound = cost
 			res.Model = snapshotModel(model, w.NumVars)
+			shared.PublishUB(res.Cost, res.Model)
 			return res
 
 		case sat.Unsat:
@@ -123,6 +131,7 @@ func (m *WMSU1) Solve(w *cnf.WCNF) (res opt.Result) {
 				}
 			}
 			cost += wmin
+			shared.PublishLB(cost)
 			newRelax := make([]cnf.Lit, 0, len(coreSels))
 			for _, sel := range coreSels {
 				it := items[sel.Var()]

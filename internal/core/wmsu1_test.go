@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
-	"time"
 
 	"repro/internal/brute"
 	"repro/internal/cnf"
@@ -12,7 +12,7 @@ import (
 
 func TestWMSU1UnweightedMatchesMSU1(t *testing.T) {
 	w := paperExample2()
-	r := NewWMSU1(opt.Options{}).Solve(w)
+	r := NewWMSU1(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 2 {
 		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
 	}
@@ -26,7 +26,7 @@ func TestWMSU1WeightedBasics(t *testing.T) {
 	w := cnf.NewWCNF(1)
 	w.AddSoft(5, lit(1))
 	w.AddSoft(2, lit(-1))
-	r := NewWMSU1(opt.Options{}).Solve(w)
+	r := NewWMSU1(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 2 {
 		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
 	}
@@ -44,7 +44,7 @@ func TestWMSU1ClauseSplitting(t *testing.T) {
 	w.AddSoft(4, lit(-1), lit(2))
 	w.AddSoft(2, lit(-2))
 	want, _, _ := brute.MinCostWCNF(w)
-	r := NewWMSU1(opt.Options{}).Solve(w)
+	r := NewWMSU1(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Cost != want {
 		t.Fatalf("cost %d, want %d", r.Cost, want)
 	}
@@ -68,7 +68,7 @@ func TestWMSU1AgainstBruteForce(t *testing.T) {
 			}
 		}
 		want, _, feasible := brute.MinCostWCNF(w)
-		r := NewWMSU1(opt.Options{}).Solve(w)
+		r := NewWMSU1(opt.Options{}).Solve(context.Background(), w, nil)
 		if !feasible {
 			if r.Status != opt.StatusUnsat {
 				t.Fatalf("iter %d: status %v, want UNSAT", iter, r.Status)
@@ -92,15 +92,16 @@ func TestWMSU1HardUnsat(t *testing.T) {
 	w.AddHard(lit(1))
 	w.AddHard(lit(-1))
 	w.AddSoft(3, lit(1))
-	if r := NewWMSU1(opt.Options{}).Solve(w); r.Status != opt.StatusUnsat {
+	if r := NewWMSU1(opt.Options{}).Solve(context.Background(), w, nil); r.Status != opt.StatusUnsat {
 		t.Fatalf("got %v, want UNSAT", r.Status)
 	}
 }
 
-func TestWMSU1Deadline(t *testing.T) {
+func TestWMSU1Cancelled(t *testing.T) {
 	w := paperExample2()
-	o := opt.Options{Deadline: time.Now().Add(-time.Second)}
-	if r := NewWMSU1(o).Solve(w); r.Status != opt.StatusUnknown {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := NewWMSU1(opt.Options{}).Solve(ctx, w, nil); r.Status != opt.StatusUnknown {
 		t.Fatalf("got %v, want Unknown", r.Status)
 	}
 }
@@ -109,7 +110,7 @@ func TestWMSU1EmptySoftClause(t *testing.T) {
 	w := cnf.NewWCNF(1)
 	w.AddSoft(4)
 	w.AddSoft(1, lit(1))
-	r := NewWMSU1(opt.Options{}).Solve(w)
+	r := NewWMSU1(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 4 {
 		t.Fatalf("status %v cost %d, want optimal 4", r.Status, r.Cost)
 	}

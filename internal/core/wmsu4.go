@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -38,13 +39,13 @@ func NewWMSU4(o opt.Options) *WMSU4 { return &WMSU4{Opts: o} }
 func (m *WMSU4) Name() string { return "wmsu4" }
 
 // Solve implements opt.Solver. Handles weighted partial MaxSAT.
-func (m *WMSU4) Solve(w *cnf.WCNF) (res opt.Result) {
+func (m *WMSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	start := time.Now()
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget())
+	s.SetBudget(m.Opts.Budget(ctx))
 	softs, ok := loadSoft(s, w)
 	if !ok {
 		res.Status = opt.StatusUnsat
@@ -64,9 +65,21 @@ func (m *WMSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 	)
 
 	for {
-		if m.Opts.Expired() {
+		if ctx.Err() != nil {
 			finishUnknown(&res, lb)
 			return res
+		}
+		if adoptClosed(shared, &res, lb) {
+			return res
+		}
+		// An externally improved model tightens BV like a local one.
+		if cost, ok := adoptBetterUB(shared, &res); ok && cost < bestCost {
+			bestCost = cost
+			if bestCost == 0 || lb >= bestCost {
+				res.Status = opt.StatusOptimal
+				res.LowerBound = res.Cost
+				return res
+			}
 		}
 		assumps = assumps[:0]
 		for _, c := range softs {
@@ -110,6 +123,7 @@ func (m *WMSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 				s.AddClause(newBlocking...)
 			}
 			lb += minW
+			shared.PublishLB(lb)
 			if res.Model != nil && lb >= bestCost {
 				res.Status = opt.StatusOptimal
 				res.LowerBound = res.Cost
@@ -124,6 +138,7 @@ func (m *WMSU4) Solve(w *cnf.WCNF) (res opt.Result) {
 				bestCost = cost
 				res.Cost = cost
 				res.Model = snapshotModel(model, w.NumVars)
+				shared.PublishUB(res.Cost, res.Model)
 			}
 			if cost == 0 {
 				res.Status = opt.StatusOptimal

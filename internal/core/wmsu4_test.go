@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
-	"time"
 
 	"repro/internal/brute"
 	"repro/internal/cnf"
@@ -12,7 +12,7 @@ import (
 
 func TestWMSU4PaperExampleUnweighted(t *testing.T) {
 	w := paperExample2()
-	r := NewWMSU4(opt.Options{}).Solve(w)
+	r := NewWMSU4(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 2 {
 		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
 	}
@@ -25,7 +25,7 @@ func TestWMSU4WeightedBasics(t *testing.T) {
 	w := cnf.NewWCNF(1)
 	w.AddSoft(5, lit(1))
 	w.AddSoft(2, lit(-1))
-	r := NewWMSU4(opt.Options{}).Solve(w)
+	r := NewWMSU4(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 2 {
 		t.Fatalf("status %v cost %d, want optimal 2", r.Status, r.Cost)
 	}
@@ -55,7 +55,7 @@ func TestWMSU4AgainstBruteForce(t *testing.T) {
 			NewWMSU4(opt.Options{}),
 			&WMSU4{SkipAtLeast1: true},
 		} {
-			r := solver.Solve(w)
+			r := solver.Solve(context.Background(), w, nil)
 			if !feasible {
 				if r.Status != opt.StatusUnsat {
 					t.Fatalf("iter %d: status %v, want UNSAT", iter, r.Status)
@@ -86,8 +86,8 @@ func TestWMSU4AgreesWithWMSU1(t *testing.T) {
 			}
 			w.AddSoft(cnf.Weight(1+rng.Intn(4)), c...)
 		}
-		a := NewWMSU4(opt.Options{}).Solve(w)
-		b := NewWMSU1(opt.Options{}).Solve(w)
+		a := NewWMSU4(opt.Options{}).Solve(context.Background(), w, nil)
+		b := NewWMSU1(opt.Options{}).Solve(context.Background(), w, nil)
 		if a.Cost != b.Cost {
 			t.Fatalf("iter %d: wmsu4 %d vs wmsu1 %d", iter, a.Cost, b.Cost)
 		}
@@ -99,12 +99,13 @@ func TestWMSU4HardUnsatAndDeadline(t *testing.T) {
 	w.AddHard(lit(1))
 	w.AddHard(lit(-1))
 	w.AddSoft(3, lit(1))
-	if r := NewWMSU4(opt.Options{}).Solve(w); r.Status != opt.StatusUnsat {
+	if r := NewWMSU4(opt.Options{}).Solve(context.Background(), w, nil); r.Status != opt.StatusUnsat {
 		t.Fatalf("got %v, want UNSAT", r.Status)
 	}
-	o := opt.Options{Deadline: time.Now().Add(-time.Second)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	w2 := paperExample2()
-	if r := NewWMSU4(o).Solve(w2); r.Status != opt.StatusUnknown {
+	if r := NewWMSU4(opt.Options{}).Solve(ctx, w2, nil); r.Status != opt.StatusUnknown {
 		t.Fatalf("got %v, want Unknown", r.Status)
 	}
 }

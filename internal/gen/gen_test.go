@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func TestPigeonholeUnsatWithKnownCost(t *testing.T) {
 	if st := solveAll(t, in); st != sat.Unsat {
 		t.Fatalf("PHP must be unsat, got %v", st)
 	}
-	r := core.NewMSU4V2(opt.Options{}).Solve(in.W)
+	r := core.NewMSU4V2(opt.Options{}).Solve(context.Background(), in.W, nil)
 	if r.Cost != in.KnownCost {
 		t.Fatalf("cost %d, want %d", r.Cost, in.KnownCost)
 	}
@@ -40,7 +41,7 @@ func TestEquivMiterUnsat(t *testing.T) {
 		if st := solveAll(t, in); st != sat.Unsat {
 			t.Fatalf("ec-adder-%d: got %v, want Unsat", bits, st)
 		}
-		r := core.NewMSU4V2(opt.Options{}).Solve(in.W)
+		r := core.NewMSU4V2(opt.Options{}).Solve(context.Background(), in.W, nil)
 		if r.Cost != 1 {
 			t.Fatalf("ec-adder-%d: cost %d, want 1", bits, r.Cost)
 		}
@@ -107,7 +108,7 @@ func TestColoringHasHardAndSoft(t *testing.T) {
 	if in.W.NumHard() == 0 || in.W.NumSoft() == 0 {
 		t.Fatal("coloring must be partial MaxSAT")
 	}
-	r := core.NewMSU3(opt.Options{}).Solve(in.W)
+	r := core.NewMSU3(opt.Options{}).Solve(context.Background(), in.W, nil)
 	if r.Status != opt.StatusOptimal {
 		t.Fatalf("status %v", r.Status)
 	}
@@ -134,7 +135,7 @@ func TestDesignDebugInstance(t *testing.T) {
 	}
 	// … and the optimum must be exactly 1: suspending the faulty gate
 	// explains everything.
-	r := core.NewMSU4V2(opt.Options{}).Solve(w)
+	r := core.NewMSU4V2(opt.Options{}).Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 1 {
 		t.Fatalf("diagnosis: status %v cost %d, want optimal 1", r.Status, r.Cost)
 	}
@@ -218,7 +219,7 @@ func TestSuiteDeterministic(t *testing.T) {
 func TestKnownCostsAreConsistent(t *testing.T) {
 	// Spot-check: for instances with a known optimum, one solver must agree.
 	for _, in := range []Instance{Pigeonhole(3), EquivMiter(3), BMCCounter(3, 4), ATPGRedundant(3)} {
-		r := core.NewMSU4V1(opt.Options{}).Solve(in.W)
+		r := core.NewMSU4V1(opt.Options{}).Solve(context.Background(), in.W, nil)
 		if r.Status != opt.StatusOptimal {
 			t.Fatalf("%s: status %v", in.Name, r.Status)
 		}
@@ -236,7 +237,7 @@ func TestDesignDebugPlainInstance(t *testing.T) {
 	if st := solveAll(t, in); st != sat.Unsat {
 		t.Fatalf("plain debug instance must be unsat, got %v", st)
 	}
-	r := core.NewMSU4V2(opt.Options{}).Solve(in.W)
+	r := core.NewMSU4V2(opt.Options{}).Solve(context.Background(), in.W, nil)
 	if r.Status != opt.StatusOptimal || r.Cost < 1 {
 		t.Fatalf("status %v cost %d, want optimal >=1", r.Status, r.Cost)
 	}
@@ -250,8 +251,8 @@ func TestColoringWeighted(t *testing.T) {
 	if in.W.NumHard() == 0 {
 		t.Fatal("hard clauses missing")
 	}
-	a := core.NewWMSU4(opt.Options{}).Solve(in.W)
-	b := core.NewWMSU1(opt.Options{}).Solve(in.W)
+	a := core.NewWMSU4(opt.Options{}).Solve(context.Background(), in.W, nil)
+	b := core.NewWMSU1(opt.Options{}).Solve(context.Background(), in.W, nil)
 	if a.Status != opt.StatusOptimal || b.Status != opt.StatusOptimal {
 		t.Fatalf("statuses %v/%v", a.Status, b.Status)
 	}
@@ -265,7 +266,7 @@ func TestEquivMiterKSUnsat(t *testing.T) {
 	if st := solveAll(t, in); st != sat.Unsat {
 		t.Fatalf("got %v, want Unsat", st)
 	}
-	r := core.NewMSU4V2(opt.Options{}).Solve(in.W)
+	r := core.NewMSU4V2(opt.Options{}).Solve(context.Background(), in.W, nil)
 	if r.Cost != 1 {
 		t.Fatalf("cost %d, want 1", r.Cost)
 	}

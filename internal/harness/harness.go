@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/opt"
 	"repro/internal/pbo"
+	"repro/internal/portfolio"
 )
 
 // SolverSpec names a solver and knows how to build a fresh instance of it
@@ -47,6 +49,21 @@ func ExtendedSolvers() []SolverSpec {
 		SolverSpec{Name: "pbo-bin", Make: func(o opt.Options) opt.Solver { return &pbo.BinarySearch{Opts: o} }},
 	)
 	return out
+}
+
+// PortfolioSpec returns a spec racing the default portfolio line-up with
+// the given parallelism, so experiment reports can show a portfolio row
+// next to the paper's per-algorithm rows.
+func PortfolioSpec(jobs int) SolverSpec {
+	name := "portfolio"
+	if jobs > 0 {
+		name = fmt.Sprintf("portfolio-%d", jobs)
+	}
+	return SolverSpec{Name: name, Make: func(o opt.Options) opt.Solver {
+		e := portfolio.New(o, jobs)
+		e.Label = name
+		return e
+	}}
 }
 
 // SolverByName returns the spec with the given name from the extended
@@ -106,13 +123,15 @@ func Run(insts []gen.Instance, cfg Config) *Report {
 	for _, in := range insts {
 		row := make([]RunResult, len(specs))
 		for si, spec := range specs {
-			o := opt.Options{}
+			solver := spec.Make(opt.Options{})
+			ctx := context.Background()
+			var cancel context.CancelFunc = func() {}
 			if cfg.Timeout > 0 {
-				o.Deadline = time.Now().Add(cfg.Timeout)
+				ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 			}
-			solver := spec.Make(o)
 			start := time.Now()
-			r := solver.Solve(in.W)
+			r := solver.Solve(ctx, in.W, nil)
+			cancel()
 			elapsed := time.Since(start)
 			row[si] = RunResult{
 				Instance: in.Name,
@@ -124,8 +143,7 @@ func Run(insts []gen.Instance, cfg Config) *Report {
 				Aborted:  r.Status == opt.StatusUnknown,
 			}
 			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "%-28s %-10s %-14s cost=%-6d %8.3fs\n",
-					in.Name, spec.Name, r.Status, r.Cost, elapsed.Seconds())
+				fmt.Fprintf(cfg.Progress, "%-28s %-12s %v\n", in.Name, spec.Name, r)
 			}
 		}
 		rep.Results = append(rep.Results, row)

@@ -9,8 +9,8 @@
 package ls
 
 import (
+	"context"
 	"math/rand"
-	"time"
 
 	"repro/internal/cnf"
 )
@@ -28,8 +28,11 @@ type Params struct {
 	// HardWeight is the synthetic weight of hard clauses during the walk;
 	// 0 means 1 + total soft weight (any hard violation dominates).
 	HardWeight cnf.Weight
-	// Deadline, when non-zero, stops the walk early.
-	Deadline time.Time
+	// OnImprove, when non-nil, is called with every strict improvement of
+	// the best hard-feasible assignment (cost, then the model, which the
+	// callback must not retain past the call). The portfolio engine uses it
+	// to seed the shared upper bound while the walk is still running.
+	OnImprove func(cost cnf.Weight, model cnf.Assignment)
 }
 
 // Result is the best assignment found.
@@ -50,8 +53,9 @@ type wClause struct {
 }
 
 // Minimize runs WalkSAT on the instance and returns the best hard-feasible
-// assignment seen. It never proves optimality.
-func Minimize(w *cnf.WCNF, p Params) Result {
+// assignment seen. It never proves optimality. Cancelling ctx stops the
+// walk at the next flip-batch boundary.
+func Minimize(ctx context.Context, w *cnf.WCNF, p Params) Result {
 	if p.MaxFlips == 0 {
 		p.MaxFlips = 10000
 	}
@@ -104,7 +108,7 @@ func Minimize(w *cnf.WCNF, p Params) Result {
 	falsePos := make([]int32, len(clauses)) // index in falseClauses, -1 if sat
 
 	for try := 0; try < p.Tries; try++ {
-		if !p.Deadline.IsZero() && time.Now().After(p.Deadline) {
+		if ctx.Err() != nil {
 			break
 		}
 		for v := range a {
@@ -134,6 +138,9 @@ func Minimize(w *cnf.WCNF, p Params) Result {
 			if hardOK && (best.Cost < 0 || cost < best.Cost) {
 				best.Cost = cost
 				best.Model = append(cnf.Assignment{}, a...)
+				if p.OnImprove != nil {
+					p.OnImprove(cost, best.Model)
+				}
 			}
 		}
 		record()
@@ -142,7 +149,7 @@ func Minimize(w *cnf.WCNF, p Params) Result {
 			if len(falseClauses) == 0 {
 				break // everything satisfied: cost == baseCost, can't improve
 			}
-			if flip&1023 == 0 && !p.Deadline.IsZero() && time.Now().After(p.Deadline) {
+			if flip&1023 == 0 && ctx.Err() != nil {
 				break
 			}
 			best.Flips++

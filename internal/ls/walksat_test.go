@@ -1,6 +1,7 @@
 package ls
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ func TestWalkSATFindsSatisfyingAssignment(t *testing.T) {
 	w.AddSoft(1, lit(1), lit(2))
 	w.AddSoft(1, lit(-1), lit(3))
 	w.AddSoft(1, lit(-3), lit(2))
-	r := Minimize(w, Params{Seed: 1})
+	r := Minimize(context.Background(), w, Params{Seed: 1})
 	if r.Cost != 0 {
 		t.Fatalf("cost %d, want 0", r.Cost)
 	}
@@ -46,7 +47,7 @@ func TestWalkSATUpperBoundIsSound(t *testing.T) {
 			}
 		}
 		want, _, feasible := brute.MinCostWCNF(w)
-		r := Minimize(w, Params{Seed: int64(iter), MaxFlips: 2000, Tries: 5})
+		r := Minimize(context.Background(), w, Params{Seed: int64(iter), MaxFlips: 2000, Tries: 5})
 		if !feasible {
 			// The walk may or may not notice; it just can't return a
 			// feasible model.
@@ -83,14 +84,14 @@ func TestWalkSATEmptyClauses(t *testing.T) {
 	w := cnf.NewWCNF(1)
 	w.AddSoft(3)
 	w.AddSoft(1, lit(1))
-	r := Minimize(w, Params{Seed: 2})
+	r := Minimize(context.Background(), w, Params{Seed: 2})
 	if r.Cost != 3 {
 		t.Fatalf("cost %d, want 3 (empty soft clause unavoidable)", r.Cost)
 	}
 	// Hard empty clause: infeasible.
 	h := cnf.NewWCNF(1)
 	h.AddHard()
-	if r := Minimize(h, Params{Seed: 2}); r.Cost != -1 {
+	if r := Minimize(context.Background(), h, Params{Seed: 2}); r.Cost != -1 {
 		t.Fatalf("hard empty clause must be infeasible, got %d", r.Cost)
 	}
 }
@@ -100,13 +101,13 @@ func TestWalkSATWeightedPreference(t *testing.T) {
 	w := cnf.NewWCNF(1)
 	w.AddSoft(10, lit(1))
 	w.AddSoft(1, lit(-1))
-	r := Minimize(w, Params{Seed: 3, MaxFlips: 1000})
+	r := Minimize(context.Background(), w, Params{Seed: 3, MaxFlips: 1000})
 	if r.Cost != 1 {
 		t.Fatalf("cost %d, want 1", r.Cost)
 	}
 }
 
-func TestWalkSATDeadline(t *testing.T) {
+func TestWalkSATContextTimeout(t *testing.T) {
 	w := cnf.NewWCNF(30)
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 200; i++ {
@@ -116,8 +117,9 @@ func TestWalkSATDeadline(t *testing.T) {
 			cnf.NewLit(cnf.Var(rng.Intn(30)), rng.Intn(2) == 0))
 	}
 	start := time.Now()
-	Minimize(w, Params{Seed: 5, MaxFlips: 1 << 30, Tries: 1 << 20,
-		Deadline: time.Now().Add(50 * time.Millisecond)})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	Minimize(ctx, w, Params{Seed: 5, MaxFlips: 1 << 30, Tries: 1 << 20})
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("deadline not honoured")
 	}
@@ -131,8 +133,8 @@ func TestWalkSATDeterministic(t *testing.T) {
 			cnf.NewLit(cnf.Var(rng.Intn(8)), rng.Intn(2) == 0),
 			cnf.NewLit(cnf.Var(rng.Intn(8)), rng.Intn(2) == 0))
 	}
-	a := Minimize(w, Params{Seed: 9, MaxFlips: 500, Tries: 3})
-	b := Minimize(w, Params{Seed: 9, MaxFlips: 500, Tries: 3})
+	a := Minimize(context.Background(), w, Params{Seed: 9, MaxFlips: 500, Tries: 3})
+	b := Minimize(context.Background(), w, Params{Seed: 9, MaxFlips: 500, Tries: 3})
 	if a.Cost != b.Cost || a.Flips != b.Flips {
 		t.Fatalf("same seed, different outcome: %v vs %v", a, b)
 	}
@@ -142,7 +144,7 @@ func TestWalkSATTautologyIgnored(t *testing.T) {
 	w := cnf.NewWCNF(2)
 	w.AddSoft(1, lit(1), lit(-1))
 	w.AddSoft(1, lit(2))
-	r := Minimize(w, Params{Seed: 7})
+	r := Minimize(context.Background(), w, Params{Seed: 7})
 	if r.Cost != 0 {
 		t.Fatalf("cost %d, want 0", r.Cost)
 	}

@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cnf"
+)
+
+// Bounds is the shared-bound protocol of the parallel portfolio engine: the
+// best proved lower bound, the best known upper bound, and the model
+// witnessing that upper bound, safe for concurrent publish and observe.
+//
+// All publishes are monotonic — a lower bound only ever rises, an upper
+// bound only ever falls — so racing solvers can publish without
+// coordination; stale publishes are simply ignored. The upper bound and its
+// witnessing model are updated together under a mutex, so Best always
+// returns a consistent (cost, model) pair, while UB and LB are lock-free
+// for the hot observe paths inside search loops.
+//
+// Every method tolerates a nil receiver (no-op publish, empty observe), so
+// solver code can call through an optional *Bounds unconditionally.
+type Bounds struct {
+	lb atomic.Int64 // best proved lower bound; noLB until first publish
+	ub atomic.Int64 // best known cost; noUB until first model
+
+	mu    sync.Mutex
+	model cnf.Assignment // witnesses ub; nil until first publish
+}
+
+const (
+	noLB = int64(math.MinInt64)
+	noUB = int64(math.MaxInt64)
+)
+
+// NewBounds returns empty bounds: no lower bound proved, no model known.
+func NewBounds() *Bounds {
+	b := &Bounds{}
+	b.lb.Store(noLB)
+	b.ub.Store(noUB)
+	return b
+}
+
+// PublishLB raises the shared lower bound to lb if it improves on the
+// current one. It reports whether the publish improved the bound.
+func (b *Bounds) PublishLB(lb cnf.Weight) bool {
+	if b == nil {
+		return false
+	}
+	for {
+		cur := b.lb.Load()
+		if int64(lb) <= cur {
+			return false
+		}
+		if b.lb.CompareAndSwap(cur, int64(lb)) {
+			return true
+		}
+	}
+}
+
+// PublishUB lowers the shared upper bound to cost, witnessed by model, if it
+// improves on the current one. The model is copied. It reports whether the
+// publish improved the bound.
+func (b *Bounds) PublishUB(cost cnf.Weight, model cnf.Assignment) bool {
+	if b == nil || model == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if int64(cost) >= b.ub.Load() {
+		return false
+	}
+	b.model = append(b.model[:0], model...)
+	b.ub.Store(int64(cost))
+	return true
+}
+
+// LB returns the best published lower bound and whether one exists.
+func (b *Bounds) LB() (cnf.Weight, bool) {
+	if b == nil {
+		return 0, false
+	}
+	lb := b.lb.Load()
+	if lb == noLB {
+		return 0, false
+	}
+	return cnf.Weight(lb), true
+}
+
+// UB returns the best published upper bound and whether one exists. The
+// witnessing model is available through Best.
+func (b *Bounds) UB() (cnf.Weight, bool) {
+	if b == nil {
+		return 0, false
+	}
+	ub := b.ub.Load()
+	if ub == noUB {
+		return 0, false
+	}
+	return cnf.Weight(ub), true
+}
+
+// Best returns a copy of the best published model and its cost.
+func (b *Bounds) Best() (cnf.Weight, cnf.Assignment, bool) {
+	if b == nil {
+		return 0, nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.model == nil {
+		return 0, nil, false
+	}
+	out := make(cnf.Assignment, len(b.model))
+	copy(out, b.model)
+	return cnf.Weight(b.ub.Load()), out, true
+}
+
+// Closed reports whether the published bounds have met: the upper bound is
+// witnessed by a model and the lower bound proves it optimal. Any solver
+// observing closed bounds may return that model as the optimum.
+func (b *Bounds) Closed() bool {
+	if b == nil {
+		return false
+	}
+	ub := b.ub.Load()
+	return ub != noUB && b.lb.Load() >= ub
+}
+
+// AdoptClosed fills res with the shared best model when the bounds have
+// closed — the cross-member optimality exit shared by every solver and the
+// portfolio engine. It reports whether res was filled.
+func (b *Bounds) AdoptClosed(res *Result) bool {
+	if !b.Closed() {
+		return false
+	}
+	cost, model, ok := b.Best()
+	if !ok {
+		return false
+	}
+	res.Status = StatusOptimal
+	res.Cost = cost
+	res.LowerBound = cost
+	res.Model = model
+	return true
+}

@@ -1,0 +1,150 @@
+package opt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestBoundsZero(t *testing.T) {
+	b := NewBounds()
+	if _, ok := b.LB(); ok {
+		t.Fatal("fresh bounds should have no lower bound")
+	}
+	if _, ok := b.UB(); ok {
+		t.Fatal("fresh bounds should have no upper bound")
+	}
+	if _, _, ok := b.Best(); ok {
+		t.Fatal("fresh bounds should have no model")
+	}
+	if b.Closed() {
+		t.Fatal("fresh bounds cannot be closed")
+	}
+}
+
+func TestBoundsNilSafe(t *testing.T) {
+	var b *Bounds
+	if b.PublishLB(3) || b.PublishUB(1, cnf.Assignment{true}) {
+		t.Fatal("nil bounds should ignore publishes")
+	}
+	if _, ok := b.LB(); ok {
+		t.Fatal("nil bounds have no LB")
+	}
+	if _, ok := b.UB(); ok {
+		t.Fatal("nil bounds have no UB")
+	}
+	if _, _, ok := b.Best(); ok {
+		t.Fatal("nil bounds have no model")
+	}
+	if b.Closed() {
+		t.Fatal("nil bounds are never closed")
+	}
+}
+
+func TestBoundsMonotonic(t *testing.T) {
+	b := NewBounds()
+	if !b.PublishLB(2) {
+		t.Fatal("first LB publish should improve")
+	}
+	if b.PublishLB(1) {
+		t.Fatal("weaker LB should be ignored")
+	}
+	if !b.PublishLB(5) {
+		t.Fatal("stronger LB should improve")
+	}
+	if lb, ok := b.LB(); !ok || lb != 5 {
+		t.Fatalf("LB = %d, want 5", lb)
+	}
+
+	m1 := cnf.Assignment{true, false}
+	m2 := cnf.Assignment{false, true}
+	if !b.PublishUB(9, m1) {
+		t.Fatal("first UB publish should improve")
+	}
+	if b.PublishUB(9, m2) || b.PublishUB(11, m2) {
+		t.Fatal("equal/worse UB should be ignored")
+	}
+	if cost, model, ok := b.Best(); !ok || cost != 9 || !model[0] || model[1] {
+		t.Fatalf("Best = %d %v, want 9 witnessed by m1", cost, model)
+	}
+	if !b.PublishUB(7, m2) {
+		t.Fatal("better UB should improve")
+	}
+	if cost, model, ok := b.Best(); !ok || cost != 7 || model[0] || !model[1] {
+		t.Fatalf("Best = %d %v, want 7 witnessed by m2", cost, model)
+	}
+
+	if b.Closed() {
+		t.Fatal("lb=5 < ub=7: not closed")
+	}
+	b.PublishLB(7)
+	if !b.Closed() {
+		t.Fatal("lb=7 = ub=7: closed")
+	}
+}
+
+func TestBoundsPublishCopiesModel(t *testing.T) {
+	b := NewBounds()
+	m := cnf.Assignment{true}
+	b.PublishUB(1, m)
+	m[0] = false // mutating the caller's slice must not leak in
+	if _, model, _ := b.Best(); !model[0] {
+		t.Fatal("PublishUB must copy the model")
+	}
+	_, out, _ := b.Best()
+	out[0] = false // mutating the returned slice must not leak back
+	if _, model, _ := b.Best(); !model[0] {
+		t.Fatal("Best must return a copy")
+	}
+}
+
+// TestBoundsConcurrent hammers Bounds from publishers and observers at once;
+// run under -race it is the shared-bound protocol's data-race check. The
+// final state must be the strongest publish from either side, and every
+// observed (cost, model) pair must be consistent.
+func TestBoundsConcurrent(t *testing.T) {
+	b := NewBounds()
+	const n = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		g := g
+		wg.Add(2)
+		go func() { // publisher: descending UBs, ascending LBs
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				cost := cnf.Weight(rounds - i + g)
+				model := cnf.Assignment{g%2 == 0, i%2 == 0}
+				b.PublishUB(cost, model)
+				b.PublishLB(cnf.Weight(i - rounds - g))
+			}
+		}()
+		go func() { // observer: UB must never rise, pairs must be consistent
+			defer wg.Done()
+			last := cnf.Weight(1 << 40)
+			for i := 0; i < rounds; i++ {
+				if ub, ok := b.UB(); ok {
+					if ub > last {
+						t.Errorf("UB rose: %d after %d", ub, last)
+						return
+					}
+					last = ub
+				}
+				if cost, model, ok := b.Best(); ok && model == nil {
+					t.Errorf("cost %d without model", cost)
+					return
+				}
+				b.Closed()
+				b.LB()
+			}
+		}()
+	}
+	wg.Wait()
+	if ub, ok := b.UB(); !ok || ub != cnf.Weight(1) {
+		t.Fatalf("final UB = %d, want 1", ub)
+	}
+	if lb, ok := b.LB(); !ok || lb != cnf.Weight(-1) {
+		t.Fatalf("final LB = %d, want -1", lb)
+	}
+}

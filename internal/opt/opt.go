@@ -1,16 +1,24 @@
 // Package opt defines the types shared by every MaxSAT optimizer in this
-// repository: verdicts, results, options, and the Solver interface the
-// experiment harness drives.
+// repository: verdicts, results, options, the shared-bound protocol used by
+// the parallel portfolio engine, and the Solver interface the experiment
+// harness drives.
 //
 // Cost convention: all optimizers minimize the total weight of falsified
 // soft clauses. For the plain MaxSAT instances of the DATE 2008 paper
 // (every clause soft, weight 1), the paper's "MaxSAT solution" — the number
 // of satisfied clauses — is NumClauses - Cost; Result.MaxSatisfied performs
 // that conversion.
+//
+// Cancellation convention: Solve takes a context.Context; cancelling it (or
+// letting its deadline expire) makes the optimizer return StatusUnknown with
+// the best bounds it proved so far. Optimizers poll the context between SAT
+// calls and the underlying SAT solver polls it every few hundred conflicts,
+// so cancellation latency is bounded by that much search work.
 package opt
 
 import (
-	"sync/atomic"
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/card"
@@ -55,6 +63,10 @@ type Result struct {
 	LowerBound cnf.Weight
 	// Model is an assignment achieving Cost, when one was found.
 	Model cnf.Assignment
+	// Solver names the algorithm that produced the result when the caller
+	// does not already know it — the portfolio engine sets it to the winning
+	// member's name.
+	Solver string
 	// Iterations counts main-loop iterations of the algorithm.
 	Iterations int
 	// SatCalls / UnsatCalls count SAT-solver invocations by outcome.
@@ -72,43 +84,56 @@ func (r Result) MaxSatisfied(totalClauses int) int {
 	return totalClauses - int(r.Cost)
 }
 
-// Options configures an optimizer run.
+// String renders the result in the one-line format shared by cmd/maxsat and
+// cmd/experiments: status, bounds, and the work profile.
+func (r Result) String() string {
+	s := fmt.Sprintf("%s cost=%d lb=%d iters=%d (sat %d, unsat %d) conflicts=%d %.3fs",
+		r.Status, r.Cost, r.LowerBound, r.Iterations, r.SatCalls, r.UnsatCalls,
+		r.Conflicts, r.Elapsed.Seconds())
+	if r.Solver != "" {
+		s = r.Solver + " " + s
+	}
+	return s
+}
+
+// Options configures an optimizer run. Resource bounds (deadline,
+// cancellation) travel through the context passed to Solve, not through
+// Options.
 type Options struct {
 	// Encoding selects the cardinality encoding where the algorithm uses one
 	// (msu4 v1 = card.BDD, v2 = card.Sorter).
 	Encoding card.Encoding
-	// Deadline, when non-zero, bounds the whole optimization; expiring it
-	// yields StatusUnknown.
-	Deadline time.Time
 	// MaxConflictsPerCall, when positive, caps each SAT call.
 	MaxConflictsPerCall int64
-	// Stop, when non-nil, aborts the optimization when set.
-	Stop *atomic.Bool
 }
 
-// Budget converts the options into a per-call SAT budget.
-func (o Options) Budget() sat.Budget {
-	return sat.Budget{
-		Deadline:     o.Deadline,
+// Budget converts the options plus the run context into a per-call SAT
+// budget. The context's deadline (when set) is forwarded so the SAT solver's
+// cheap time check applies, and the context itself is polled for
+// cancellation.
+func (o Options) Budget(ctx context.Context) sat.Budget {
+	b := sat.Budget{
 		MaxConflicts: o.MaxConflictsPerCall,
-		Stop:         o.Stop,
+		Ctx:          ctx,
 	}
-}
-
-// Expired reports whether the options' deadline or stop flag has fired.
-func (o Options) Expired() bool {
-	if o.Stop != nil && o.Stop.Load() {
-		return true
+	if dl, ok := ctx.Deadline(); ok {
+		b.Deadline = dl
 	}
-	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+	return b
 }
 
 // Solver is a complete MaxSAT optimizer.
 type Solver interface {
 	// Name identifies the algorithm in reports (e.g. "msu4-v2").
 	Name() string
-	// Solve optimizes w. Implementations must not retain w.
-	Solve(w *cnf.WCNF) Result
+	// Solve optimizes w under ctx. Implementations must not retain w.
+	//
+	// shared, when non-nil, is the bound-exchange channel of a concurrent
+	// portfolio: implementations publish improved lower bounds and improved
+	// models there, and may observe externally improved bounds to prune
+	// their own search or to terminate as soon as the global bounds meet.
+	// All implementations accept shared == nil (solo run).
+	Solve(ctx context.Context, w *cnf.WCNF, shared *Bounds) Result
 }
 
 // VerifyModel recomputes the cost of r.Model on w and checks hard-clause

@@ -1,7 +1,7 @@
 package opt
 
 import (
-	"sync/atomic"
+	"context"
 	"testing"
 	"time"
 
@@ -30,32 +30,33 @@ func TestMaxSatisfied(t *testing.T) {
 
 func TestOptionsBudget(t *testing.T) {
 	dl := time.Now().Add(time.Hour)
-	var stop atomic.Bool
-	o := Options{Deadline: dl, MaxConflictsPerCall: 42, Stop: &stop}
-	b := o.Budget()
-	if !b.Deadline.Equal(dl) || b.MaxConflicts != 42 || b.Stop != &stop {
-		t.Fatalf("budget does not mirror options: %+v", b)
+	ctx, cancel := context.WithDeadline(context.Background(), dl)
+	defer cancel()
+	o := Options{MaxConflictsPerCall: 42}
+	b := o.Budget(ctx)
+	if !b.Deadline.Equal(dl) || b.MaxConflicts != 42 || b.Ctx != ctx {
+		t.Fatalf("budget does not mirror options/context: %+v", b)
+	}
+	// A context without a deadline leaves the budget's deadline zero.
+	b = o.Budget(context.Background())
+	if !b.Deadline.IsZero() {
+		t.Fatalf("deadline should be zero without a context deadline: %v", b.Deadline)
 	}
 }
 
-func TestOptionsExpired(t *testing.T) {
-	if (Options{}).Expired() {
-		t.Fatal("zero options never expire")
+func TestResultString(t *testing.T) {
+	r := Result{
+		Status: StatusOptimal, Cost: 2, LowerBound: 2,
+		Iterations: 5, SatCalls: 3, UnsatCalls: 2, Conflicts: 77,
+		Elapsed: 1500 * time.Millisecond,
 	}
-	if (Options{Deadline: time.Now().Add(time.Hour)}).Expired() {
-		t.Fatal("future deadline should not be expired")
+	want := "OPTIMAL cost=2 lb=2 iters=5 (sat 3, unsat 2) conflicts=77 1.500s"
+	if got := r.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
 	}
-	if !(Options{Deadline: time.Now().Add(-time.Second)}).Expired() {
-		t.Fatal("past deadline should be expired")
-	}
-	var stop atomic.Bool
-	o := Options{Stop: &stop}
-	if o.Expired() {
-		t.Fatal("unset stop flag")
-	}
-	stop.Store(true)
-	if !o.Expired() {
-		t.Fatal("set stop flag should expire")
+	r.Solver = "msu4-v2"
+	if got := r.String(); got != "msu4-v2 "+want {
+		t.Fatalf("String() with solver = %q", got)
 	}
 }
 

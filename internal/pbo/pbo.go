@@ -13,6 +13,7 @@
 package pbo
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/card"
@@ -31,14 +32,14 @@ type Linear struct {
 func (l *Linear) Name() string { return "pbo" }
 
 // Solve implements opt.Solver.
-func (l *Linear) Solve(w *cnf.WCNF) (res opt.Result) {
+func (l *Linear) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	start := time.Now()
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
 	s := sat.New()
 	s.EnsureVars(w.NumVars)
-	s.SetBudget(l.Opts.Budget())
+	s.SetBudget(l.Opts.Budget(ctx))
 
 	var (
 		blits    []cnf.Lit
@@ -67,8 +68,14 @@ func (l *Linear) Solve(w *cnf.WCNF) (res opt.Result) {
 	weighted := w.Weighted()
 
 	for {
-		if l.Opts.Expired() {
+		if ctx.Err() != nil {
 			res.Status = opt.StatusUnknown
+			if lb, ok := shared.LB(); ok && (res.Cost < 0 || lb <= res.Cost) {
+				res.LowerBound = lb
+			}
+			return res
+		}
+		if shared.AdoptClosed(&res) {
 			return res
 		}
 		st := s.Solve()
@@ -88,6 +95,7 @@ func (l *Linear) Solve(w *cnf.WCNF) (res opt.Result) {
 			}
 			res.Status = opt.StatusOptimal
 			res.LowerBound = res.Cost
+			shared.PublishLB(res.Cost)
 			return res
 		case sat.Sat:
 			res.SatCalls++
@@ -102,6 +110,14 @@ func (l *Linear) Solve(w *cnf.WCNF) (res opt.Result) {
 			}
 			res.Cost = cost
 			res.Model = snapshot(model, w.NumVars)
+			shared.PublishUB(res.Cost, res.Model)
+			// An externally improved model lets the next bound cut deeper
+			// than this round's local model would.
+			if ext, extModel, ok := shared.Best(); ok && ext < cost {
+				cost = ext
+				res.Cost = ext
+				res.Model = extModel
+			}
 			if cost == baseCost {
 				// No soft clause beyond the unavoidable empty ones is
 				// falsified; nothing to improve.
@@ -137,10 +153,10 @@ type BinarySearch struct {
 func (b *BinarySearch) Name() string { return "pbo-bin" }
 
 // Solve implements opt.Solver.
-func (b *BinarySearch) Solve(w *cnf.WCNF) (res opt.Result) {
+func (b *BinarySearch) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
 	if w.Weighted() {
 		l := &Linear{Opts: b.Opts}
-		r := l.Solve(w)
+		r := l.Solve(ctx, w, shared)
 		return r
 	}
 	start := time.Now()
@@ -149,7 +165,7 @@ func (b *BinarySearch) Solve(w *cnf.WCNF) (res opt.Result) {
 
 	s := sat.New()
 	s.EnsureVars(w.NumVars)
-	s.SetBudget(b.Opts.Budget())
+	s.SetBudget(b.Opts.Budget(ctx))
 
 	var (
 		blits    []cnf.Lit
@@ -196,14 +212,28 @@ func (b *BinarySearch) Solve(w *cnf.WCNF) (res opt.Result) {
 	}
 	res.Cost = ub + baseCost
 	res.Model = snapshot(model, w.NumVars)
+	shared.PublishUB(res.Cost, res.Model)
 
 	tot := card.NewIncTotalizer(s, blits, len(blits))
 	lb := cnf.Weight(-1) // largest bound proved infeasible
 	for lb+1 < ub {
-		if b.Opts.Expired() {
+		if ctx.Err() != nil {
 			res.Status = opt.StatusUnknown
 			res.LowerBound = lb + 1 + baseCost
 			return res
+		}
+		if shared.AdoptClosed(&res) {
+			return res
+		}
+		// Adopt an externally improved model: it halves the remaining
+		// search interval from above.
+		if ext, extModel, ok := shared.Best(); ok && ext < res.Cost {
+			ub = ext - baseCost
+			res.Cost = ext
+			res.Model = extModel
+			if lb+1 >= ub {
+				break
+			}
 		}
 		mid := (lb + ub) / 2
 		assump, ok := tot.Bound(int(mid))
@@ -223,6 +253,7 @@ func (b *BinarySearch) Solve(w *cnf.WCNF) (res opt.Result) {
 		case sat.Unsat:
 			res.UnsatCalls++
 			lb = mid
+			shared.PublishLB(lb + 1 + baseCost)
 		case sat.Sat:
 			res.SatCalls++
 			model := s.Model()
@@ -235,10 +266,12 @@ func (b *BinarySearch) Solve(w *cnf.WCNF) (res opt.Result) {
 			ub = cost
 			res.Cost = ub + baseCost
 			res.Model = snapshot(model, w.NumVars)
+			shared.PublishUB(res.Cost, res.Model)
 		}
 	}
 	res.Status = opt.StatusOptimal
 	res.LowerBound = res.Cost
+	shared.PublishLB(res.Cost)
 	return res
 }
 

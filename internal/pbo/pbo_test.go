@@ -1,9 +1,9 @@
 package pbo
 
 import (
+	"context"
 	"math/rand"
 	"testing"
-	"time"
 
 	"repro/internal/brute"
 	"repro/internal/cnf"
@@ -43,7 +43,7 @@ func TestPaperExample1(t *testing.T) {
 	w.AddSoft(1, lit(2), lit(-1))
 	w.AddSoft(1, lit(-2))
 	for _, s := range solvers(opt.Options{}) {
-		r := s.Solve(w)
+		r := s.Solve(context.Background(), w, nil)
 		if r.Status != opt.StatusOptimal || r.Cost != 1 {
 			t.Fatalf("%s: status %v cost %d, want optimal 1", s.Name(), r.Status, r.Cost)
 		}
@@ -61,7 +61,7 @@ func TestAgainstBruteForce(t *testing.T) {
 		w := randomWCNF(rng, 3+rng.Intn(7), 4+rng.Intn(20), partial, weighted)
 		want, _, feasible := brute.MinCostWCNF(w)
 		for _, s := range solvers(opt.Options{}) {
-			r := s.Solve(w)
+			r := s.Solve(context.Background(), w, nil)
 			if !feasible {
 				if r.Status != opt.StatusUnsat {
 					t.Fatalf("iter %d %s: status %v, want UNSAT", iter, s.Name(), r.Status)
@@ -87,7 +87,7 @@ func TestEmptySoftClause(t *testing.T) {
 	w.AddSoft(3)
 	w.AddSoft(1, lit(1))
 	for _, s := range solvers(opt.Options{}) {
-		r := s.Solve(w)
+		r := s.Solve(context.Background(), w, nil)
 		if r.Status != opt.StatusOptimal || r.Cost != 3 {
 			t.Fatalf("%s: cost %d, want 3", s.Name(), r.Cost)
 		}
@@ -102,19 +102,20 @@ func TestHardUnsat(t *testing.T) {
 	w.AddHard(lit(-1), lit(-2))
 	w.AddSoft(1, lit(1))
 	for _, s := range solvers(opt.Options{}) {
-		if r := s.Solve(w); r.Status != opt.StatusUnsat {
+		if r := s.Solve(context.Background(), w, nil); r.Status != opt.StatusUnsat {
 			t.Fatalf("%s: got %v, want UNSAT", s.Name(), r.Status)
 		}
 	}
 }
 
-func TestDeadline(t *testing.T) {
-	o := opt.Options{Deadline: time.Now().Add(-time.Second)}
+func TestCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
 	w := cnf.NewWCNF(1)
 	w.AddSoft(1, lit(1))
 	w.AddSoft(1, lit(-1))
-	for _, s := range solvers(o) {
-		if r := s.Solve(w); r.Status != opt.StatusUnknown {
+	for _, s := range solvers(opt.Options{}) {
+		if r := s.Solve(ctx, w, nil); r.Status != opt.StatusUnknown {
 			t.Fatalf("%s: got %v, want Unknown", s.Name(), r.Status)
 		}
 	}
@@ -125,7 +126,7 @@ func TestBinarySearchFallsBackWeighted(t *testing.T) {
 	w.AddSoft(5, lit(1))
 	w.AddSoft(2, lit(-1))
 	b := &BinarySearch{}
-	r := b.Solve(w)
+	r := b.Solve(context.Background(), w, nil)
 	if r.Status != opt.StatusOptimal || r.Cost != 2 {
 		t.Fatalf("weighted fallback: status %v cost %d, want optimal 2", r.Status, r.Cost)
 	}
@@ -149,8 +150,8 @@ func TestBinarySearchFewerIterationsOnWideGap(t *testing.T) {
 		w.AddSoft(1, lit(v))
 		w.AddSoft(1, lit(-v))
 	}
-	lin := (&Linear{}).Solve(w)
-	bin := (&BinarySearch{}).Solve(w)
+	lin := (&Linear{}).Solve(context.Background(), w, nil)
+	bin := (&BinarySearch{}).Solve(context.Background(), w, nil)
 	if lin.Cost != 16 || bin.Cost != 16 {
 		t.Fatalf("costs: linear %d binary %d, want 16", lin.Cost, bin.Cost)
 	}

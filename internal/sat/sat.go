@@ -20,6 +20,7 @@
 package sat
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +68,10 @@ type Budget struct {
 	MaxConflicts int64
 	// Stop, when non-nil, aborts the search as soon as it is observed true.
 	Stop *atomic.Bool
+	// Ctx, when non-nil, aborts the search once the context is cancelled or
+	// its deadline passes. Like Deadline it is polled every few hundred
+	// conflicts, so cancellation latency is bounded by that much search work.
+	Ctx context.Context
 }
 
 // Stats are cumulative solver statistics across all Solve calls.
@@ -945,6 +950,9 @@ func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome
 
 func (s *Solver) budgetExhausted() bool {
 	if s.budget.Stop != nil && s.budget.Stop.Load() {
+		return true
+	}
+	if s.budget.Ctx != nil && s.budget.Ctx.Err() != nil {
 		return true
 	}
 	if !s.budget.Deadline.IsZero() && time.Now().After(s.budget.Deadline) {

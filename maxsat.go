@@ -22,9 +22,13 @@
 // Algorithms are selected by Options.Algorithm. The default, AlgoAuto,
 // routes unweighted instances to msu4 with sorting networks (the paper's
 // best performer, "msu4 v2") and weighted instances to the PBO optimizer.
+// AlgoPortfolio races a line-up of the algorithms in parallel goroutines
+// with shared bound exchange (Options.Parallelism caps the racers); use
+// SolveContext for external cancellation and deadlines.
 package maxsat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/pbo"
+	"repro/internal/portfolio"
 )
 
 // Re-exported formula types. The substrate lives in internal/cnf; these
@@ -110,13 +115,18 @@ const (
 	AlgoPBOBin Algorithm = "pbo-bin"
 	// AlgoBnB is the maxsatz-style branch and bound (handles weights).
 	AlgoBnB Algorithm = "maxsatz"
+	// AlgoPortfolio races a line-up of the algorithms above in parallel
+	// goroutines, exchanging bounds through a shared channel; the first
+	// proved optimum wins. Options.Parallelism caps the number of racers.
+	// Handles weights (the line-up adapts to the instance kind).
+	AlgoPortfolio Algorithm = "portfolio"
 )
 
 // Algorithms lists every selectable algorithm name.
 func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgoMSU4V1, AlgoMSU4V2, AlgoMSU4, AlgoMSU1, AlgoMSU2, AlgoMSU3,
-		AlgoWMSU1, AlgoWMSU4, AlgoPBO, AlgoPBOBin, AlgoBnB,
+		AlgoWMSU1, AlgoWMSU4, AlgoPBO, AlgoPBOBin, AlgoBnB, AlgoPortfolio,
 	}
 }
 
@@ -135,6 +145,9 @@ type Options struct {
 	// SkipAtLeast1 disables msu4's optional per-core "at least one
 	// blocking variable" constraint (paper Algorithm 1, line 19).
 	SkipAtLeast1 bool
+	// Parallelism caps the number of solvers AlgoPortfolio races
+	// concurrently; 0 races the full line-up. Other algorithms ignore it.
+	Parallelism int
 }
 
 // Status is the outcome class of a Solve call.
@@ -176,8 +189,12 @@ type Result struct {
 	Model Assignment
 	// Algorithm is the algorithm that produced the result.
 	Algorithm Algorithm
+	// Winner names the member that decided an AlgoPortfolio race; empty
+	// for single-algorithm runs (and for portfolio runs that timed out).
+	Winner string
 	// Iterations, SatCalls, UnsatCalls, Conflicts and Elapsed expose the
-	// algorithm's work profile.
+	// algorithm's work profile. For AlgoPortfolio they aggregate over every
+	// raced member.
 	Iterations int
 	SatCalls   int
 	UnsatCalls int
@@ -192,17 +209,52 @@ func (r Result) MaxSatisfied(totalClauses int) int {
 	return totalClauses - int(r.Cost)
 }
 
+// String renders the result in the repository's shared one-line format.
+func (r Result) String() string {
+	inner := opt.Result{
+		Cost:       r.Cost,
+		LowerBound: r.LowerBound,
+		Solver:     r.Winner,
+		Iterations: r.Iterations,
+		SatCalls:   r.SatCalls,
+		UnsatCalls: r.UnsatCalls,
+		Conflicts:  r.Conflicts,
+		Elapsed:    r.Elapsed,
+	}
+	switch r.Status {
+	case Optimal:
+		inner.Status = opt.StatusOptimal
+	case Unsatisfiable:
+		inner.Status = opt.StatusUnsat
+	}
+	return inner.String()
+}
+
 // ErrWeighted is returned when a unit-weight-only algorithm is asked to
 // solve a weighted instance.
 var ErrWeighted = errors.New("maxsat: algorithm requires unit-weight soft clauses (use AlgoPBO, AlgoBnB, or AlgoAuto)")
 
-// Solve optimizes a weighted partial MaxSAT instance.
+// Solve optimizes a weighted partial MaxSAT instance. Options.Timeout is
+// the only resource bound; use SolveContext for external cancellation.
 func Solve(w *WCNF, o Options) (Result, error) {
+	return SolveContext(context.Background(), w, o)
+}
+
+// SolveContext optimizes a weighted partial MaxSAT instance under ctx:
+// cancelling the context (or exceeding Options.Timeout, whichever fires
+// first) stops the optimization and yields the best result proved so far
+// with Status Unknown.
+func SolveContext(ctx context.Context, w *WCNF, o Options) (Result, error) {
 	solver, algo, err := buildSolver(w, o)
 	if err != nil {
 		return Result{}, err
 	}
-	r := solver.Solve(w)
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	r := solver.Solve(ctx, w, nil)
 	return fromInternal(r, algo), nil
 }
 
@@ -233,9 +285,6 @@ func SolveFile(path string, o Options) (Result, error) {
 func buildSolver(w *WCNF, o Options) (opt.Solver, Algorithm, error) {
 	io_ := opt.Options{
 		MaxConflictsPerCall: o.MaxConflictsPerCall,
-	}
-	if o.Timeout > 0 {
-		io_.Deadline = time.Now().Add(o.Timeout)
 	}
 	algo := o.Algorithm
 	if algo == AlgoAuto {
@@ -287,6 +336,8 @@ func buildSolver(w *WCNF, o Options) (opt.Solver, Algorithm, error) {
 		solver = &pbo.BinarySearch{Opts: io_}
 	case AlgoBnB:
 		solver = bnb.New(io_)
+	case AlgoPortfolio:
+		solver = portfolio.New(io_, o.Parallelism)
 	default:
 		return nil, algo, fmt.Errorf("maxsat: unknown algorithm %q", algo)
 	}
@@ -302,6 +353,7 @@ func fromInternal(r opt.Result, algo Algorithm) Result {
 		LowerBound: r.LowerBound,
 		Model:      r.Model,
 		Algorithm:  algo,
+		Winner:     r.Solver,
 		Iterations: r.Iterations,
 		SatCalls:   r.SatCalls,
 		UnsatCalls: r.UnsatCalls,

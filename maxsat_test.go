@@ -1,6 +1,7 @@
 package maxsat
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/brute"
 	"repro/internal/cnf"
+	"repro/internal/gen"
 )
 
 // paperFormula is Example 2 of the paper (§3.3): MaxSAT solution 6 of 8.
@@ -140,6 +142,71 @@ func TestTimeoutYieldsUnknown(t *testing.T) {
 	}
 	if r.Status.String() != "UNKNOWN" {
 		t.Fatal("status string")
+	}
+}
+
+// TestPortfolioViaFacade is the acceptance check: SolveFormula with
+// AlgoPortfolio and Parallelism >= 2 proves the same optima as msu4-v2 on
+// generator-suite instances.
+func TestPortfolioViaFacade(t *testing.T) {
+	insts := []gen.Instance{
+		gen.Pigeonhole(5),
+		gen.RandomKSAT(55, 18, 3, 6.0),
+		gen.EquivMiter(8),
+		gen.BMCCounter(4, 10),
+		gen.Coloring(9, 10, 26, 3),
+	}
+	for _, in := range insts {
+		f := NewFormula(in.W.NumVars)
+		for _, c := range in.W.Clauses {
+			f.AddClause(c.Clause...)
+		}
+		ref, err := SolveFormula(f, Options{Algorithm: AlgoMSU4V2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Status != Optimal {
+			t.Fatalf("%s: msu4-v2 %v", in.Name, ref.Status)
+		}
+		r, err := SolveFormula(f, Options{Algorithm: AlgoPortfolio, Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Optimal || r.Cost != ref.Cost {
+			t.Fatalf("%s: portfolio status %v cost %d, msu4-v2 found %d",
+				in.Name, r.Status, r.Cost, ref.Cost)
+		}
+		if r.Algorithm != AlgoPortfolio || r.Winner == "" {
+			t.Fatalf("%s: algorithm %q winner %q", in.Name, r.Algorithm, r.Winner)
+		}
+		if len(r.Model) < f.NumVars {
+			t.Fatalf("%s: model too short", in.Name)
+		}
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{AlgoMSU4V2, AlgoPortfolio} {
+		r, err := SolveContext(ctx, FromFormula(paperFormula()), Options{Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Unknown {
+			t.Fatalf("%s: status %v, want Unknown under cancelled context", algo, r.Status)
+		}
+	}
+}
+
+func TestResultStringFacade(t *testing.T) {
+	r, err := SolveFormula(paperFormula(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	if !strings.Contains(s, "OPTIMAL") || !strings.Contains(s, "cost=2") {
+		t.Fatalf("String() = %q", s)
 	}
 }
 
