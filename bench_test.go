@@ -60,6 +60,28 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1Pre doubles the Table 1 line-up with preprocessing-enabled
+// twins ("+pre" columns): the soft-aware preprocessing pipeline applied to
+// every algorithm family, on the same suite and timeout as BenchmarkTable1.
+// The built-in agreement check makes this a differential benchmark — a
+// preprocessed column disagreeing with its raw twin fails the run. CI runs
+// it at -benchtime=1x and archives the output as the BENCH_pre artifact, so
+// the preprocessing perf trajectory accumulates across commits.
+func BenchmarkTable1Pre(b *testing.B) {
+	insts := gen.Suite(42)
+	cfg := harness.Config{
+		Timeout: benchTimeout,
+		Solvers: harness.ComparePreprocessing(harness.DefaultSolvers()),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := harness.Run(insts, cfg)
+		b.StopTimer()
+		reportAborts(b, rep)
+		b.StartTimer()
+	}
+}
+
 // BenchmarkTable2 regenerates Table 2: the 29 design-debugging instances.
 func BenchmarkTable2(b *testing.B) {
 	insts := gen.DebugSuite(42)

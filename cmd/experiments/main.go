@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	experiments [-run all] [-timeout 5s] [-seed 42] [-extended] [-portfolio N] [-csv dir] [-v]
+//	experiments [-run all] [-timeout 5s] [-seed 42] [-extended] [-pre] [-portfolio N] [-csv dir] [-v]
 package main
 
 import (
@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) int {
 		timeout   = fs.Duration("timeout", 5*time.Second, "per-instance per-solver timeout (paper: 1000s)")
 		seed      = fs.Int64("seed", 42, "benchmark generator seed")
 		extended  = fs.Bool("extended", false, "add msu1/msu2/msu3/pbo-bin to the line-up")
+		pre       = fs.Bool("pre", false, "double every solver with a preprocessing-enabled +pre column")
 		portfolio = fs.Int("portfolio", 0, "also run the bound-sharing portfolio with N parallel solvers (0 = off)")
 		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
 		verbose   = fs.Bool("v", false, "per-run progress output")
@@ -47,6 +48,12 @@ func run(args []string, out io.Writer) int {
 	cfg := harness.Config{Timeout: *timeout}
 	if *extended {
 		cfg.Solvers = harness.ExtendedSolvers()
+	}
+	if *pre {
+		if cfg.Solvers == nil {
+			cfg.Solvers = harness.DefaultSolvers()
+		}
+		cfg.Solvers = harness.ComparePreprocessing(cfg.Solvers)
 	}
 	if *portfolio > 0 {
 		if cfg.Solvers == nil {

@@ -76,7 +76,10 @@ type searcher struct {
 
 	// Bound exchange (nil-safe): improvements to ub are published, and an
 	// externally improved model replaces ub/best at every budget check.
+	// Published models pass through the preprocessing stage (when active)
+	// so bound witnesses are always original-formula models.
 	shared   *opt.Bounds
+	prep     *opt.Prep
 	baseCost int64
 
 	// Probe scratch (versioned to avoid clearing):
@@ -100,7 +103,17 @@ func (b *BnB) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res o
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
-	s := &searcher{nv: w.NumVars, upLB: !b.DisableUPLB, ctx: ctx, shared: shared}
+	// KeepSofts mode: the searcher's unit-propagation lower bound and MOMS
+	// branching read the soft clauses directly, so only hard structure is
+	// simplified; selector indirection would blind both heuristics.
+	prep, w := opt.MaybePrepKeepSofts(w, b.Opts)
+	if prep.HardUnsat() {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	defer prep.Finish(&res)
+
+	s := &searcher{nv: w.NumVars, upLB: !b.DisableUPLB, ctx: ctx, shared: shared, prep: prep}
 	if s.expired() {
 		res.Status = opt.StatusUnknown
 		return res
@@ -149,7 +162,7 @@ func (b *BnB) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res o
 		}
 	}
 	if s.best != nil {
-		shared.PublishUB(cnf.Weight(s.ub+baseCost), s.best)
+		prep.PublishUB(shared, cnf.Weight(s.ub+baseCost), s.best)
 	}
 	s.observeShared()
 
@@ -358,7 +371,7 @@ func (s *searcher) dfs() {
 			// Unassigned isolated variables default to false.
 			s.best[i] = s.val[i] == vTrue
 		}
-		s.shared.PublishUB(cnf.Weight(s.ub+s.baseCost), s.best)
+		s.prep.PublishUB(s.shared, cnf.Weight(s.ub+s.baseCost), s.best)
 		s.undoTo(mark)
 		return
 	}

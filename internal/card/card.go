@@ -277,8 +277,10 @@ func (g guardedDest) AddClause(lits ...cnf.Lit) bool {
 // disable.Neg() activates it, while adding the unit clause {disable}
 // permanently satisfies every clause of the encoding, retiring it.
 //
-// msu4 uses this to keep only its latest upper-bound cardinality constraint
-// active instead of accumulating one permanent encoding per SAT iteration.
+// msu4's ReencodeBounds ablation uses this to keep only its latest
+// upper-bound cardinality constraint active instead of accumulating one
+// permanent encoding per SAT iteration; the default msu4 maintains a single
+// incremental totalizer instead and never retracts anything.
 func Guarded(d Dest, disable cnf.Lit) Dest {
 	return guardedDest{d: d, disable: disable}
 }

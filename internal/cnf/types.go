@@ -10,7 +10,7 @@ package cnf
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Var is a 0-based propositional variable index.
@@ -126,7 +126,7 @@ func (c Clause) Normalize() (Clause, bool) {
 	if len(c) == 0 {
 		return c, false
 	}
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c)
 	out := c[:1]
 	for i := 1; i < len(c); i++ {
 		prev := out[len(out)-1]

@@ -50,6 +50,13 @@ func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
+	prep, w := opt.MaybePrep(w, m.Opts)
+	if prep.HardUnsat() {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	defer prep.Finish(&res)
+
 	s := sat.New()
 	s.SetBudget(m.Opts.Budget(ctx))
 	softs, ok := loadSoft(s, w)
@@ -125,16 +132,19 @@ func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 		if adoptClosed(shared, &res, cnf.Weight(lb)) {
 			return res
 		}
+		// Enforced selectors first, the bound literal last: when only the
+		// bound moves between calls the solver's trail reuse keeps the
+		// whole propagated selector prefix.
 		assumps = assumps[:0]
-		boundLit := cnf.LitUndef
-		if bl, need := tot.Bound(lb); need {
-			boundLit = bl
-			assumps = append(assumps, bl)
-		}
 		for _, c := range softs {
 			if !c.relaxed {
 				assumps = append(assumps, c.assumption())
 			}
+		}
+		boundLit := cnf.LitUndef
+		if bl, need := tot.Bound(lb); need {
+			boundLit = bl
+			assumps = append(assumps, bl)
 		}
 		st := s.Solve(assumps...)
 		res.Iterations++
@@ -153,7 +163,7 @@ func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 			res.Cost = cnf.Weight(cost)
 			res.LowerBound = res.Cost
 			res.Model = snapshotModel(model, w.NumVars)
-			shared.PublishUB(res.Cost, res.Model)
+			prep.PublishUB(shared, res.Cost, res.Model)
 			return res
 
 		case sat.Unsat:

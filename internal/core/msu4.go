@@ -22,16 +22,20 @@ import (
 // both exits the bounds have met, so the best model's cost is the returned
 // optimum, and returning it keeps the result witnessed by a model.)
 //
-// The line-30 cardinality constraint CNF(Σ b ≤ BV−1) is emitted through a
-// guarded destination: every clause of the encoding carries a fresh
-// disabling literal, the constraint is activated by assuming its negation,
-// and a superseded bound is retired with a unit clause on the disabler. The
-// solver therefore carries at most one active bound encoding instead of
-// accumulating every bound it ever searched under.
+// The line-30 cardinality constraint CNF(Σ b ≤ BV−1) is maintained as a
+// single incremental totalizer (the mechanism msu3 already uses): relaxed
+// blocking variables extend the counter by merging fresh subtrees, and the
+// bound is imposed per SAT call by assuming the negation of one totalizer
+// output. Tightening the bound after a better model is an assumption
+// change, not a re-encoding, so no superseded encoding ever enters the
+// clause database. ReencodeBounds restores the paper-faithful per-bound
+// re-encoding (card.AtMost with Opts.Encoding behind a disabling guard,
+// superseded bounds retired by unit clauses) as an ablation; only there
+// does the v1/v2 encoding choice still matter.
 //
 // When run inside a portfolio, MSU4 publishes U as a lower bound and every
 // improved model as an upper bound, and prunes against externally improved
-// models by re-encoding the bound constraint at the tighter value.
+// models by tightening the bound at the improved value.
 type MSU4 struct {
 	Opts opt.Options
 	// SkipAtLeast1 disables the optional cardinality constraint of line 19
@@ -46,6 +50,11 @@ type MSU4 struct {
 	MinimizeCores bool
 	// MinimizeProbeConflicts caps each minimization probe; 0 means 1000.
 	MinimizeProbeConflicts int64
+	// ReencodeBounds re-encodes the line-30 constraint at every improved
+	// bound with Opts.Encoding behind a guard (the pre-incremental
+	// behaviour, and the regime the paper's v1/v2 comparison measures)
+	// instead of tightening one incremental totalizer via assumptions.
+	ReencodeBounds bool
 	// Label overrides the reported name (e.g. "msu4-v1"); when empty the
 	// name derives from the encoding.
 	Label string
@@ -80,6 +89,13 @@ func (m *MSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
+	prep, w := opt.MaybePrep(w, m.Opts)
+	if prep.HardUnsat() {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	defer prep.Finish(&res)
+
 	s := sat.New()
 	s.SetBudget(m.Opts.Budget(ctx))
 	softs, ok := loadSoft(s, w)
@@ -95,15 +111,22 @@ func (m *MSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 		relaxed  []cnf.Lit     // VB: blocking literals of relaxed clauses
 		assumps  []cnf.Lit
 
-		// Active guarded bound encoding (see setBound).
+		// Incremental bound (default): one growing totalizer, bound imposed
+		// per call through boundLit. Created lazily at the first bound so
+		// its output register can be truncated at the first model's cost
+		// (the k-simplification the truncated per-bound encodings enjoy):
+		// bestCost only ever decreases, so no later bound outgrows it.
+		tot *card.IncTotalizer
+
+		// Guarded re-encoding state (ReencodeBounds; see setBound).
 		boundAssump  = cnf.LitUndef // assumed to activate the constraint
 		boundDisable = cnf.LitUndef // unit-added to retire it
 		curBound     = math.MaxInt  // k of the active AtMost(relaxed, k)
 	)
 
-	// setBound retires the active bound encoding (if any) and emits
+	// setBound retires the active guarded bound encoding (if any) and emits
 	// AtMost(relaxed, k) behind a fresh guard. Vacuous bounds need no
-	// encoding and leave no active guard.
+	// encoding and leave no active guard. ReencodeBounds mode only.
 	setBound := func(k int) {
 		if boundDisable != cnf.LitUndef {
 			s.AddClause(boundDisable)
@@ -141,18 +164,32 @@ func (m *MSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 				res.LowerBound = res.Cost
 				return res
 			}
-			if bestCost-1 < curBound {
+			if m.ReencodeBounds && bestCost-1 < curBound {
 				setBound(bestCost - 1)
 			}
 		}
+		// Assumptions: enforced selectors first, the bound literal last —
+		// after a SAT iteration only the bound tightens, so the whole
+		// selector prefix stays reusable by the solver's trail reuse.
 		assumps = assumps[:0]
-		if boundAssump != cnf.LitUndef {
-			assumps = append(assumps, boundAssump)
-		}
 		for _, c := range softs {
 			if !c.relaxed {
 				assumps = append(assumps, c.assumption())
 			}
+		}
+		boundLit := cnf.LitUndef
+		if m.ReencodeBounds {
+			boundLit = boundAssump
+		} else if bestCost != math.MaxInt {
+			if tot == nil {
+				tot = card.NewIncTotalizer(s, relaxed, bestCost)
+			}
+			if bl, need := tot.Bound(bestCost - 1); need {
+				boundLit = bl
+			}
+		}
+		if boundLit != cnf.LitUndef {
+			assumps = append(assumps, boundLit)
 		}
 		st := s.Solve(assumps...)
 		res.Iterations++
@@ -166,10 +203,10 @@ func (m *MSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 		case sat.Unsat:
 			res.UnsatCalls++
 			coreSels := s.Core()
-			// The bound guard is not a soft-clause selector; a core that
+			// The bound literal is not a soft-clause selector; a core that
 			// contains only it plays the role the permanently-encoded
-			// bound's empty core played before guarding.
-			coreSels = dropLit(coreSels, boundAssump)
+			// bound's empty core played before incrementality.
+			coreSels = dropLit(coreSels, boundLit)
 			if m.MinimizeCores && len(coreSels) > 1 {
 				probeConflicts := m.MinimizeProbeConflicts
 				if probeConflicts <= 0 {
@@ -201,6 +238,11 @@ func (m *MSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 				newBlocking = append(newBlocking, c.blocking())
 			}
 			relaxed = append(relaxed, newBlocking...)
+			if tot != nil {
+				// Before the first model no totalizer exists yet; relaxed
+				// literals accumulated so far become its initial inputs.
+				tot.AddInputs(newBlocking)
+			}
 			if !m.SkipAtLeast1 {
 				// Paper line 19: CNF(Σ_{i∈I} bᵢ >= 1) — simply the clause
 				// over the new blocking literals. Optional but it prevents
@@ -229,7 +271,7 @@ func (m *MSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 				bestCost = cost
 				res.Cost = cnf.Weight(cost)
 				res.Model = snapshotModel(model, w.NumVars)
-				shared.PublishUB(res.Cost, res.Model)
+				prep.PublishUB(shared, res.Cost, res.Model)
 			}
 			if cost == 0 {
 				res.Status = opt.StatusOptimal
@@ -243,9 +285,13 @@ func (m *MSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 			}
 			// Paper lines 30-31: require fewer blocking variables than the
 			// best model used, over all blocking variables so far. The
-			// relaxed set has grown since the last encoding, so re-encode
-			// even when the numeric bound is unchanged.
-			setBound(bestCost - 1)
+			// incremental totalizer already covers every relaxed literal,
+			// so the next iteration's bound assumption suffices; the
+			// guarded ablation re-encodes even when the numeric bound is
+			// unchanged, because the relaxed set has grown.
+			if m.ReencodeBounds {
+				setBound(bestCost - 1)
+			}
 		}
 	}
 }

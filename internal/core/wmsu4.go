@@ -44,6 +44,13 @@ func (m *WMSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
+	prep, w := opt.MaybePrep(w, m.Opts)
+	if prep.HardUnsat() {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	defer prep.Finish(&res)
+
 	s := sat.New()
 	s.SetBudget(m.Opts.Budget(ctx))
 	softs, ok := loadSoft(s, w)
@@ -138,7 +145,7 @@ func (m *WMSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res
 				bestCost = cost
 				res.Cost = cost
 				res.Model = snapshotModel(model, w.NumVars)
-				shared.PublishUB(res.Cost, res.Model)
+				prep.PublishUB(shared, res.Cost, res.Model)
 			}
 			if cost == 0 {
 				res.Status = opt.StatusOptimal

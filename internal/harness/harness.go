@@ -51,6 +51,29 @@ func ExtendedSolvers() []SolverSpec {
 	return out
 }
 
+// WithPreprocessing returns a copy of spec whose solver runs with the
+// soft-aware preprocessing stage enabled; its column is named "<name>+pre"
+// so with/without runs sit side by side in the paper-style tables.
+func WithPreprocessing(spec SolverSpec) SolverSpec {
+	mk := spec.Make
+	return SolverSpec{Name: spec.Name + "+pre", Make: func(o opt.Options) opt.Solver {
+		o.Preprocess = true
+		return mk(o)
+	}}
+}
+
+// ComparePreprocessing doubles every spec with its preprocessing-enabled
+// twin, interleaved (name, name+pre, ...), for Table-1-style with/without
+// comparisons. CheckAgreement then doubles as a differential test: a
+// preprocessed column disagreeing with its raw twin fails the run.
+func ComparePreprocessing(specs []SolverSpec) []SolverSpec {
+	out := make([]SolverSpec, 0, 2*len(specs))
+	for _, s := range specs {
+		out = append(out, s, WithPreprocessing(s))
+	}
+	return out
+}
+
 // PortfolioSpec returns a spec racing the default portfolio line-up with
 // the given parallelism, so experiment reports can show a portfolio row
 // next to the paper's per-algorithm rows.

@@ -105,6 +105,12 @@ type Options struct {
 	Encoding card.Encoding
 	// MaxConflictsPerCall, when positive, caps each SAT call.
 	MaxConflictsPerCall int64
+	// Preprocess enables the soft-aware preprocessing stage (see Prep):
+	// the hard clauses are simplified once with soft-clause selectors
+	// frozen before the optimizer starts, and models are reconstructed
+	// back to the original variables before they reach Result.Model or a
+	// shared Bounds witness.
+	Preprocess bool
 }
 
 // Budget converts the options plus the run context into a per-call SAT

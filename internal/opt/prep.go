@@ -1,0 +1,301 @@
+package opt
+
+import (
+	"sync"
+
+	"repro/internal/cnf"
+	"repro/internal/simp"
+)
+
+// Prep is the soft-aware preprocessing stage shared by every MaxSAT
+// optimizer in this repository. It rewrites a weighted formula so that the
+// SatELite-style simplifier in internal/simp can be applied soundly:
+//
+//   - every non-unit soft clause ω gets a fresh selector s, the hard shell
+//     ω ∨ ¬s, and is replaced by the unit soft clause (s) of the same
+//     weight — the soft constraint is then expressed entirely through s,
+//     and ω's own variables become fair game for variable elimination;
+//   - unit softs keep their literal (no indirection needed) and the
+//     literal's variable is frozen instead;
+//   - the hard clauses plus shells are preprocessed with all selectors and
+//     unit-soft variables frozen (simp.Options.Frozen), so the variables the
+//     optimizer will later assume, relax, or encode constraints over
+//     survive;
+//   - softs whose selector (or unit literal) was fixed by level-0 unit
+//     propagation are folded: fixed true drops the soft (it can never be
+//     falsified under the hard clauses), fixed false turns it into an empty
+//     soft clause whose weight is always paid.
+//
+// The optimum of the rewritten formula equals the original optimum: any
+// model of one instance extends/restores to a model of the other with no
+// higher cost. Models found on the rewritten formula are lifted back with
+// Restore (simp model reconstruction plus truncation to the original
+// variables) and rescored against the original soft clauses, so Result
+// models and opt.Bounds witnesses published through a Prep are always valid
+// for the original formula.
+//
+// All methods tolerate a nil receiver (no-op), mirroring *Bounds, so
+// optimizer code calls through an optional *Prep unconditionally. A Prep's
+// read-only methods (Restore, Score, PublishUB) are safe for concurrent use
+// once the Prep is built — the portfolio engine preprocesses once and
+// shares one Prep across its racing members and the WalkSAT seeder.
+type Prep struct {
+	origVars int
+	selVars  int           // selectors appended after the original variables
+	softs    []cnf.WClause // original soft clauses, for rescoring
+	simp     *simp.Result  // nil when preprocessing proved hard-UNSAT early
+	out      *cnf.WCNF
+	unsat    bool
+}
+
+// preprocessors recycles simp.Preprocessor buffers across Prep calls, so a
+// harness sweep or repeated portfolio launches stay allocation-light.
+var preprocessors = sync.Pool{New: func() any { return simp.NewPreprocessor() }}
+
+// Mode selects how the preprocessing stage treats soft clauses.
+type Mode int8
+
+// Preprocessing modes.
+const (
+	// Selectors rewrites every non-unit soft clause behind a fresh frozen
+	// selector, so the soft clauses' own variables can be eliminated. The
+	// right mode for the SAT-based optimizers (core-guided, PBO), which
+	// immediately re-express softs through selectors anyway.
+	Selectors Mode = iota
+	// KeepSofts leaves soft clauses verbatim and freezes every variable
+	// they mention; only hard-clause structure is simplified. The right
+	// mode for search-based optimizers (branch and bound, local search),
+	// whose bounding heuristics read the soft clauses directly and go
+	// blind behind selector indirection.
+	KeepSofts
+)
+
+// MaybePrep runs the preprocessing stage when o.Preprocess is set. It
+// returns the stage (nil when disabled) and the formula the optimizer
+// should solve: the rewritten one, or w itself when preprocessing is off or
+// proved the hard clauses unsatisfiable (then HardUnsat reports true and
+// the optimizer must return StatusUnsat without solving).
+func MaybePrep(w *cnf.WCNF, o Options) (*Prep, *cnf.WCNF) {
+	return maybePrep(w, o, Selectors)
+}
+
+// MaybePrepKeepSofts is MaybePrep in KeepSofts mode.
+func MaybePrepKeepSofts(w *cnf.WCNF, o Options) (*Prep, *cnf.WCNF) {
+	return maybePrep(w, o, KeepSofts)
+}
+
+func maybePrep(w *cnf.WCNF, o Options, mode Mode) (*Prep, *cnf.WCNF) {
+	if !o.Preprocess {
+		return nil, w
+	}
+	p := NewPrep(w, simp.Options{}, mode)
+	if p.unsat {
+		return p, w
+	}
+	return p, p.out
+}
+
+// NewPrep builds the preprocessing stage for w unconditionally. The Prep
+// references w's soft clauses for rescoring and must not outlive the Solve
+// call it serves.
+func NewPrep(w *cnf.WCNF, so simp.Options, mode Mode) *Prep {
+	p := &Prep{origVars: w.NumVars}
+
+	// Assemble the hard side: hard clauses plus, in Selectors mode, a
+	// selector shell per non-unit soft. Selectors are allocated directly
+	// above the original variables so Restore can truncate at origVars.
+	type softKind int8
+	const (
+		softEmpty softKind = iota // always falsified: weight is a constant
+		softUnit                  // kept as-is; its variable is frozen
+		softSel                   // replaced by a selector unit
+		softKeep                  // kept verbatim; all its variables frozen
+	)
+	type softRec struct {
+		kind softKind
+		lit  cnf.Lit // unit literal or positive selector literal
+	}
+
+	hard := cnf.NewFormula(w.NumVars)
+	var (
+		recs   []softRec
+		frozen []cnf.Var
+	)
+	next := cnf.Var(w.NumVars)
+	for _, c := range w.Clauses {
+		if c.Hard() {
+			hard.Clauses = append(hard.Clauses, c.Clause.Clone())
+			continue
+		}
+		p.softs = append(p.softs, c)
+		switch {
+		case len(c.Clause) == 0:
+			recs = append(recs, softRec{kind: softEmpty})
+		case len(c.Clause) == 1:
+			l := c.Clause[0]
+			frozen = append(frozen, l.Var())
+			recs = append(recs, softRec{kind: softUnit, lit: l})
+		case mode == KeepSofts:
+			for _, l := range c.Clause {
+				frozen = append(frozen, l.Var())
+			}
+			recs = append(recs, softRec{kind: softKeep})
+		default:
+			sel := next
+			next++
+			shell := append(c.Clause.Clone(), cnf.NegLit(sel))
+			hard.Clauses = append(hard.Clauses, shell)
+			frozen = append(frozen, sel)
+			recs = append(recs, softRec{kind: softSel, lit: cnf.PosLit(sel)})
+		}
+	}
+	p.selVars = int(next) - w.NumVars
+	hard.NumVars = int(next)
+
+	pre := preprocessors.Get().(*simp.Preprocessor)
+	so.Frozen = append(so.Frozen, frozen...)
+	sr := pre.Preprocess(hard, so)
+	preprocessors.Put(pre)
+	if sr.Unsat {
+		p.unsat = true
+		return p
+	}
+	p.simp = sr
+
+	out := cnf.NewWCNF(int(next))
+	out.Clauses = make([]cnf.WClause, 0, len(sr.Formula.Clauses)+len(recs))
+	for _, c := range sr.Formula.Clauses {
+		out.Clauses = append(out.Clauses, cnf.WClause{Clause: c, Weight: cnf.HardWeight})
+	}
+	for i, r := range recs {
+		weight := p.softs[i].Weight
+		switch r.kind {
+		case softEmpty:
+			out.Clauses = append(out.Clauses, cnf.WClause{Weight: weight})
+		case softKeep:
+			// Apply level-0 fixed values so the kept soft never mentions a
+			// variable the simplified hards no longer constrain (the
+			// optimizer would otherwise "satisfy" it with a value that
+			// reconstruction overwrites). Frozen variables cannot be
+			// eliminated, so fixing is the only rewrite to track.
+			kept := make(cnf.Clause, 0, len(p.softs[i].Clause))
+			satisfied := false
+			for _, l := range p.softs[i].Clause {
+				if value, fixed := sr.Fixed(l.Var()); fixed {
+					if value != l.Sign() {
+						satisfied = true
+						break
+					}
+					continue // literal fixed false: drop it
+				}
+				kept = append(kept, l)
+			}
+			if satisfied {
+				continue
+			}
+			out.Clauses = append(out.Clauses, cnf.WClause{Clause: kept, Weight: weight})
+		default:
+			if value, fixed := sr.Fixed(r.lit.Var()); fixed {
+				if value == r.lit.Sign() {
+					// The unit literal (or selector) is forced false: the
+					// soft clause is unsatisfiable under the hard clauses
+					// and its weight is always paid.
+					out.Clauses = append(out.Clauses, cnf.WClause{Weight: weight})
+				}
+				// Forced true: the soft clause is free; drop it.
+				continue
+			}
+			out.Clauses = append(out.Clauses, cnf.WClause{Clause: cnf.Clause{r.lit}, Weight: weight})
+		}
+	}
+	p.out = out
+	return p
+}
+
+// W returns the rewritten formula the optimizer should solve (nil when
+// preprocessing proved hard-UNSAT).
+func (p *Prep) W() *cnf.WCNF {
+	if p == nil {
+		return nil
+	}
+	return p.out
+}
+
+// HardUnsat reports that preprocessing derived the empty clause from the
+// hard side alone; the instance is UNSAT regardless of the softs.
+func (p *Prep) HardUnsat() bool { return p != nil && p.unsat }
+
+// Restore lifts a model of the rewritten formula back to the original
+// variable space: simp reconstruction recovers eliminated and fixed
+// variables, then the selector tail is dropped. The input is not modified.
+func (p *Prep) Restore(model cnf.Assignment) cnf.Assignment {
+	if p == nil {
+		return model
+	}
+	m := p.simp.Reconstruct(model)
+	return m[:p.origVars]
+}
+
+// Score returns the original-formula cost of an original-space model: the
+// total weight of original soft clauses it falsifies.
+func (p *Prep) Score(model cnf.Assignment) cnf.Weight {
+	if p == nil {
+		return 0
+	}
+	var cost cnf.Weight
+	for _, c := range p.softs {
+		if !model.Satisfies(c.Clause) {
+			cost += c.Weight
+		}
+	}
+	return cost
+}
+
+// PublishUB publishes an upper bound to shared on the optimizer's behalf:
+// the model is restored to the original space and rescored first, so bound
+// witnesses crossing a portfolio are always original-formula models. With a
+// nil Prep it degenerates to a plain publish.
+func (p *Prep) PublishUB(shared *Bounds, cost cnf.Weight, model cnf.Assignment) {
+	if p == nil {
+		shared.PublishUB(cost, model)
+		return
+	}
+	if shared == nil || model == nil {
+		return
+	}
+	m := p.Restore(model)
+	shared.PublishUB(p.Score(m), m)
+}
+
+// restorable reports whether the model still needs restoring. Optimizer
+// models cover the rewritten variable space (original + selectors); models
+// adopted from shared bounds were published through PublishUB and are
+// already original-space, which their shorter length reveals. When no
+// selectors were added the two spaces have the same length and Restore is
+// applied unconditionally — it is idempotent there (fixed variables are
+// re-fixed to the same values, eliminated variables re-derive the same
+// way).
+func (p *Prep) restorable(model cnf.Assignment) bool {
+	return len(model) != p.origVars || p.selVars == 0
+}
+
+// Finish rewrites a result produced on the rewritten formula into
+// original-formula terms: the model is restored (when it still needs it)
+// and rescored against the original softs, and the lower bound is clamped
+// to the rescored cost. Lower bounds proved on the rewritten formula are
+// valid as-is because the two optima coincide. Call it exactly once, after
+// the optimizer loop finishes.
+func (p *Prep) Finish(res *Result) {
+	if p == nil || p.unsat || res.Model == nil {
+		return
+	}
+	m := res.Model
+	if p.restorable(m) {
+		m = p.Restore(m)
+	}
+	res.Model = m
+	res.Cost = p.Score(m)
+	if res.LowerBound > res.Cost {
+		res.LowerBound = res.Cost
+	}
+}

@@ -1,0 +1,290 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+	"repro/internal/simp"
+)
+
+func plit(i int) cnf.Lit { return cnf.FromDIMACS(i) }
+
+func TestMaybePrepDisabled(t *testing.T) {
+	w := cnf.NewWCNF(2)
+	w.AddSoft(1, plit(1))
+	p, pw := MaybePrep(w, Options{})
+	if p != nil || pw != w {
+		t.Fatal("disabled preprocessing must be a no-op")
+	}
+	// Nil-safe method surface.
+	if p.HardUnsat() {
+		t.Fatal("nil Prep reports unsat")
+	}
+	var res Result
+	p.Finish(&res)
+	b := NewBounds()
+	p.PublishUB(b, 1, cnf.Assignment{true, false})
+	if ub, ok := b.UB(); !ok || ub != 1 {
+		t.Fatal("nil Prep PublishUB must degrade to a plain publish")
+	}
+}
+
+func TestPrepRewriteShape(t *testing.T) {
+	w := cnf.NewWCNF(4)
+	w.AddHard(plit(1), plit(2))
+	w.AddSoft(1, plit(3), plit(4)) // non-unit: gets a selector
+	w.AddSoft(2, plit(-3))         // unit: kept, variable frozen
+	w.AddSoft(3)                   // empty: constant cost
+	p := NewPrep(w, simp.Options{}, Selectors)
+	if p.HardUnsat() {
+		t.Fatal("satisfiable hard clauses reported unsat")
+	}
+	out := p.W()
+	if out.NumVars != 5 {
+		t.Fatalf("want 4 original + 1 selector variables, got %d", out.NumVars)
+	}
+	soft := 0
+	for _, c := range out.Clauses {
+		if c.Hard() {
+			continue
+		}
+		soft++
+		if len(c.Clause) > 1 {
+			t.Fatalf("rewritten soft clause is not unit/empty: %v", c.Clause)
+		}
+	}
+	if soft != 3 {
+		t.Fatalf("want 3 rewritten softs, got %d", soft)
+	}
+	if out.SoftWeightSum() != w.SoftWeightSum() {
+		t.Fatalf("soft weight changed: %d != %d", out.SoftWeightSum(), w.SoftWeightSum())
+	}
+}
+
+func TestPrepFoldsFixedSelectors(t *testing.T) {
+	// Hard (x1) makes the soft (¬x1) unsatisfiable — its weight is always
+	// paid — and the soft (x1) free — it disappears.
+	w := cnf.NewWCNF(1)
+	w.AddHard(plit(1))
+	w.AddSoft(5, plit(-1))
+	w.AddSoft(7, plit(1))
+	p := NewPrep(w, simp.Options{}, Selectors)
+	out := p.W()
+	var softs []cnf.WClause
+	for _, c := range out.Clauses {
+		if !c.Hard() {
+			softs = append(softs, c)
+		}
+	}
+	if len(softs) != 1 || len(softs[0].Clause) != 0 || softs[0].Weight != 5 {
+		t.Fatalf("want exactly the always-paid weight-5 empty soft, got %v", softs)
+	}
+}
+
+func TestPrepHardUnsat(t *testing.T) {
+	w := cnf.NewWCNF(1)
+	w.AddHard(plit(1))
+	w.AddHard(plit(-1))
+	w.AddSoft(1, plit(1))
+	p := NewPrep(w, simp.Options{}, Selectors)
+	if !p.HardUnsat() {
+		t.Fatal("conflicting hard clauses not detected")
+	}
+}
+
+func TestPrepFinishSkipsAdoptedOriginalModels(t *testing.T) {
+	// A model already in the original space (adopted from shared bounds,
+	// published by another member through PublishUB) must pass through
+	// Finish untouched except for rescoring.
+	w := cnf.NewWCNF(3)
+	w.AddHard(plit(1), plit(2))
+	w.AddSoft(1, plit(-1), plit(3))
+	w.AddSoft(1, plit(-2), plit(3))
+	p := NewPrep(w, simp.Options{}, Selectors)
+	adopted := cnf.Assignment{true, true, true} // original space, cost 0
+	res := Result{Status: StatusOptimal, Cost: 0, Model: adopted}
+	p.Finish(&res)
+	if res.Cost != 0 || len(res.Model) != 3 {
+		t.Fatalf("adopted model mangled: cost=%d len=%d", res.Cost, len(res.Model))
+	}
+}
+
+// solvePrep finds an optimal model of the rewritten formula by brute force
+// over its clauses (hards as constraints, softs as objective).
+func solvePrep(t *testing.T, out *cnf.WCNF) (cnf.Weight, cnf.Assignment, bool) {
+	t.Helper()
+	return brute.MinCostWCNF(out)
+}
+
+func TestPrepPreservesOptimumRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 400; iter++ {
+		vars := 2 + rng.Intn(6)
+		w := cnf.NewWCNF(vars)
+		weighted := rng.Intn(2) == 0
+		for i := 0; i < 2+rng.Intn(12); i++ {
+			width := 1 + rng.Intn(3)
+			var c []cnf.Lit
+			for j := 0; j < width; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(vars)), rng.Intn(2) == 0))
+			}
+			switch {
+			case rng.Intn(3) == 0:
+				w.AddHard(c...)
+			case weighted:
+				w.AddSoft(cnf.Weight(1+rng.Intn(4)), c...)
+			default:
+				w.AddSoft(1, c...)
+			}
+		}
+		wantCost, _, wantFeasible := brute.MinCostWCNF(w)
+		p := NewPrep(w, simp.Options{}, Selectors)
+		if p.HardUnsat() {
+			if wantFeasible {
+				t.Fatalf("iter %d: prep unsat on feasible instance", iter)
+			}
+			continue
+		}
+		gotCost, gotModel, gotFeasible := solvePrep(t, p.W())
+		if gotFeasible != wantFeasible {
+			t.Fatalf("iter %d: feasibility drift (got %v want %v)", iter, gotFeasible, wantFeasible)
+		}
+		if !wantFeasible {
+			continue
+		}
+		if gotCost != wantCost {
+			t.Fatalf("iter %d: optimum drift: rewritten %d, original %d\n%v",
+				iter, gotCost, wantCost, w.Clauses)
+		}
+		m := p.Restore(gotModel)
+		cost, hardOK := w.CostOf(m)
+		if !hardOK {
+			t.Fatalf("iter %d: restored model violates hard clauses", iter)
+		}
+		if cost != wantCost {
+			t.Fatalf("iter %d: restored model costs %d, optimum %d", iter, cost, wantCost)
+		}
+		if got := p.Score(m); got != cost {
+			t.Fatalf("iter %d: Score %d disagrees with CostOf %d", iter, got, cost)
+		}
+	}
+}
+
+// TestPrepSolveRoundTrip runs an actual SAT solver over the rewritten hard
+// clauses with all rewritten softs enforced relaxable — the integration
+// surface every optimizer uses — and checks restored models and published
+// bounds are original-space.
+func TestPrepSolveRoundTrip(t *testing.T) {
+	w := cnf.NewWCNF(6)
+	w.AddHard(plit(1), plit(2), plit(3))
+	w.AddHard(plit(-1), plit(4))
+	w.AddSoft(1, plit(-4), plit(5))
+	w.AddSoft(1, plit(-2), plit(6))
+	w.AddSoft(1, plit(-3))
+	p := NewPrep(w, simp.Options{}, Selectors)
+	out := p.W()
+
+	s := sat.New()
+	s.EnsureVars(out.NumVars)
+	for _, c := range out.Clauses {
+		if c.Hard() {
+			if !s.AddClauseFrom(c.Clause) {
+				t.Fatal("hard conflict")
+			}
+		}
+	}
+	if s.Solve() != sat.Sat {
+		t.Fatal("rewritten hards unsatisfiable")
+	}
+	model := make(cnf.Assignment, out.NumVars)
+	copy(model, s.Model())
+
+	shared := NewBounds()
+	p.PublishUB(shared, p.Score(p.Restore(model)), model)
+	cost, m, ok := shared.Best()
+	if !ok {
+		t.Fatal("publish lost")
+	}
+	if len(m) != 6 {
+		t.Fatalf("published witness not original-space: len %d", len(m))
+	}
+	if c2, hardOK := w.CostOf(m); !hardOK || c2 != cost {
+		t.Fatalf("published witness inconsistent: cost %d recomputed %d hardOK %v", cost, c2, hardOK)
+	}
+}
+
+func TestPrepKeepSoftsMode(t *testing.T) {
+	// KeepSofts: softs stay verbatim (modulo fixed values), their
+	// variables are frozen, and only hard structure simplifies.
+	w := cnf.NewWCNF(5)
+	w.AddHard(plit(1))           // fixes x1
+	w.AddHard(plit(-1), plit(4)) // propagates x4
+	w.AddSoft(2, plit(-1), plit(2), plit(3))
+	w.AddSoft(3, plit(-4), plit(5))
+	p := NewPrep(w, simp.Options{}, KeepSofts)
+	out := p.W()
+	if out.NumVars != 5 {
+		t.Fatalf("KeepSofts must not add variables, got %d", out.NumVars)
+	}
+	var softs []cnf.WClause
+	for _, c := range out.Clauses {
+		if !c.Hard() {
+			softs = append(softs, c)
+		}
+	}
+	// x1 fixed true: first soft loses ¬x1; x4 fixed true: second loses ¬x4.
+	if len(softs) != 2 {
+		t.Fatalf("want both softs kept, got %v", softs)
+	}
+	for _, c := range softs {
+		for _, l := range c.Clause {
+			if v := l.Var(); v == 0 || v == 3 {
+				t.Fatalf("fixed variable survives in kept soft: %v", c.Clause)
+			}
+		}
+	}
+
+	// Differential: optimum preserved and restored models rescore exactly.
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 200; iter++ {
+		vars := 2 + rng.Intn(6)
+		rw := cnf.NewWCNF(vars)
+		for i := 0; i < 2+rng.Intn(12); i++ {
+			width := 1 + rng.Intn(3)
+			var c []cnf.Lit
+			for j := 0; j < width; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(vars)), rng.Intn(2) == 0))
+			}
+			if rng.Intn(3) == 0 {
+				rw.AddHard(c...)
+			} else {
+				rw.AddSoft(cnf.Weight(1+rng.Intn(3)), c...)
+			}
+		}
+		wantCost, _, wantFeasible := brute.MinCostWCNF(rw)
+		kp := NewPrep(rw, simp.Options{}, KeepSofts)
+		if kp.HardUnsat() {
+			if wantFeasible {
+				t.Fatalf("iter %d: KeepSofts unsat on feasible instance", iter)
+			}
+			continue
+		}
+		gotCost, gotModel, gotFeasible := brute.MinCostWCNF(kp.W())
+		if gotFeasible != wantFeasible {
+			t.Fatalf("iter %d: feasibility drift", iter)
+		}
+		if !wantFeasible {
+			continue
+		}
+		if gotCost != wantCost {
+			t.Fatalf("iter %d: optimum drift %d != %d\n%v", iter, gotCost, wantCost, rw.Clauses)
+		}
+		m := kp.Restore(gotModel)
+		if cost, hardOK := rw.CostOf(m); !hardOK || cost != wantCost {
+			t.Fatalf("iter %d: restored cost %d (hardOK %v), want %d", iter, cost, hardOK, wantCost)
+		}
+	}
+}

@@ -37,6 +37,16 @@ func (l *Linear) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (re
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
+	// KeepSofts mode: pbo adds its own blocking variables over the soft
+	// clauses and discounts gratuitous blockings against them, so it only
+	// wants the hard structure simplified.
+	prep, w := opt.MaybePrepKeepSofts(w, l.Opts)
+	if prep.HardUnsat() {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	defer prep.Finish(&res)
+
 	s := sat.New()
 	s.EnsureVars(w.NumVars)
 	s.SetBudget(l.Opts.Budget(ctx))
@@ -59,8 +69,17 @@ func (l *Linear) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (re
 			baseCost += c.Weight
 			continue
 		}
-		b := cnf.PosLit(s.NewVar())
-		s.AddClause(append(c.Clause.Clone(), b)...)
+		var b cnf.Lit
+		if len(c.Clause) == 1 {
+			// A unit soft (l) needs no fresh blocking variable: ¬l is true
+			// exactly when the soft is falsified. (KeepSofts preprocessing
+			// leaves multi-literal softs verbatim; those still get fresh
+			// blocking variables below.)
+			b = c.Clause[0].Neg()
+		} else {
+			b = cnf.PosLit(s.NewVar())
+			s.AddClause(append(c.Clause.Clone(), b)...)
+		}
 		blits = append(blits, b)
 		weights = append(weights, c.Weight)
 		softIdx = append(softIdx, i)
@@ -101,15 +120,26 @@ func (l *Linear) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (re
 			res.SatCalls++
 			model := s.Model()
 			// Recompute the true cost from the original soft clauses: the
-			// model may set blocking variables gratuitously.
-			cost := baseCost
-			for _, ci := range softIdx {
-				if !model.Satisfies(w.Clauses[ci].Clause) {
-					cost += w.Clauses[ci].Weight
+			// model may set blocking variables (or, under preprocessing,
+			// selectors) gratuitously. With preprocessing active the honest
+			// cost lives in the original space — restoring the model and
+			// rescoring it there discounts every selector whose underlying
+			// clause the assignment satisfies anyway, so each bound cuts as
+			// deep as it would on the raw formula.
+			var cost cnf.Weight
+			if prep != nil {
+				res.Model = prep.Restore(model)
+				cost = prep.Score(res.Model)
+			} else {
+				cost = baseCost
+				for _, ci := range softIdx {
+					if !model.Satisfies(w.Clauses[ci].Clause) {
+						cost += w.Clauses[ci].Weight
+					}
 				}
+				res.Model = snapshot(model, w.NumVars)
 			}
 			res.Cost = cost
-			res.Model = snapshot(model, w.NumVars)
 			shared.PublishUB(res.Cost, res.Model)
 			// An externally improved model lets the next bound cut deeper
 			// than this round's local model would.
@@ -163,6 +193,13 @@ func (b *BinarySearch) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bound
 	res = opt.Result{Cost: -1}
 	defer func() { res.Elapsed = time.Since(start) }()
 
+	prep, w := opt.MaybePrepKeepSofts(w, b.Opts) // see Linear
+	if prep.HardUnsat() {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	defer prep.Finish(&res)
+
 	s := sat.New()
 	s.EnsureVars(w.NumVars)
 	s.SetBudget(b.Opts.Budget(ctx))
@@ -184,8 +221,13 @@ func (b *BinarySearch) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bound
 			baseCost += c.Weight
 			continue
 		}
-		bv := cnf.PosLit(s.NewVar())
-		s.AddClause(append(c.Clause.Clone(), bv)...)
+		var bv cnf.Lit
+		if len(c.Clause) == 1 {
+			bv = c.Clause[0].Neg() // see Linear: unit softs block themselves
+		} else {
+			bv = cnf.PosLit(s.NewVar())
+			s.AddClause(append(c.Clause.Clone(), bv)...)
+		}
 		blits = append(blits, bv)
 		softIdx = append(softIdx, i)
 	}
@@ -203,15 +245,26 @@ func (b *BinarySearch) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bound
 		return res
 	}
 	res.SatCalls++
-	model := s.Model()
-	ub := cnf.Weight(0)
-	for _, ci := range softIdx {
-		if !model.Satisfies(w.Clauses[ci].Clause) {
-			ub++
+	// evaluate maps a model to (witness, cost): under preprocessing the
+	// honest cost comes from restoring and rescoring in the original space
+	// (see Linear), otherwise from the soft clauses directly.
+	evaluate := func(model cnf.Assignment) (cnf.Assignment, cnf.Weight) {
+		if prep != nil {
+			m := prep.Restore(model)
+			return m, prep.Score(m)
 		}
+		cost := baseCost
+		for _, ci := range softIdx {
+			if !model.Satisfies(w.Clauses[ci].Clause) {
+				cost += w.Clauses[ci].Weight
+			}
+		}
+		return snapshot(model, w.NumVars), cost
 	}
-	res.Cost = ub + baseCost
-	res.Model = snapshot(model, w.NumVars)
+	model, cost := evaluate(s.Model())
+	ub := cost - baseCost
+	res.Cost = cost
+	res.Model = model
 	shared.PublishUB(res.Cost, res.Model)
 
 	tot := card.NewIncTotalizer(s, blits, len(blits))
@@ -256,16 +309,10 @@ func (b *BinarySearch) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bound
 			shared.PublishLB(lb + 1 + baseCost)
 		case sat.Sat:
 			res.SatCalls++
-			model := s.Model()
-			cost := cnf.Weight(0)
-			for _, ci := range softIdx {
-				if !model.Satisfies(w.Clauses[ci].Clause) {
-					cost++
-				}
-			}
-			ub = cost
-			res.Cost = ub + baseCost
-			res.Model = snapshot(model, w.NumVars)
+			model, cost := evaluate(s.Model())
+			ub = cost - baseCost
+			res.Cost = cost
+			res.Model = model
 			shared.PublishUB(res.Cost, res.Model)
 		}
 	}

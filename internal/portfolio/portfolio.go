@@ -9,8 +9,8 @@
 // goroutines, each on its own clone of the formula, all wired to one shared
 // opt.Bounds. A WalkSAT seeder publishes an early upper bound, every member
 // publishes the lower bounds it proves and the models it finds, and members
-// prune against externally improved bounds (msu4 re-encodes its cardinality
-// constraint, branch and bound tightens its pruning threshold, binary-search
+// prune against externally improved bounds (msu4 tightens its incremental
+// totalizer bound, branch and bound tightens its pruning threshold, binary-search
 // PBO halves its interval from above). The first member to prove an optimum
 // — or hard-clause unsatisfiability — wins; the engine cancels the rest,
 // waits for them to exit, and returns the winning result. Because bounds
@@ -114,10 +114,28 @@ type outcome struct {
 // the first proved result, or the best shared bounds once ctx expires.
 // A caller-supplied shared bound is joined (the portfolio publishes into
 // and observes it like any member would); nil gets a fresh one.
+//
+// With Opts.Preprocess set, the formula is preprocessed once and the
+// members race clones of the simplified formula (the stage's cost is paid
+// once and its benefit multiplies across the line-up); the WalkSAT seeder
+// walks the simplified clauses too and publishes restored, rescored
+// original-space models. The final result is restored before it is
+// returned. Because the internal bound exchange then carries a mix of
+// simplified- and original-space witnesses, a caller-supplied shared bound
+// is not joined live in that mode; the portfolio publishes its final
+// bounds into it instead.
 func (e *Engine) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) opt.Result {
 	start := time.Now()
+	prep, pw := opt.MaybePrep(w, e.Opts)
+	if prep.HardUnsat() {
+		return opt.Result{Status: opt.StatusUnsat, Cost: -1, Elapsed: time.Since(start)}
+	}
+	w = pw
+	memberOpts := e.Opts
+	memberOpts.Preprocess = false // already done, once, here
+
 	bounds := shared
-	if bounds == nil {
+	if bounds == nil || prep != nil {
 		bounds = opt.NewBounds()
 	}
 	members := e.Members
@@ -139,7 +157,7 @@ func (e *Engine) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) opt
 	for _, spec := range members {
 		spec := spec
 		go func() {
-			solver := spec.Make(e.Opts)
+			solver := spec.Make(memberOpts)
 			// Each member gets its own clone: solvers are free to index,
 			// normalize, or otherwise pick the formula apart without any
 			// cross-goroutine aliasing.
@@ -160,6 +178,7 @@ func (e *Engine) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) opt
 				Seed:     1,
 				MaxFlips: flips,
 				Tries:    3,
+				Prep:     prep,
 				OnImprove: func(cost cnf.Weight, model cnf.Assignment) {
 					bounds.PublishUB(cost, model)
 				},
@@ -208,6 +227,15 @@ func (e *Engine) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) opt
 				}
 				res.LowerBound = lb
 			}
+		}
+	}
+	prep.Finish(&res)
+	if prep != nil && shared != nil {
+		// The caller's bound channel was not joined live (space mismatch);
+		// hand it the final original-space bounds instead.
+		shared.PublishLB(res.LowerBound)
+		if res.Model != nil {
+			shared.PublishUB(res.Cost, res.Model)
 		}
 	}
 	// The work profile covers every member, not just the winner: the

@@ -147,6 +147,7 @@ type Solver struct {
 	learntAdjustC float64
 
 	assumptions []cnf.Lit
+	prevAssumps []cnf.Lit // previous Solve's assumptions, for trail reuse
 	conflictSet []cnf.Lit // failed assumptions from last Unsat-under-assumptions
 
 	model    cnf.Assignment
@@ -248,6 +249,10 @@ func (s *Solver) addClauseOwned(tmp cnf.Clause) bool {
 	if !s.ok {
 		return false
 	}
+	// Clauses attach at level 0. The trail may still hold the previous
+	// Solve's assumption levels (kept for reuse); adding a clause
+	// invalidates them, so backtrack first.
+	s.cancelUntil(0)
 	if mv := tmp.MaxVar(); mv != cnf.VarUndef {
 		s.EnsureVars(int(mv) + 1)
 	}
@@ -966,6 +971,16 @@ func (s *Solver) budgetExhausted() bool {
 // assumptions, Core returns a subset of the assumptions that is already
 // unsatisfiable together with the clauses. Unknown means the budget was
 // exhausted.
+//
+// Between consecutive Solve calls the solver keeps the trail segment whose
+// assumption prefix is unchanged: decision level i of a finished call holds
+// assumption i's placement and everything it propagated, so a following
+// call that repeats assumptions[0..k) resumes from level k instead of
+// re-deciding and re-propagating the shared prefix. Core-guided MaxSAT
+// loops, which mostly drop one selector or tighten one trailing bound
+// literal per call, keep almost the whole trail. Adding a clause between
+// calls backtracks to level 0 (see addClauseOwned), which safely disables
+// the reuse for that transition.
 func (s *Solver) Solve(assumps ...cnf.Lit) Status {
 	s.stats.Solves++
 	s.model = nil
@@ -978,6 +993,21 @@ func (s *Solver) Solve(assumps ...cnf.Lit) Status {
 			s.EnsureVars(int(a.Var()) + 1)
 		}
 	}
+	// Trail reuse: levels 1..decisionLevel() of the previous call (if still
+	// standing) correspond one-to-one to its assumption prefix; keep the
+	// longest prefix the new assumptions repeat verbatim.
+	keep := s.decisionLevel()
+	if len(s.prevAssumps) < keep {
+		keep = len(s.prevAssumps)
+	}
+	if len(assumps) < keep {
+		keep = len(assumps)
+	}
+	match := 0
+	for match < keep && s.prevAssumps[match] == assumps[match] {
+		match++
+	}
+	s.cancelUntil(match)
 	s.assumptions = assumps
 
 	s.maxLearnts = float64(len(s.clauses)) / 3
@@ -1019,7 +1049,10 @@ func (s *Solver) Solve(assumps ...cnf.Lit) Status {
 		}
 		break
 	}
-	s.cancelUntil(0)
+	// Do not backtrack to level 0: the assumption levels stay on the trail
+	// for the next call's prefix reuse (s.prevAssumps records what they
+	// mean). Every other entry point that needs level 0 backtracks itself.
+	s.prevAssumps = append(s.prevAssumps[:0], assumps...)
 	s.assumptions = nil
 	return status
 }

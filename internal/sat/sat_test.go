@@ -524,3 +524,99 @@ func TestLBDManagementCorrect(t *testing.T) {
 		t.Fatalf("PHP with LBD mode: %v", st)
 	}
 }
+
+// TestTrailReuseAcrossSolves checks the incremental-solve optimization:
+// between consecutive Solve calls the trail segment whose assumption prefix
+// is unchanged is kept, so an identical call re-propagates nothing, and a
+// call that only changes a trailing assumption keeps the shared prefix.
+func TestTrailReuseAcrossSolves(t *testing.T) {
+	s := New()
+	a := cnf.PosLit(0)
+	b := cnf.PosLit(1)
+	// A long implication chain hanging off a: a -> x2 -> x3 -> ... -> x9.
+	for v := 2; v < 10; v++ {
+		prev := a
+		if v > 2 {
+			prev = cnf.PosLit(cnf.Var(v - 1))
+		}
+		s.AddClause(prev.Neg(), cnf.PosLit(cnf.Var(v)))
+	}
+	if st := s.Solve(a, b); st != Sat {
+		t.Fatalf("first solve: %v", st)
+	}
+	if s.decisionLevel() == 0 {
+		t.Fatal("trail not kept after Solve")
+	}
+	props := s.stats.Propagations
+	if st := s.Solve(a, b); st != Sat {
+		t.Fatalf("second solve: %v", st)
+	}
+	if delta := s.stats.Propagations - props; delta != 0 {
+		t.Fatalf("identical re-solve re-propagated %d literals", delta)
+	}
+
+	// Flipping only the trailing assumption keeps a's level: the chain
+	// (propagated at level 1) must not be re-propagated.
+	props = s.stats.Propagations
+	if st := s.Solve(a, b.Neg()); st != Sat {
+		t.Fatalf("flipped-tail solve: %v", st)
+	}
+	if delta := s.stats.Propagations - props; delta > 2 {
+		t.Fatalf("tail flip re-propagated the shared prefix: %d literals", delta)
+	}
+	m := s.Model()
+	if !m.Lit(a) || m.Lit(b) {
+		t.Fatalf("model ignores assumptions: %v", m[:10])
+	}
+
+	// Adding a clause invalidates the kept trail; the solver must recover
+	// and stay correct.
+	s.AddClause(cnf.NegLit(9), cnf.PosLit(10))
+	if s.decisionLevel() != 0 {
+		t.Fatal("AddClause must backtrack to level 0")
+	}
+	if st := s.Solve(a, b); st != Sat {
+		t.Fatalf("post-AddClause solve: %v", st)
+	}
+	if m := s.Model(); !m[10] {
+		t.Fatal("new clause not propagated after trail reset")
+	}
+
+	// A changed leading assumption discards everything and still works.
+	if st := s.Solve(a.Neg(), b); st != Sat {
+		t.Fatalf("flipped-head solve: %v", st)
+	}
+	if m := s.Model(); m.Lit(a) {
+		t.Fatal("flipped head assumption not honoured")
+	}
+}
+
+// TestTrailReuseUnsatCore checks that core extraction stays correct when
+// the failing call reuses a kept assumption prefix.
+func TestTrailReuseUnsatCore(t *testing.T) {
+	s := New()
+	x, y, z := cnf.PosLit(0), cnf.PosLit(1), cnf.PosLit(2)
+	s.AddClause(x.Neg(), y.Neg()) // x and y conflict
+	if st := s.Solve(x, z); st != Sat {
+		t.Fatalf("warmup: %v", st)
+	}
+	// Same leading assumption, new failing tail.
+	if st := s.Solve(x, z, y); st != Unsat {
+		t.Fatalf("want Unsat, got %v", st)
+	}
+	core := s.Core()
+	seen := map[cnf.Lit]bool{}
+	for _, l := range core {
+		seen[l] = true
+	}
+	if !seen[x] && !seen[y] {
+		t.Fatalf("core %v misses the conflicting assumptions", core)
+	}
+	if seen[z] {
+		t.Fatalf("core %v contains irrelevant assumption", core)
+	}
+	// And the solver remains usable afterwards.
+	if st := s.Solve(y, z); st != Sat {
+		t.Fatalf("post-core solve: %v", st)
+	}
+}

@@ -4,11 +4,23 @@
 // resolution (strengthening), and bounded variable elimination (BVE) with
 // model reconstruction.
 //
-// Preprocessing is sound for plain satisfiability and for the hard part of
-// MaxSAT instances; it must not be applied to soft clauses (eliminating a
-// variable merges clauses and destroys the falsified-clause count), which is
-// why the MaxSAT algorithms in this repository use it only through explicit
-// opt-in on the SAT side (cmd/sat) and tests.
+// Preprocessing is sound for plain satisfiability (cmd/sat -simp) and, with
+// care, for MaxSAT: it must only ever see hard clauses, and any variable the
+// caller keeps semantic claims about — soft-clause selectors, literals that
+// will later be assumed, variables new clauses will be added over — must be
+// listed in Options.Frozen so bounded variable elimination leaves it alone.
+// The soft-aware preprocessing stage in internal/opt (opt.Prep) uses exactly
+// that contract: it attaches a fresh frozen selector to every soft clause,
+// preprocesses the hard clauses plus selector shells here, and reconstructs
+// models back to the original variables afterwards. Frozen variables may
+// still be fixed by level-0 unit propagation (a forced value is a proved
+// fact, not a rewrite); Result.Fixed exposes those values.
+//
+// A Preprocessor can be reused across calls: the occurrence index, touched
+// queue, and clause table are retained between runs, so repeated
+// preprocessing — one call per optimizer run in a harness sweep, or per
+// portfolio launch — stays allocation-light. The package-level Preprocess
+// helper remains for one-shot callers.
 package simp
 
 import (
@@ -29,10 +41,19 @@ type Options struct {
 	DisableBVE bool
 	// DisableSubsumption turns off subsumption and strengthening.
 	DisableSubsumption bool
+	// Frozen lists variables that must survive variable elimination: BVE
+	// (including its pure-literal special case) never eliminates them, so
+	// they still mean the same thing in the simplified formula. Callers
+	// freeze every variable they will later assume, resolve on, or add
+	// clauses over — MaxSAT soft-clause selectors above all. Frozen
+	// variables may still be fixed by unit propagation; see Result.Fixed.
+	Frozen []cnf.Var
 }
 
 // Result carries the simplified formula and everything needed to lift a
-// model of the simplified formula back to the original variables.
+// model of the simplified formula back to the original variables. A Result
+// owns all of its data: it stays valid after the Preprocessor that produced
+// it is reused for another formula.
 type Result struct {
 	// Formula is the simplified CNF over the same variable space (eliminated
 	// and fixed variables simply no longer occur).
@@ -54,6 +75,18 @@ type elimRecord struct {
 // Eliminated reports whether v was removed by variable elimination.
 func (r *Result) Eliminated(v cnf.Var) bool {
 	return int(v) < len(r.eliminated) && r.eliminated[v]
+}
+
+// Fixed reports the value forced on v by level-0 unit propagation, and
+// whether v was fixed at all. Frozen variables are never eliminated but may
+// be fixed; MaxSAT callers use this to fold softs whose selector was forced
+// (a selector forced false proves the soft clause unsatisfiable under the
+// hard clauses, so its weight is always paid).
+func (r *Result) Fixed(v cnf.Var) (value bool, fixed bool) {
+	if int(v) >= len(r.fixed) || r.fixed[v] == 0 {
+		return false, false
+	}
+	return r.fixed[v] == 1, true
 }
 
 // Reconstruct extends a model of the simplified formula to a model of the
@@ -89,33 +122,44 @@ func (r *Result) Reconstruct(model cnf.Assignment) cnf.Assignment {
 	return out
 }
 
-// preprocessor state over an occurrence-indexed clause database.
-type pp struct {
+// Preprocessor holds the occurrence-indexed clause database plus the
+// reusable scratch buffers (occurrence lists, touched queue, unit queue,
+// frozen marks). The zero value is ready to use; reusing one instance
+// across Preprocess calls avoids reallocating the per-literal index each
+// time. A Preprocessor is not safe for concurrent use.
+type Preprocessor struct {
 	opts    Options
 	clauses []cnf.Clause // nil entries are deleted
 	occ     [][]int32    // per literal: clause indices (may contain stale ids)
-	fixed   []int8
+	fixed   []int8       // per call; ownership passes to the Result
+	frozen  []bool
 	units   []cnf.Lit
 	result  *Result
-	touched map[cnf.Var]bool
+
+	touchedStamp []uint32 // touchedStamp[v] == stamp ⇔ v queued for BVE
+	touchedList  []cnf.Var
+	stamp        uint32
+
+	occScratch []int32 // reused snapshot of an occurrence list under iteration
+}
+
+// NewPreprocessor returns an empty reusable preprocessor.
+func NewPreprocessor() *Preprocessor { return &Preprocessor{} }
+
+// Preprocess simplifies f (which is not modified) and returns the result.
+// One-shot convenience over Preprocessor.Preprocess.
+func Preprocess(f *cnf.Formula, opts Options) *Result {
+	return NewPreprocessor().Preprocess(f, opts)
 }
 
 // Preprocess simplifies f (which is not modified) and returns the result.
-func Preprocess(f *cnf.Formula, opts Options) *Result {
+// The returned Result owns its data and remains valid across further calls.
+func (p *Preprocessor) Preprocess(f *cnf.Formula, opts Options) *Result {
 	if opts.MaxOccurrences == 0 {
 		opts.MaxOccurrences = 10
 	}
 	n := f.NumVars
-	p := &pp{
-		opts:    opts,
-		occ:     make([][]int32, 2*n),
-		fixed:   make([]int8, n),
-		touched: map[cnf.Var]bool{},
-		result: &Result{
-			numVars:    n,
-			eliminated: make([]bool, n),
-		},
-	}
+	p.reset(n, opts)
 	for _, c := range f.Clauses {
 		norm, taut := c.Clone().Normalize()
 		if taut {
@@ -139,35 +183,92 @@ func Preprocess(f *cnf.Formula, opts Options) *Result {
 	} else {
 		for _, c := range p.clauses {
 			if c != nil {
-				out.Clauses = append(out.Clauses, c.Clone())
+				// Clause backing arrays are allocated per call, so the
+				// result can own them without copying.
+				out.Clauses = append(out.Clauses, c)
 			}
 		}
 	}
 	p.result.Formula = out
 	p.result.fixed = p.fixed
+	p.fixed = nil // owned by the result now
 	return p.result
 }
 
-func (p *pp) addClause(c cnf.Clause) int32 {
+// reset prepares the reusable buffers for a formula over n variables.
+func (p *Preprocessor) reset(n int, opts Options) {
+	p.opts = opts
+	p.clauses = p.clauses[:0]
+	p.units = p.units[:0]
+	p.touchedList = p.touchedList[:0]
+	p.stamp++
+	if cap(p.occ) >= 2*n {
+		p.occ = p.occ[:2*n]
+		for i := range p.occ {
+			p.occ[i] = p.occ[i][:0]
+		}
+	} else {
+		old := p.occ[:cap(p.occ)]
+		for i := range old {
+			old[i] = old[i][:0]
+		}
+		p.occ = append(old, make([][]int32, 2*n-len(old))...)
+	}
+	if cap(p.touchedStamp) >= n {
+		p.touchedStamp = p.touchedStamp[:n]
+	} else {
+		p.touchedStamp = make([]uint32, n)
+		p.stamp = 1
+	}
+	if cap(p.frozen) >= n {
+		p.frozen = p.frozen[:n]
+		for i := range p.frozen {
+			p.frozen[i] = false
+		}
+	} else {
+		p.frozen = make([]bool, n)
+	}
+	for _, v := range opts.Frozen {
+		if int(v) < n {
+			p.frozen[v] = true
+		}
+	}
+	p.fixed = make([]int8, n)
+	p.result = &Result{
+		numVars:    n,
+		eliminated: make([]bool, n),
+	}
+}
+
+func (p *Preprocessor) touch(v cnf.Var) {
+	if p.touchedStamp[v] != p.stamp {
+		p.touchedStamp[v] = p.stamp
+		p.touchedList = append(p.touchedList, v)
+	}
+}
+
+func (p *Preprocessor) addClause(c cnf.Clause) int32 {
 	id := int32(len(p.clauses))
 	p.clauses = append(p.clauses, c)
 	for _, l := range c {
 		p.occ[l] = append(p.occ[l], id)
-		p.touched[l.Var()] = true
+		p.touch(l.Var())
 	}
 	return id
 }
 
-func (p *pp) removeClause(id int32) {
+func (p *Preprocessor) removeClause(id int32) {
 	p.clauses[id] = nil // occurrence lists are cleaned lazily
 }
 
 // occsOf returns the live clause ids containing l, compacting the list.
-func (p *pp) occsOf(l cnf.Lit) []int32 {
+// Clauses are immutable once added (strengthening and stripping create new
+// ids), so a non-nil entry still contains l — no literal scan is needed.
+func (p *Preprocessor) occsOf(l cnf.Lit) []int32 {
 	list := p.occ[l]
 	j := 0
 	for _, id := range list {
-		if c := p.clauses[id]; c != nil && c.Has(l) {
+		if p.clauses[id] != nil {
 			list[j] = id
 			j++
 		}
@@ -176,7 +277,7 @@ func (p *pp) occsOf(l cnf.Lit) []int32 {
 	return p.occ[l]
 }
 
-func (p *pp) run() {
+func (p *Preprocessor) run() {
 	for {
 		if !p.propagateUnits() {
 			return
@@ -205,7 +306,7 @@ func (p *pp) run() {
 }
 
 // propagateUnits applies queued level-0 units; it reports false on UNSAT.
-func (p *pp) propagateUnits() bool {
+func (p *Preprocessor) propagateUnits() bool {
 	for len(p.units) > 0 {
 		l := p.units[len(p.units)-1]
 		p.units = p.units[:len(p.units)-1]
@@ -252,7 +353,7 @@ func (p *pp) propagateUnits() bool {
 
 // subsumptionPass removes subsumed clauses and applies self-subsuming
 // resolution; it reports whether anything changed.
-func (p *pp) subsumptionPass() bool {
+func (p *Preprocessor) subsumptionPass() bool {
 	changed := false
 	for id := int32(0); id < int32(len(p.clauses)); id++ {
 		c := p.clauses[id]
@@ -266,7 +367,7 @@ func (p *pp) subsumptionPass() bool {
 				best = l
 			}
 		}
-		for _, did := range append([]int32{}, p.occsOf(best)...) {
+		for _, did := range p.occSnapshot(best) {
 			if did == id {
 				continue
 			}
@@ -282,19 +383,12 @@ func (p *pp) subsumptionPass() bool {
 		// Self-subsuming resolution: for each literal l of c, if c with l
 		// negated subsumes some d, then l.Neg() can be removed from d.
 		for _, l := range c {
-			flipped := c.Clone()
-			for i := range flipped {
-				if flipped[i] == l {
-					flipped[i] = l.Neg()
-				}
-			}
-			flipped, _ = flipped.Normalize()
-			for _, did := range append([]int32{}, p.occsOf(l.Neg())...) {
+			for _, did := range p.occSnapshot(l.Neg()) {
 				if did == id {
 					continue
 				}
 				d := p.clauses[did]
-				if d == nil || len(d) < len(flipped) || !subsumes(flipped, d) {
+				if d == nil || len(d) < len(c) || !subsumesExcept(c, d, l) {
 					continue
 				}
 				strengthened := make(cnf.Clause, 0, len(d)-1)
@@ -320,6 +414,14 @@ func (p *pp) subsumptionPass() bool {
 	return changed
 }
 
+// occSnapshot copies the live occurrence list of l into a reused scratch
+// buffer, so the caller can add and remove clauses (which mutate the
+// underlying lists) while iterating.
+func (p *Preprocessor) occSnapshot(l cnf.Lit) []int32 {
+	p.occScratch = append(p.occScratch[:0], p.occsOf(l)...)
+	return p.occScratch
+}
+
 // subsumes reports c ⊆ d for normalized (sorted) clauses.
 func subsumes(c, d cnf.Clause) bool {
 	if len(c) > len(d) {
@@ -334,22 +436,47 @@ func subsumes(c, d cnf.Clause) bool {
 	return i == len(c)
 }
 
-// eliminationPass tries bounded variable elimination on low-occurrence
-// variables; it reports whether anything changed.
-func (p *pp) eliminationPass() bool {
-	changed := false
-	vars := make([]cnf.Var, 0, len(p.touched))
-	for v := range p.touched {
-		vars = append(vars, v)
+// subsumesExcept reports that c with its literal l flipped subsumes d, i.e.
+// (c \ {l}) ⊆ d and l.Neg() ∈ d — the self-subsuming-resolution condition
+// allowing l.Neg() to be stripped from d. Both clauses are normalized; the
+// flipped literal is matched out of order so no clone/re-sort is needed.
+func subsumesExcept(c, d cnf.Clause, l cnf.Lit) bool {
+	if !d.Has(l.Neg()) {
+		return false
 	}
+	i := 0
+	for _, x := range d {
+		if i < len(c) && c[i] == l {
+			i++ // l is covered by l.Neg() ∈ d, not by matching in d
+		}
+		if i < len(c) && c[i] == x {
+			i++
+		}
+	}
+	if i < len(c) && c[i] == l {
+		i++
+	}
+	return i == len(c)
+}
+
+// eliminationPass tries bounded variable elimination on low-occurrence
+// variables; it reports whether anything changed. Frozen variables are
+// never candidates.
+func (p *Preprocessor) eliminationPass() bool {
+	changed := false
+	vars := append([]cnf.Var{}, p.touchedList...)
 	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
-	p.touched = map[cnf.Var]bool{}
+	p.touchedList = p.touchedList[:0]
+	p.stamp++
 	for _, v := range vars {
-		if p.fixed[v] != 0 || p.result.eliminated[v] {
+		if p.fixed[v] != 0 || p.result.eliminated[v] || p.frozen[v] {
 			continue
 		}
-		pos := append([]int32{}, p.occsOf(cnf.PosLit(v))...)
-		neg := append([]int32{}, p.occsOf(cnf.NegLit(v))...)
+		// Aliasing the live lists is safe: the commit below only marks
+		// clauses dead (lazy deletion) and resolvents never contain v, so
+		// neither list mutates while it is iterated.
+		pos := p.occsOf(cnf.PosLit(v))
+		neg := p.occsOf(cnf.NegLit(v))
 		if len(pos) == 0 && len(neg) == 0 {
 			continue
 		}

@@ -205,3 +205,162 @@ func TestEmptyFormula(t *testing.T) {
 		t.Fatal("reconstruction length")
 	}
 }
+
+func TestFrozenVariableSurvivesBVE(t *testing.T) {
+	// Variable 1 is pure (occurs only negatively) — normally eliminated
+	// trivially. Frozen, it must survive with its clauses intact.
+	mk := func() *cnf.Formula {
+		f := cnf.NewFormula(3)
+		f.AddClause(lit(2), lit(3), lit(-1))
+		f.AddClause(lit(-2), lit(-1))
+		return f
+	}
+	r := Preprocess(mk(), Options{})
+	if !r.Eliminated(0) {
+		t.Fatal("unfrozen pure variable should be eliminated")
+	}
+	r = Preprocess(mk(), Options{Frozen: []cnf.Var{0}})
+	if r.Eliminated(0) {
+		t.Fatal("frozen variable was eliminated")
+	}
+	// The frozen variable keeps its meaning: whatever value a model of the
+	// simplified formula gives it, reconstruction preserves that value and
+	// still satisfies the original formula. (Its clauses may still vanish
+	// when surrounding variables are eliminated — reconstruction then
+	// derives those variables to cover them.)
+	for _, val := range []bool{false, true} {
+		model := make(cnf.Assignment, 3)
+		model[0] = val
+		m := r.Reconstruct(model)
+		if m[0] != val {
+			t.Fatalf("frozen value %v not preserved by reconstruction", val)
+		}
+		if !mk().Eval(m) {
+			t.Fatalf("reconstruction with frozen=%v fails the original formula", val)
+		}
+	}
+}
+
+func TestFrozenVariableMayStillBeFixed(t *testing.T) {
+	// Freezing guards against elimination, not against proved facts: a
+	// unit clause still fixes the variable, and Fixed exposes the value.
+	f := cnf.NewFormula(2)
+	f.AddClause(lit(-1))
+	f.AddClause(lit(1), lit(2))
+	r := Preprocess(f, Options{Frozen: []cnf.Var{0}})
+	if r.Eliminated(0) {
+		t.Fatal("frozen variable eliminated")
+	}
+	v, fixed := r.Fixed(0)
+	if !fixed || v {
+		t.Fatalf("want fixed false, got value=%v fixed=%v", v, fixed)
+	}
+	if _, fixed := r.Fixed(1); !fixed {
+		t.Fatal("propagated consequence not reported fixed")
+	}
+}
+
+func TestPreprocessorReuseKeepsResultsIndependent(t *testing.T) {
+	p := NewPreprocessor()
+	f1 := cnf.NewFormula(4)
+	f1.AddClause(lit(1), lit(2))
+	f1.AddClause(lit(-1), lit(3))
+	f1.AddClause(lit(4))
+	r1 := p.Preprocess(f1, Options{})
+	snap := make([]string, len(r1.Formula.Clauses))
+	for i, c := range r1.Formula.Clauses {
+		snap[i] = c.String()
+	}
+
+	// A second, different run over the same Preprocessor must not corrupt
+	// the first result.
+	f2 := cnf.NewFormula(8)
+	for i := 1; i <= 7; i++ {
+		f2.AddClause(lit(-i), lit(i+1))
+	}
+	f2.AddClause(lit(1))
+	r2 := p.Preprocess(f2, Options{})
+	if r2.Unsat {
+		t.Fatal("chain formula reported unsat")
+	}
+	m2 := r2.Reconstruct(make(cnf.Assignment, 8))
+	if !f2.Eval(m2) {
+		t.Fatal("second result reconstruction broken")
+	}
+	for i, c := range r1.Formula.Clauses {
+		if c.String() != snap[i] {
+			t.Fatalf("first result mutated by reuse: %q != %q", c.String(), snap[i])
+		}
+	}
+	m1 := r1.Reconstruct(make(cnf.Assignment, 4))
+	if !f1.Eval(m1) {
+		t.Fatal("first result reconstruction broken after reuse")
+	}
+}
+
+// FuzzFrozenPreprocess checks the frozen-variable contract on random
+// formulas with random frozen sets: frozen variables are never eliminated,
+// satisfiability is preserved, and reconstruction lifts any model of the
+// simplified formula to the original — with the frozen variables' values
+// taken verbatim from the solved model unless unit propagation fixed them.
+func FuzzFrozenPreprocess(f *testing.F) {
+	f.Add(int64(1), uint8(0x03))
+	f.Add(int64(42), uint8(0xFF))
+	f.Fuzz(func(t *testing.T, seed int64, frozenMask uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		vars := 3 + rng.Intn(6)
+		form := cnf.NewFormula(vars)
+		for i := 0; i < 2+rng.Intn(24); i++ {
+			width := 1 + rng.Intn(3)
+			var c []cnf.Lit
+			for j := 0; j < width; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(rng.Intn(vars)), rng.Intn(2) == 0))
+			}
+			form.AddClause(c...)
+		}
+		var frozen []cnf.Var
+		for v := 0; v < vars; v++ {
+			if frozenMask&(1<<uint(v)) != 0 {
+				frozen = append(frozen, cnf.Var(v))
+			}
+		}
+		wantSat, _ := brute.SAT(form)
+		r := Preprocess(form, Options{Frozen: frozen})
+		for _, v := range frozen {
+			if r.Eliminated(v) {
+				t.Fatalf("frozen %v eliminated\n%v", v, form.Clauses)
+			}
+		}
+		if r.Unsat {
+			if wantSat {
+				t.Fatalf("claims unsat on sat formula %v", form.Clauses)
+			}
+			return
+		}
+		s := sat.New()
+		s.EnsureVars(vars)
+		s.AddFormula(r.Formula)
+		st := s.Solve()
+		if (st == sat.Sat) != wantSat {
+			t.Fatalf("simplified verdict %v, original sat=%v", st, wantSat)
+		}
+		if st != sat.Sat {
+			return
+		}
+		model := s.Model()[:vars]
+		m := r.Reconstruct(model)
+		if !form.Eval(m) {
+			t.Fatalf("reconstructed model fails original\norig: %v\nsimplified: %v",
+				form.Clauses, r.Formula.Clauses)
+		}
+		for _, v := range frozen {
+			want := model[v]
+			if fv, fixed := r.Fixed(v); fixed {
+				want = fv
+			}
+			if m[v] != want {
+				t.Fatalf("frozen %v changed by reconstruction", v)
+			}
+		}
+	})
+}

@@ -145,6 +145,13 @@ type Options struct {
 	// SkipAtLeast1 disables msu4's optional per-core "at least one
 	// blocking variable" constraint (paper Algorithm 1, line 19).
 	SkipAtLeast1 bool
+	// Preprocess enables soft-aware SatELite preprocessing: the hard
+	// clauses (plus a frozen selector shell per soft clause) are simplified
+	// once — unit propagation, subsumption, self-subsuming resolution,
+	// bounded variable elimination — before the optimizer starts, and every
+	// model is reconstructed back to the original variables. The portfolio
+	// preprocesses once and races its members on the simplified formula.
+	Preprocess bool
 	// Parallelism caps the number of solvers AlgoPortfolio races
 	// concurrently; 0 races the full line-up. Other algorithms ignore it.
 	Parallelism int
@@ -285,6 +292,7 @@ func SolveFile(path string, o Options) (Result, error) {
 func buildSolver(w *WCNF, o Options) (opt.Solver, Algorithm, error) {
 	io_ := opt.Options{
 		MaxConflictsPerCall: o.MaxConflictsPerCall,
+		Preprocess:          o.Preprocess,
 	}
 	algo := o.Algorithm
 	if algo == AlgoAuto {
