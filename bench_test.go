@@ -234,19 +234,25 @@ func BenchmarkSolvers(b *testing.B) {
 }
 
 // BenchmarkPortfolio races the bound-sharing portfolio against its
-// strongest members on two instance families with opposite winners: random
-// over-constrained 3-SAT (branch-and-bound territory, where maxsatz alone
-// times out msu4 by orders of magnitude on bigger sizes) and an equivalence
-// miter (msu4 territory, where maxsatz aborts at the 10 s cap). No fixed
-// single choice is good on both; the portfolio is. On the miter family the
-// portfolio typically beats even its best member outright: the WalkSAT
-// seeder publishes an upper bound that lets msu4 prune its first
-// cardinality constraints tighter than it could alone (bound exchange, not
-// just early-winner selection). An aborts metric reports member timeouts.
+// strongest members on three instance families with opposite winners:
+// random over-constrained 3-SAT (branch-and-bound territory, where maxsatz
+// alone times out msu4 by orders of magnitude on bigger sizes), an
+// equivalence miter (msu4 territory, where maxsatz aborts at the 10 s cap),
+// and a bounded-model-checking counter (core-guided territory with deep
+// propagation chains). No fixed single choice is good on both; the
+// portfolio is. On the miter family the portfolio typically beats even its
+// best member outright: the WalkSAT seeder publishes an upper bound that
+// lets msu4 prune its first cardinality constraints tighter than it could
+// alone (bound exchange, not just early-winner selection). The
+// portfolio-4+share variant additionally exchanges learnt clauses between
+// the members (the share-on vs share-off comparison of the CI
+// BENCH_portfolio artifact). An aborts metric reports member timeouts.
 func BenchmarkPortfolio(b *testing.B) {
 	insts := []gen.Instance{
 		gen.RandomKSAT(7, 24, 3, 6.0),
 		gen.EquivMiter(12),
+		gen.BMCCounter(6, 32),
+		gen.BMCCounter(10, 48),
 	}
 	solvers := []struct {
 		name string
@@ -254,6 +260,11 @@ func BenchmarkPortfolio(b *testing.B) {
 	}{
 		{"portfolio-4", func(ctx context.Context, w *cnf.WCNF) opt.Result {
 			return portfolio.New(opt.Options{}, 4).Solve(ctx, w, nil)
+		}},
+		{"portfolio-4+share", func(ctx context.Context, w *cnf.WCNF) opt.Result {
+			e := portfolio.New(opt.Options{}, 4)
+			e.Share = true
+			return e.Solve(ctx, w, nil)
 		}},
 		{"msu4-v2", func(ctx context.Context, w *cnf.WCNF) opt.Result {
 			return core.NewMSU4V2(opt.Options{}).Solve(ctx, w, nil)
@@ -268,10 +279,13 @@ func BenchmarkPortfolio(b *testing.B) {
 			s := s
 			b.Run(in.Name+"/"+s.name, func(b *testing.B) {
 				aborts := 0
+				var conflicts, imported int64
 				for i := 0; i < b.N; i++ {
 					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 					r := s.run(ctx, in.W)
 					cancel()
+					conflicts += r.Conflicts
+					imported += r.Imported
 					switch r.Status {
 					case opt.StatusOptimal:
 						if in.KnownCost >= 0 && r.Cost != in.KnownCost {
@@ -284,6 +298,13 @@ func BenchmarkPortfolio(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(aborts), "aborts")
+				// Summed conflicts measure the deductive work across every
+				// member: the clause-sharing comparison shows up here even
+				// when wall-clock is scheduler-noise-bound.
+				b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts")
+				if imported > 0 {
+					b.ReportMetric(float64(imported)/float64(b.N), "imported")
+				}
 			})
 		}
 	}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	maxsat [-alg msu4-v2] [-enc sorter] [-jobs 4] [-pre] [-timeout 30s] [-stats] [-no-model] file
+//	maxsat [-alg msu4-v2] [-enc sorter] [-jobs 4] [-share] [-pre] [-timeout 30s] [-stats] [-no-model] file
 package main
 
 import (
@@ -31,6 +31,7 @@ func run(args []string) int {
 		alg     = fs.String("alg", "", "algorithm: auto (default), msu4-v1, msu4-v2, msu4, msu1, msu2, msu3, pbo, pbo-bin, maxsatz, portfolio")
 		enc     = fs.String("enc", "", "cardinality encoding for -alg msu4: bdd, sorter, seq, totalizer")
 		jobs    = fs.Int("jobs", 0, "parallel solvers raced by -alg portfolio (0 = full line-up)")
+		share   = fs.Bool("share", false, "learnt-clause sharing between -alg portfolio members")
 		pre     = fs.Bool("pre", false, "soft-aware preprocessing of the hard clauses before optimizing")
 		timeout = fs.Duration("timeout", 0, "overall solve timeout (0 = unbounded)")
 		stats   = fs.Bool("stats", false, "print iteration/conflict statistics")
@@ -58,11 +59,12 @@ func run(args []string) int {
 		path, w.NumVars, w.NumClauses(), w.NumHard(), w.NumSoft())
 
 	o := maxsat.Options{
-		Algorithm:   maxsat.Algorithm(*alg),
-		Encoding:    *enc,
-		Timeout:     *timeout,
-		Parallelism: *jobs,
-		Preprocess:  *pre,
+		Algorithm:    maxsat.Algorithm(*alg),
+		Encoding:     *enc,
+		Timeout:      *timeout,
+		Parallelism:  *jobs,
+		Preprocess:   *pre,
+		ShareClauses: *share,
 	}
 	start := time.Now()
 	r, err := maxsat.Solve(w, o)

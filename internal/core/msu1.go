@@ -51,13 +51,17 @@ func (m *MSU1) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 	defer prep.Finish(&res)
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget(ctx))
+	m.Opts.ConfigureSolver(ctx, s)
 	softs, ok := loadSoft(s, w)
 	if !ok {
 		res.Status = opt.StatusUnsat
 		return res
 	}
 	owner := selectorOwner(softs)
+	// msu1 retires selectors by unit clauses when it re-shells a core — a
+	// non-conservative move in selector space — so it may only share the
+	// plain formula prefix (where its additions all carry fresh variables).
+	m.Opts.AttachExchange(s, w.NumVars)
 	// content[i] carries the clause literals plus accumulated relaxation
 	// variables; the original lits stay in softs for cost verification.
 	content := make(map[*softClause]cnf.Clause, len(softs))
@@ -84,7 +88,7 @@ func (m *MSU1) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 		}
 		st := s.Solve(assumps...)
 		res.Iterations++
-		res.Conflicts = s.Stats().Conflicts
+		res.Observe(s.Stats())
 
 		switch st {
 		case sat.Unknown:

@@ -60,7 +60,9 @@ func (m *MSU2) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 			return res
 		}
 		s := sat.New()
-		s.SetBudget(m.Opts.Budget(ctx))
+		// msu2 rebuilds the solver with an unguarded AtMost bound every
+		// iteration: not a conservative extension, so no clause sharing.
+		m.Opts.ConfigureSolver(ctx, s)
 		s.EnsureVars(w.NumVars)
 
 		// Rebuild: hard clauses, enforced soft clauses with selectors (for

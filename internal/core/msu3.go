@@ -58,13 +58,17 @@ func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 	defer prep.Finish(&res)
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget(ctx))
+	m.Opts.ConfigureSolver(ctx, s)
 	softs, ok := loadSoft(s, w)
 	if !ok {
 		res.Status = opt.StatusUnsat
 		return res
 	}
 	owner := selectorOwner(softs)
+	// Same sharing scope as msu4: formula plus the (identically numbered)
+	// selector block; msu3's totalizer is assumption-bounded, so every
+	// addition stays a conservative extension of that scope.
+	m.Opts.AttachExchange(s, w.NumVars+len(softs))
 	tot := card.NewIncTotalizer(s, nil, len(softs)+1)
 
 	lb := 0
@@ -88,7 +92,7 @@ func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 			}
 			st := s.Solve(assumps...)
 			res.Iterations++
-			res.Conflicts = s.Stats().Conflicts
+			res.Observe(s.Stats())
 			switch st {
 			case sat.Unknown:
 				finishUnknown(&res, cnf.Weight(lb))
@@ -118,6 +122,10 @@ func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 					c.relaxed = true
 					newBlocking = append(newBlocking, c.blocking())
 				}
+				// Disjoint-phase cores hold with no bound assumed: their
+				// at-least-one clause is implied by hard clauses and shells
+				// alone and is safe to hand to the sharing members.
+				s.ShareClause(newBlocking...)
 				tot.AddInputs(newBlocking)
 				lb++
 				shared.PublishLB(cnf.Weight(lb))
@@ -148,7 +156,7 @@ func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 		}
 		st := s.Solve(assumps...)
 		res.Iterations++
-		res.Conflicts = s.Stats().Conflicts
+		res.Observe(s.Stats())
 
 		switch st {
 		case sat.Unknown:
@@ -184,6 +192,11 @@ func (m *MSU3) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res 
 			case len(newBlocking) > 0:
 				// Fresh soft clauses entered a core: relax them and retry
 				// at the same bound.
+				if !sawBound {
+					// Implied by hard clauses and shells alone (the bound
+					// took no part in the refutation): shareable.
+					s.ShareClause(newBlocking...)
+				}
 				tot.AddInputs(newBlocking)
 			case sawBound:
 				// Core is {bound} (possibly with hard/relaxed context):

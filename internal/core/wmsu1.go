@@ -58,8 +58,11 @@ func (m *WMSU1) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res
 	defer prep.Finish(&res)
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget(ctx))
+	m.Opts.ConfigureSolver(ctx, s)
 	s.EnsureVars(w.NumVars)
+	// Like msu1, wmsu1 retires selectors by unit clauses (and splits
+	// clauses), so only the plain formula prefix is safe to share.
+	m.Opts.AttachExchange(s, w.NumVars)
 
 	items := make(map[cnf.Var]*softItem)
 	var order []*softItem // stable iteration for assumptions
@@ -105,7 +108,7 @@ func (m *WMSU1) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res
 		}
 		st := s.Solve(assumps...)
 		res.Iterations++
-		res.Conflicts = s.Stats().Conflicts
+		res.Observe(s.Stats())
 
 		switch st {
 		case sat.Unknown:

@@ -52,7 +52,9 @@ func (m *WMSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res
 	defer prep.Finish(&res)
 
 	s := sat.New()
-	s.SetBudget(m.Opts.Budget(ctx))
+	// wmsu4 asserts its PB bound unguarded, so its clause database is not
+	// a conservative extension of the shared formula: no clause sharing.
+	m.Opts.ConfigureSolver(ctx, s)
 	softs, ok := loadSoft(s, w)
 	if !ok {
 		res.Status = opt.StatusUnsat
@@ -96,7 +98,7 @@ func (m *WMSU4) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res
 		}
 		st := s.Solve(assumps...)
 		res.Iterations++
-		res.Conflicts = s.Stats().Conflicts
+		res.Observe(s.Stats())
 
 		switch st {
 		case sat.Unknown:

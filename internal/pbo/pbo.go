@@ -49,7 +49,10 @@ func (l *Linear) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (re
 
 	s := sat.New()
 	s.EnsureVars(w.NumVars)
-	s.SetBudget(l.Opts.Budget(ctx))
+	// Linear search asserts each tightened objective bound as permanent
+	// unguarded clauses: not a conservative extension of the raced formula,
+	// so the clause-sharing exchange is not attached.
+	l.Opts.ConfigureSolver(ctx, s)
 
 	var (
 		blits    []cnf.Lit
@@ -98,7 +101,7 @@ func (l *Linear) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (re
 			return res
 		}
 		st := s.Solve()
-		res.Conflicts = s.Stats().Conflicts
+		res.Observe(s.Stats())
 		res.Iterations++
 		switch st {
 		case sat.Unknown:
@@ -202,7 +205,13 @@ func (b *BinarySearch) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bound
 
 	s := sat.New()
 	s.EnsureVars(w.NumVars)
-	s.SetBudget(b.Opts.Budget(ctx))
+	b.Opts.ConfigureSolver(ctx, s)
+	// Binary search keeps its bound as a per-call totalizer assumption, so
+	// every added clause is a conservative extension of the formula prefix
+	// and sharing it is sound. Its blocking variables are numbered
+	// differently from the core family's selectors, so the scope stops at
+	// the formula.
+	b.Opts.AttachExchange(s, w.NumVars)
 
 	var (
 		blits    []cnf.Lit
@@ -235,7 +244,7 @@ func (b *BinarySearch) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bound
 	// First call without a bound establishes feasibility and an upper bound.
 	st := s.Solve()
 	res.Iterations++
-	res.Conflicts = s.Stats().Conflicts
+	res.Observe(s.Stats())
 	switch st {
 	case sat.Unknown:
 		res.Status = opt.StatusUnknown
@@ -297,7 +306,7 @@ func (b *BinarySearch) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bound
 			st = s.Solve()
 		}
 		res.Iterations++
-		res.Conflicts = s.Stats().Conflicts
+		res.Observe(s.Stats())
 		switch st {
 		case sat.Unknown:
 			res.Status = opt.StatusUnknown

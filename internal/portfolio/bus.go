@@ -1,0 +1,140 @@
+package portfolio
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cnf"
+)
+
+// This file implements the portfolio's clause-exchange bus: a lock-free
+// multi-producer broadcast ring. Every member publishes the learnt clauses
+// its solver exports and reads, at its own pace, the clauses the others
+// published. The design goals, in order: publishing never blocks a solver
+// (the hot search loop calls Export), readers never block writers, and a
+// slow member bounds its own cost — it either skips ahead past overwritten
+// entries or caps how many clauses it attaches per import point, so a fast
+// learner can flood neither memory nor a slow member's time. Clause
+// exchange is best-effort by nature; dropping a lapped entry loses a
+// deduction another member may re-derive, never correctness.
+//
+// Mechanics: writers claim a slot by atomically incrementing a global
+// sequence and store an immutable message (with its sequence embedded) into
+// slots[seq % capacity] via an atomic pointer. A reader at sequence r loads
+// the slot r maps to: an embedded sequence equal to r is the message it
+// wants; smaller means not yet published (stop); larger means the ring
+// lapped the reader (resume at the oldest coherent entry). Messages are
+// never mutated after publication, so the atomic pointer load is the only
+// synchronization a reader needs.
+
+// message is one published clause. Immutable after Publish.
+type message struct {
+	seq  uint64
+	src  int
+	lbd  int32
+	lits []cnf.Lit
+}
+
+// Bus is the lock-free clause-exchange ring shared by one portfolio run.
+type Bus struct {
+	slots []atomic.Pointer[message]
+	mask  uint64
+	wcur  atomic.Uint64 // next sequence to claim
+}
+
+// defaultBusCapacity bounds the exchange backlog. With the export filter
+// passing only glue and binary clauses, 4096 in-flight clauses outlast any
+// realistic reader lag.
+const defaultBusCapacity = 4096
+
+// NewBus returns a bus holding the last capacity published clauses
+// (rounded up to a power of two, minimum 64).
+func NewBus(capacity int) *Bus {
+	n := 64
+	for n < capacity {
+		n *= 2
+	}
+	return &Bus{slots: make([]atomic.Pointer[message], n), mask: uint64(n - 1)}
+}
+
+// Endpoint returns member src's handle on the bus. Each member must use its
+// own endpoint (the read cursor is member state); src identifies the member
+// so it never reads its own exports back.
+func (b *Bus) Endpoint(src int) *Endpoint {
+	return &Endpoint{bus: b, src: src}
+}
+
+// Endpoint is one member's inbox/outbox pair. It implements sat.Exchange.
+// Export is safe to call concurrently with every other bus user; Import is
+// single-consumer per endpoint (each solver drains its own inbox).
+type Endpoint struct {
+	bus      *Bus
+	src      int
+	rcur     uint64 // next sequence to read
+	ownAhead int    // own exports not yet passed by the read cursor
+	dropped  int64  // entries lost to ring laps (telemetry, best-effort)
+}
+
+// importBatch caps the clauses one Import call yields: backpressure on the
+// import side, so a member that fell behind spends bounded time catching up
+// per level-0 boundary instead of attaching an unbounded backlog at once.
+const importBatch = 512
+
+// Export publishes a clause. The literals are copied; the call never blocks.
+func (e *Endpoint) Export(lits []cnf.Lit, lbd int32) {
+	b := e.bus
+	m := &message{src: e.src, lbd: lbd, lits: append([]cnf.Lit(nil), lits...)}
+	m.seq = b.wcur.Add(1) - 1
+	b.slots[m.seq&b.mask].Store(m)
+	e.ownAhead++
+}
+
+// Import yields the clauses published by other members since the last call,
+// oldest first, up to importBatch of them.
+func (e *Endpoint) Import(yield func(lits []cnf.Lit, lbd int32)) {
+	b := e.bus
+	for n := 0; n < importBatch; {
+		if e.rcur >= b.wcur.Load() {
+			return
+		}
+		m := b.slots[e.rcur&b.mask].Load()
+		if m == nil || m.seq < e.rcur {
+			// The writer claimed this sequence but has not published yet.
+			return
+		}
+		if m.seq > e.rcur {
+			// Lapped: everything up to the entry now in this slot was
+			// overwritten. Resume at the oldest sequence the ring can still
+			// hold coherently.
+			oldest := m.seq - b.mask
+			e.dropped += int64(oldest - e.rcur)
+			e.rcur = oldest
+			continue
+		}
+		e.rcur++
+		if m.src != e.src {
+			yield(m.lits, m.lbd)
+			n++
+		} else if e.ownAhead > 0 {
+			e.ownAhead--
+		}
+	}
+}
+
+// Pending estimates the backlog of foreign clauses an Import call would
+// yield: the published entries this endpoint has not read yet, minus the
+// ones it exported itself (tracked approximately — laps can make the
+// estimate conservative, never negative).
+func (e *Endpoint) Pending() int {
+	w := e.bus.wcur.Load()
+	if w <= e.rcur {
+		return 0
+	}
+	n := int(w-e.rcur) - e.ownAhead
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Dropped reports how many bus entries this endpoint lost to ring laps.
+func (e *Endpoint) Dropped() int64 { return e.dropped }

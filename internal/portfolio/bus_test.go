@@ -1,0 +1,126 @@
+package portfolio
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func busLits(xs ...int) []cnf.Lit {
+	out := make([]cnf.Lit, len(xs))
+	for i, x := range xs {
+		out[i] = cnf.PosLit(cnf.Var(x))
+	}
+	return out
+}
+
+// TestBusBroadcast: entries reach every endpoint except the publisher,
+// oldest first, exactly once.
+func TestBusBroadcast(t *testing.T) {
+	b := NewBus(64)
+	a, c := b.Endpoint(0), b.Endpoint(1)
+	a.Export(busLits(1, 2), 2)
+	a.Export(busLits(3), 1)
+	c.Export(busLits(4, 5), 2)
+
+	var got [][]cnf.Lit
+	c.Import(func(lits []cnf.Lit, lbd int32) {
+		got = append(got, append([]cnf.Lit(nil), lits...))
+	})
+	if len(got) != 2 {
+		t.Fatalf("endpoint 1 received %d clauses, want 2 (own export skipped)", len(got))
+	}
+	if got[0][0] != cnf.PosLit(1) || got[1][0] != cnf.PosLit(3) {
+		t.Fatalf("wrong order or content: %v", got)
+	}
+	// A second drain yields nothing new.
+	n := 0
+	c.Import(func([]cnf.Lit, int32) { n++ })
+	if n != 0 {
+		t.Fatalf("re-import yielded %d clauses, want 0", n)
+	}
+	// Endpoint 0 sees only endpoint 1's export.
+	n = 0
+	a.Import(func(lits []cnf.Lit, lbd int32) {
+		n++
+		if lits[0] != cnf.PosLit(4) {
+			t.Fatalf("endpoint 0 got %v", lits)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("endpoint 0 received %d clauses, want 1", n)
+	}
+}
+
+// TestBusLapped: a reader that fell a full ring behind skips the lost
+// entries, records them as dropped, and resumes with coherent messages.
+func TestBusLapped(t *testing.T) {
+	b := NewBus(1) // rounds up to the 64-slot minimum
+	w := b.Endpoint(0)
+	r := b.Endpoint(1)
+	const total = 300
+	for i := 0; i < total; i++ {
+		w.Export(busLits(i), 1)
+	}
+	var got []int
+	r.Import(func(lits []cnf.Lit, lbd int32) {
+		got = append(got, int(lits[0].Var()))
+	})
+	if len(got) == 0 || len(got) > len(b.slots) {
+		t.Fatalf("lapped reader yielded %d clauses", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("non-contiguous resume: %v", got)
+		}
+	}
+	if got[len(got)-1] != total-1 {
+		t.Fatalf("reader did not catch up to the newest entry: %v", got[len(got)-1])
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("lap not recorded as dropped entries")
+	}
+}
+
+// TestBusConcurrent hammers the bus with parallel writers and readers under
+// the race detector: every delivered message must be intact (its literals
+// consistent with the checksum scheme) and never the reader's own.
+func TestBusConcurrent(t *testing.T) {
+	b := NewBus(128)
+	const members = 6
+	const perMember = 2000
+
+	var wg sync.WaitGroup
+	for m := 0; m < members; m++ {
+		m := m
+		e := b.Endpoint(m)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reads := 0
+			for i := 0; i < perMember; i++ {
+				// Message: [src, i] encoded as variables; readers check
+				// self-exclusion and internal consistency.
+				e.Export(busLits(m, i), 2)
+				if i%64 == 0 {
+					e.Import(func(lits []cnf.Lit, lbd int32) {
+						reads++
+						if len(lits) != 2 {
+							t.Errorf("torn message: %v", lits)
+							return
+						}
+						src := int(lits[0].Var())
+						if src == m {
+							t.Errorf("endpoint %d received its own export", m)
+						}
+						if src < 0 || src >= members || int(lits[1].Var()) >= perMember {
+							t.Errorf("corrupt message: %v", lits)
+						}
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

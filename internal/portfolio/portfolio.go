@@ -34,6 +34,7 @@ import (
 	"repro/internal/ls"
 	"repro/internal/opt"
 	"repro/internal/pbo"
+	"repro/internal/sat"
 )
 
 // Spec names a portfolio member and builds a fresh solver instance for one
@@ -45,14 +46,27 @@ type Spec struct {
 
 // DefaultMembers is the unweighted line-up, strongest first (the Jobs cap
 // truncates from the back): the paper's best performer, the families it
-// loses to, and diverse fallbacks.
+// loses to, and diverse fallbacks. Near-duplicate members carry SAT-engine
+// diversification: since the incremental totalizer made the v1/v2 encoding
+// choice irrelevant, msu4-v1 would repeat msu4-v2's run move for move, so it
+// races with Glucose-style adaptive restarts, a faster VSIDS decay, and the
+// opposite initial phase instead; msu3, whose core extraction mirrors
+// msu4's early iterations, diversifies its restart schedule too.
 func DefaultMembers() []Spec {
 	return []Spec{
 		{Name: "msu4-v2", Make: func(o opt.Options) opt.Solver { return core.NewMSU4V2(o) }},
 		{Name: "maxsatz", Make: func(o opt.Options) opt.Solver { return bnb.New(o) }},
-		{Name: "msu3", Make: func(o opt.Options) opt.Solver { return core.NewMSU3(o) }},
+		{Name: "msu3", Make: func(o opt.Options) opt.Solver {
+			o.Restart = sat.RestartGlucose
+			return core.NewMSU3(o)
+		}},
 		{Name: "pbo-bin", Make: func(o opt.Options) opt.Solver { return &pbo.BinarySearch{Opts: o} }},
-		{Name: "msu4-v1", Make: func(o opt.Options) opt.Solver { return core.NewMSU4V1(o) }},
+		{Name: "msu4-v1", Make: func(o opt.Options) opt.Solver {
+			o.Restart = sat.RestartGlucose
+			o.VarDecay = 0.92
+			o.PosPhase = true
+			return core.NewMSU4V1(o)
+		}},
 		{Name: "pbo", Make: func(o opt.Options) opt.Solver { return &pbo.Linear{Opts: o} }},
 		{Name: "msu1", Make: func(o opt.Options) opt.Solver { return core.NewMSU1(o) }},
 	}
@@ -83,6 +97,15 @@ type Engine struct {
 	// the line-up has) races them all. Jobs == 1 degenerates to the first
 	// member running alone, plus the WalkSAT seeder.
 	Jobs int
+	// Share enables learnt-clause exchange between the members: every
+	// CDCL-based member whose encoding discipline allows it (see
+	// opt.Options.AttachExchange) exports its short and low-LBD learnt
+	// clauses — plus the proved cores of the msu family — to a lock-free
+	// bus and imports the others' at its level-0 boundaries. Off by
+	// default; with Share false no bus exists and each member behaves
+	// bit-identically to running its (possibly diversified) configuration
+	// alone.
+	Share bool
 	// NoSeed disables the WalkSAT upper-bound seeder.
 	NoSeed bool
 	// SeedFlips bounds the seeder's walk; 0 means 50000 flips over 3 tries.
@@ -104,8 +127,9 @@ func (e *Engine) Name() string {
 	return "portfolio"
 }
 
-// outcome pairs a member's result with its name.
+// outcome pairs a member's result with its name and line-up position.
 type outcome struct {
+	idx  int
 	name string
 	res  opt.Result
 }
@@ -153,15 +177,33 @@ func (e *Engine) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) opt
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	var bus *Bus
+	if e.Share {
+		bus = NewBus(defaultBusCapacity)
+	}
 	results := make(chan outcome, len(members))
-	for _, spec := range members {
-		spec := spec
+	for i, spec := range members {
+		i, spec := i, spec
+		mo := memberOpts
+		if bus != nil {
+			// Clause exchange addresses clauses by variable number, so it is
+			// sound only because every member solves a clone of the same
+			// (already preprocessed) formula: the first w.NumVars variables
+			// mean the same thing everywhere, and member-local auxiliaries
+			// above that bound never cross the bus.
+			mo.Exchange = bus.Endpoint(i)
+			mo.ShareVars = w.NumVars
+		}
 		go func() {
-			solver := spec.Make(memberOpts)
+			solver := spec.Make(mo)
 			// Each member gets its own clone: solvers are free to index,
 			// normalize, or otherwise pick the formula apart without any
 			// cross-goroutine aliasing.
-			results <- outcome{spec.Name, solver.Solve(runCtx, w.Clone(), bounds)}
+			cw := w.Clone()
+			if cw.NumVars != w.NumVars {
+				panic("portfolio: member clone broke variable alignment")
+			}
+			results <- outcome{i, spec.Name, solver.Solve(runCtx, cw, bounds)}
 		}()
 	}
 	seedDone := make(chan struct{})
@@ -193,13 +235,25 @@ func (e *Engine) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) opt
 		satC   int
 		unsatC int
 		confl  int64
+		share  []opt.ShareStats
 	)
+	if e.Share {
+		share = make([]opt.ShareStats, len(members))
+		for i, spec := range members {
+			share[i].Member = spec.Name
+		}
+	}
 	for remaining := len(members); remaining > 0; remaining-- {
 		o := <-results
 		iters += o.res.Iterations
 		satC += o.res.SatCalls
 		unsatC += o.res.UnsatCalls
 		confl += o.res.Conflicts
+		if share != nil {
+			share[o.idx].Exported = o.res.Exported
+			share[o.idx].Imported = o.res.Imported
+			share[o.idx].Subsumed = o.res.ImportSubsumed
+		}
 		if !won && (o.res.Status == opt.StatusOptimal || o.res.Status == opt.StatusUnsat) {
 			res = o.res
 			res.Solver = o.name
@@ -244,6 +298,15 @@ func (e *Engine) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) opt
 	res.SatCalls = satC
 	res.UnsatCalls = unsatC
 	res.Conflicts = confl
+	if share != nil {
+		res.Share = share
+		res.Exported, res.Imported, res.ImportSubsumed = 0, 0, 0
+		for _, m := range share {
+			res.Exported += m.Exported
+			res.Imported += m.Imported
+			res.ImportSubsumed += m.Subsumed
+		}
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }

@@ -1,0 +1,97 @@
+package sat
+
+// RestartPolicy selects the restart schedule of the search loop.
+type RestartPolicy int8
+
+// Restart policies.
+const (
+	// RestartLuby is MiniSat's schedule: restart after luby(2, i) * 100
+	// conflicts. The default, matching the paper's era.
+	RestartLuby RestartPolicy = iota
+	// RestartGlucose restarts adaptively: when the exponential moving
+	// average of recent learnt-clause LBDs exceeds the global average (the
+	// search is currently producing worse clauses than it historically did),
+	// restart; when a conflict happens with an unusually large trail (the
+	// search may be close to a full assignment), postpone.
+	RestartGlucose
+)
+
+// Glucose-policy tuning: restart when recentLBD * glucoseK > globalLBD
+// (recent clause quality at least 1/K = 1.25x worse than the global
+// average), with a warm-up of glucoseMinConflicts per search episode and
+// glucoseMinSamples learnt clauses overall. A conflict whose trail exceeds
+// glucoseBlockR times the running average resets the recent-LBD average,
+// postponing the next restart.
+const (
+	glucoseK            = 0.8
+	glucoseMinConflicts = 32
+	glucoseMinSamples   = 100
+	glucoseBlockR       = 1.4
+)
+
+// SetRestartPolicy selects the restart schedule for subsequent Solve calls.
+func (s *Solver) SetRestartPolicy(p RestartPolicy) { s.restartPolicy = p }
+
+// SetVarDecay overrides the VSIDS activity decay factor (default 0.95).
+// Values outside (0, 1] are ignored. A portfolio diversification knob.
+func (s *Solver) SetVarDecay(d float64) {
+	if d > 0 && d <= 1 {
+		s.varDecay = d
+	}
+}
+
+// SetDefaultPhase sets the polarity a variable is first decided with:
+// positive when pos, negative otherwise (the MiniSat default). Existing
+// saved phases are reset too, so calling it mid-run restarts phase saving
+// from the new default. A portfolio diversification knob.
+func (s *Solver) SetDefaultPhase(pos bool) {
+	s.defaultPolarity = !pos // polarity true = negative literal first
+	for v := range s.polarity {
+		s.polarity[v] = s.defaultPolarity
+	}
+}
+
+// noteLearntLBD feeds one learnt clause's LBD into the adaptive-restart
+// state (Glucose policy only; under Luby the call is a no-op so the default
+// schedule stays bit-identical).
+func (s *Solver) noteLearntLBD(lbd int32) {
+	if s.restartPolicy != RestartGlucose {
+		return
+	}
+	s.lbdTotal += float64(lbd)
+	s.lbdCount++
+	if s.lbdCount == 1 {
+		s.lbdEmaFast = float64(lbd)
+	} else {
+		s.lbdEmaFast += (float64(lbd) - s.lbdEmaFast) / 32
+	}
+	t := float64(len(s.trail))
+	if s.trailEma == 0 {
+		s.trailEma = t
+	} else {
+		s.trailEma += (t - s.trailEma) / 5000
+	}
+	if s.lbdCount > glucoseMinSamples && t > glucoseBlockR*s.trailEma {
+		// Trail-size blocking: the search looks close to a full assignment;
+		// resetting the recent average to the global one defers the restart.
+		s.lbdEmaFast = s.lbdTotal / float64(s.lbdCount)
+	}
+}
+
+// shouldRestart decides whether search returns to level 0 now. Under Luby
+// the conflict budget nofConflicts rules; under Glucose the LBD averages do
+// (and a firing restart resets the recent average, like Glucose clearing its
+// LBD queue, so restarts keep a minimum spacing).
+func (s *Solver) shouldRestart(nofConflicts, conflictC int64) bool {
+	if s.restartPolicy == RestartGlucose {
+		if conflictC < glucoseMinConflicts || s.lbdCount < glucoseMinSamples {
+			return false
+		}
+		if s.lbdEmaFast*glucoseK > s.lbdTotal/float64(s.lbdCount) {
+			s.lbdEmaFast = s.lbdTotal / float64(s.lbdCount)
+			return true
+		}
+		return false
+	}
+	return nofConflicts >= 0 && conflictC >= nofConflicts
+}

@@ -85,6 +85,11 @@ type Stats struct {
 	Removed      int64
 	MinimizedLit int64 // literals deleted by conflict-clause minimization
 	ArenaGCs     int64 // compacting collections of the clause arena
+
+	// Clause-sharing traffic (see share.go); all zero without an Exchange.
+	Exported       int64 // learnt clauses offered to the exchange
+	Imported       int64 // foreign clauses attached (or enqueued as units)
+	ImportSubsumed int64 // foreign clauses dropped: duplicate or level-0 satisfied
 }
 
 // watcher is one entry of a watch list: the watched clause plus a blocker
@@ -163,17 +168,31 @@ type Solver struct {
 
 	lbdStamp   []uint32
 	lbdCounter uint32
+
+	restartPolicy   RestartPolicy
+	defaultPolarity bool    // phase a fresh variable is first decided with
+	lbdEmaFast      float64 // recent learnt-LBD average (Glucose restarts)
+	lbdTotal        float64 // sum of all learnt LBDs
+	lbdCount        int64
+	trailEma        float64 // running trail size at conflicts (restart blocking)
+
+	exchange   Exchange
+	shareVars  int   // variables below this bound are portfolio-shared
+	shareSince int64 // conflicts since the last export (rate limiter)
+	shareSeen  map[uint64]struct{}
+	shareBuf   []cnf.Lit
 }
 
 // New returns an empty solver.
 func New() *Solver {
 	return &Solver{
-		ok:           true,
-		varInc:       1,
-		varDecay:     0.95,
-		claInc:       1,
-		claDecay:     0.999,
-		restartFirst: 100,
+		ok:              true,
+		varInc:          1,
+		varDecay:        0.95,
+		claInc:          1,
+		claDecay:        0.999,
+		restartFirst:    100,
+		defaultPolarity: true, // negative-first, MiniSat default
 	}
 }
 
@@ -186,7 +205,7 @@ func (s *Solver) NewVar() cnf.Var {
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, CRefUndef)
-	s.polarity = append(s.polarity, true) // negative-first, MiniSat default
+	s.polarity = append(s.polarity, s.defaultPolarity)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.lbdStamp = append(s.lbdStamp, 0)
@@ -560,6 +579,12 @@ func (s *Solver) analyze(confl CRef) ([]cnf.Lit, int) {
 // (the Glucose "literals blocks distance").
 func (s *Solver) computeLBD(lits []cnf.Lit) int32 {
 	s.lbdCounter++
+	if s.lbdCounter == 0 {
+		// The stamp counter wrapped: stale stamps from 2^32 calls ago would
+		// now falsely match. Clear them and skip the ambiguous value 0.
+		clear(s.lbdStamp)
+		s.lbdCounter = 1
+	}
 	var lbd int32
 	for _, l := range lits {
 		lv := s.level[l.Var()]
@@ -885,16 +910,23 @@ func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome
 			}
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
+			lbd := int32(1)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], CRefUndef)
 			} else {
 				cr := s.ca.alloc(learnt, true)
-				s.ca.setLBD(cr, s.computeLBD(learnt))
+				lbd = s.computeLBD(learnt)
+				s.ca.setLBD(cr, lbd)
 				s.learnts = append(s.learnts, cr)
 				s.attach(cr)
 				s.claBumpActivity(cr)
 				s.stats.Learnt++
 				s.uncheckedEnqueue(learnt[0], cr)
+			}
+			s.noteLearntLBD(lbd)
+			if s.exchange != nil {
+				s.shareSince++
+				s.maybeExport(learnt, lbd)
 			}
 			s.varInc /= s.varDecay
 			s.claInc /= s.claDecay
@@ -911,7 +943,7 @@ func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome
 			continue
 		}
 		// No conflict.
-		if nofConflicts >= 0 && conflictC >= nofConflicts {
+		if s.shouldRestart(nofConflicts, conflictC) {
 			s.stats.Restarts++
 			s.cancelUntil(0)
 			return outRestart
@@ -1008,6 +1040,12 @@ func (s *Solver) Solve(assumps ...cnf.Lit) Status {
 		match++
 	}
 	s.cancelUntil(match)
+	// A large backlog of foreign clauses is worth more than the kept trail
+	// prefix (which one backtrack rebuilds next search anyway): drop to
+	// level 0 so the import point below can drain it.
+	if s.exchange != nil && s.decisionLevel() > 0 && s.exchange.Pending() >= importEagerMin {
+		s.cancelUntil(0)
+	}
 	s.assumptions = assumps
 
 	s.maxLearnts = float64(len(s.clauses)) / 3
@@ -1027,7 +1065,20 @@ func (s *Solver) Solve(assumps ...cnf.Lit) Status {
 		if s.budgetExhausted() {
 			break
 		}
-		restartLim := int64(luby(2, curRestarts) * float64(s.restartFirst))
+		// Level-0 boundaries — the first episode of a from-scratch call and
+		// every restart — are where foreign clauses enter; mid-trail resumes
+		// (assumption-prefix reuse) are left untouched.
+		if s.exchange != nil && s.decisionLevel() == 0 {
+			s.importClauses()
+			if !s.ok {
+				status = Unsat
+				break
+			}
+		}
+		restartLim := int64(-1) // adaptive policies restart on their own
+		if s.restartPolicy == RestartLuby {
+			restartLim = int64(luby(2, curRestarts) * float64(s.restartFirst))
+		}
 		switch s.search(restartLim, &conflictBudget) {
 		case outSat:
 			n := s.NumVars()

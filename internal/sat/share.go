@@ -1,0 +1,226 @@
+package sat
+
+import "repro/internal/cnf"
+
+// This file implements learnt-clause sharing in the ManySAT style: a solver
+// participating in a parallel portfolio exports a filtered stream of its
+// learnt clauses and imports the clauses other members exported, so the
+// portfolio stops re-deriving the same deductions once per member.
+//
+// Soundness contract. Exported clauses are logical consequences of the
+// solver's whole clause database, which besides the shared formula holds
+// member-local encodings (soft-clause shells, cardinality constraints, ...).
+// A clause over the shared variable prefix is safe to hand to another member
+// only when every local addition is a conservative extension of the shared
+// formula — every model of the shared clauses extends to the added
+// variables. Then a shared-prefix consequence of the database is a
+// consequence of the shared clauses alone, and importing it excludes no
+// model of any other member's database. Enforcing that contract is the
+// caller's job: SetExchange must only be called for solvers whose future
+// clause additions keep the database conservative (see
+// opt.Options.AttachExchange for the per-optimizer obligations).
+//
+// Export filter: only short (length <= shareMaxLen) or low-LBD
+// (<= shareMaxLBD) clauses whose variables all lie below the shared prefix
+// cross the bus, and non-unit exports are rate-limited to one per
+// defaultShareGap conflicts; learnt units always pass. Imports happen at decision level 0 only — after a restart, or
+// at a Solve boundary that starts from level 0 — so attaching a foreign
+// clause never disturbs the kept assumption-trail prefix that incremental
+// callers rely on. Clause fingerprints deduplicate traffic in both
+// directions: a clause this solver already exported or imported is dropped
+// on sight (a fingerprint collision only costs a skipped import, never
+// soundness).
+
+// Exchange connects a Solver to a clause-sharing bus. Export is called from
+// the search loop with solver-owned scratch (implementations must copy and
+// must not block); Import yields foreign clauses, each valid only for the
+// duration of the callback; Pending cheaply estimates how many clauses an
+// Import would yield (incremental solvers use it to decide whether a
+// deliberate backtrack to level 0 — giving up the reusable trail prefix
+// once — is worth the catch-up).
+type Exchange interface {
+	Export(lits []cnf.Lit, lbd int32)
+	Import(yield func(lits []cnf.Lit, lbd int32))
+	Pending() int
+}
+
+// importEagerMin is the pending-clause backlog at which a Solve call gives
+// up its reusable trail prefix to import: below it, imports wait for a
+// natural level-0 boundary (a restart, or a prefix-invalidating AddClause).
+const importEagerMin = 64
+
+// Export-filter thresholds. The textbook portfolio filter (LBD <= 2 or
+// length <= 2) passes essentially nothing here: core-guided solving places
+// every assumed selector on its own decision level, so even structurally
+// tight learnt clauses span many levels (measured on the generator families,
+// msu4's learnt stream bottoms out around length 5 / LBD 4). The calibrated
+// filter keeps the same shape — short or low-LBD clauses only — at
+// thresholds that actually select the best few percent of the stream, and
+// the rate limiter bounds the traffic.
+const (
+	shareMaxLen = 8 // clauses this short are worth exchanging
+	shareMaxLBD = 4 // or clauses spanning this few decision levels
+
+	// defaultShareGap is the minimum number of conflicts between two
+	// non-unit exports; learnt units bypass the limiter.
+	defaultShareGap = 4
+)
+
+// SetExchange attaches a clause-sharing exchange. Only clauses whose
+// variables are all below sharedVars cross the bus, in either direction:
+// sharedVars is the scope this solver vouches for (see
+// opt.Options.AttachExchange), and variables above it are member-local.
+// A nil exchange detaches.
+func (s *Solver) SetExchange(x Exchange, sharedVars int) {
+	s.exchange = x
+	s.shareVars = sharedVars
+	if x != nil && s.shareSeen == nil {
+		s.shareSeen = make(map[uint64]struct{})
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to hash single literals.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fingerprint hashes a clause independently of literal order (learnt and
+// imported copies of the same clause watch different literals first).
+func fingerprint(lits []cnf.Lit) uint64 {
+	h := splitmix64(uint64(len(lits)))
+	for _, l := range lits {
+		h ^= splitmix64(uint64(uint32(l)))
+	}
+	return h
+}
+
+// maybeExport offers a freshly learnt clause to the exchange if it passes
+// the sharing filter. Called from the search loop right after learning.
+func (s *Solver) maybeExport(lits []cnf.Lit, lbd int32) {
+	if len(lits) > shareMaxLen && lbd > shareMaxLBD {
+		return
+	}
+	if len(lits) > 1 && s.shareSince < defaultShareGap {
+		return
+	}
+	for _, l := range lits {
+		if int(l.Var()) >= s.shareVars {
+			return
+		}
+	}
+	fp := fingerprint(lits)
+	if _, dup := s.shareSeen[fp]; dup {
+		return
+	}
+	s.shareSeen[fp] = struct{}{}
+	s.shareSince = 0
+	s.stats.Exported++
+	s.exchange.Export(lits, lbd)
+}
+
+// shareMaxProvedLen caps ShareClause exports. Proved clauses (cores) are
+// worth more than learnt ones, so the cap is looser than shareMaxLen, but
+// giant cores prune too little per literal to be worth the bus slot.
+const shareMaxProvedLen = 32
+
+// ShareClause exports a clause the caller has proved from the shared
+// scope's own clauses — for the core-guided optimizers, the at-least-one
+// clause over a core's blocking literals, which the UNSAT result just
+// established is implied by the hard clauses and shells every sharing
+// member owns. Unlike learn-time exports it bypasses the LBD/length filter
+// and the rate limiter (cores are rare and precious: an imported core saves
+// the whole search that would re-derive it), but the scope and duplicate
+// filters still apply. No-op without an attached exchange.
+func (s *Solver) ShareClause(lits ...cnf.Lit) {
+	if s.exchange == nil || len(lits) == 0 || len(lits) > shareMaxProvedLen {
+		return
+	}
+	for _, l := range lits {
+		if int(l.Var()) >= s.shareVars {
+			return
+		}
+	}
+	fp := fingerprint(lits)
+	if _, dup := s.shareSeen[fp]; dup {
+		return
+	}
+	s.shareSeen[fp] = struct{}{}
+	s.stats.Exported++
+	s.exchange.Export(lits, 2) // treat a core like glue: keep it around
+}
+
+// importClauses drains the exchange into the clause database. It must only
+// run at decision level 0 with the trail fully propagated; restarts and
+// level-0 Solve boundaries are the call sites. On a level-0 conflict the
+// solver becomes permanently unsat (the shared clauses are refuted).
+func (s *Solver) importClauses() {
+	if s.exchange == nil || !s.ok || s.decisionLevel() != 0 {
+		return
+	}
+	s.exchange.Import(func(lits []cnf.Lit, lbd int32) {
+		if s.ok {
+			s.importOne(lits, lbd)
+		}
+	})
+}
+
+func (s *Solver) importOne(lits []cnf.Lit, lbd int32) {
+	fp := fingerprint(lits)
+	if _, dup := s.shareSeen[fp]; dup {
+		s.stats.ImportSubsumed++
+		return
+	}
+	s.shareSeen[fp] = struct{}{}
+	s.EnsureVars(s.shareVars)
+	// Evaluate against the level-0 trail: drop false literals, and skip the
+	// clause entirely when a literal already holds (level-0 satisfied
+	// clauses are what simplify would remove anyway). Clauses reaching
+	// beyond this solver's shared scope are dropped too: members on the
+	// same bus may vouch for different scopes (the core family shares its
+	// selector block, others only the formula prefix), and a variable above
+	// the local scope means something else — or nothing — here.
+	buf := s.shareBuf[:0]
+	for _, l := range lits {
+		switch {
+		case int(l.Var()) >= s.shareVars:
+			s.shareBuf = buf
+			s.stats.ImportSubsumed++
+			return
+		case s.value(l) == lTrue && s.level[l.Var()] == 0:
+			s.shareBuf = buf
+			s.stats.ImportSubsumed++
+			return
+		case s.value(l) == lFalse && s.level[l.Var()] == 0:
+			// drop
+		default:
+			buf = append(buf, l)
+		}
+	}
+	s.shareBuf = buf
+	s.stats.Imported++
+	switch len(buf) {
+	case 0:
+		// A foreign clause is false at level 0: the shared clauses are
+		// unsatisfiable (the exporter would have reached the same verdict).
+		s.ok = false
+	case 1:
+		s.uncheckedEnqueue(buf[0], CRefUndef)
+		if s.propagate() != CRefUndef {
+			s.ok = false
+		}
+	default:
+		// All remaining literals are unassigned (we are at level 0), so any
+		// watch order is valid.
+		cr := s.ca.alloc(buf, true)
+		if lbd < 1 {
+			lbd = 1
+		}
+		s.ca.setLBD(cr, lbd)
+		s.learnts = append(s.learnts, cr)
+		s.attach(cr)
+		s.claBumpActivity(cr)
+	}
+}

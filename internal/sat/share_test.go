@@ -1,0 +1,278 @@
+package sat
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// fakeExchange records exports and serves a scripted inbox.
+type fakeExchange struct {
+	exported [][]cnf.Lit
+	inbox    [][]cnf.Lit
+	inboxLBD []int32
+}
+
+func (f *fakeExchange) Export(lits []cnf.Lit, lbd int32) {
+	f.exported = append(f.exported, append([]cnf.Lit(nil), lits...))
+}
+
+func (f *fakeExchange) Import(yield func(lits []cnf.Lit, lbd int32)) {
+	for i, c := range f.inbox {
+		lbd := int32(2)
+		if i < len(f.inboxLBD) {
+			lbd = f.inboxLBD[i]
+		}
+		yield(c, lbd)
+	}
+	f.inbox = nil
+}
+
+func (f *fakeExchange) Pending() int { return len(f.inbox) }
+
+func lits(xs ...int) []cnf.Lit {
+	out := make([]cnf.Lit, len(xs))
+	for i, x := range xs {
+		if x < 0 {
+			out[i] = cnf.NegLit(cnf.Var(-x - 1))
+		} else {
+			out[i] = cnf.PosLit(cnf.Var(x - 1))
+		}
+	}
+	return out
+}
+
+// TestImportAttachesWatchers: an imported long clause lands in the arena as
+// a learnt clause with both watchers installed, and propagates like a native
+// clause.
+func TestImportAttachesWatchers(t *testing.T) {
+	s := New()
+	s.EnsureVars(5)
+	x := &fakeExchange{inbox: [][]cnf.Lit{lits(1, 2, 3)}}
+	s.SetExchange(x, 5)
+	s.importClauses()
+
+	if got := s.Stats().Imported; got != 1 {
+		t.Fatalf("Imported = %d, want 1", got)
+	}
+	if len(s.learnts) != 1 {
+		t.Fatalf("learnts = %d, want 1", len(s.learnts))
+	}
+	cr := s.learnts[0]
+	if !s.ca.learnt(cr) || s.ca.size(cr) != 3 {
+		t.Fatalf("imported clause header wrong: learnt=%v size=%d", s.ca.learnt(cr), s.ca.size(cr))
+	}
+	// Both watched literals must carry a watcher for cr.
+	for i := 0; i < 2; i++ {
+		p := s.ca.lit(cr, i).Neg()
+		found := false
+		for _, w := range s.watches[p] {
+			if w.cref == cr {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no watcher for imported clause on literal %v", s.ca.lit(cr, i))
+		}
+	}
+	// The clause must propagate: under ¬x1, ¬x2 it implies x3.
+	if st := s.Solve(lits(-1)[0], lits(-2)[0]); st != Sat {
+		t.Fatalf("solve: %v", st)
+	}
+	if m := s.Model(); !m[2] {
+		t.Fatal("imported clause did not imply x3")
+	}
+}
+
+// TestImportSurvivesGC: after a compacting arena collection the imported
+// clause is relocated, its watchers remapped, and it still propagates.
+func TestImportSurvivesGC(t *testing.T) {
+	s := New()
+	s.EnsureVars(8)
+	// Native garbage so the GC has something to reclaim.
+	var garbage []CRef
+	for i := 0; i < 16; i++ {
+		cr := s.ca.alloc(lits(4, 5, 6, 7), false)
+		s.clauses = append(s.clauses, cr)
+		s.attach(cr)
+		garbage = append(garbage, cr)
+	}
+	x := &fakeExchange{inbox: [][]cnf.Lit{lits(1, 2, 3)}}
+	s.SetExchange(x, 8)
+	s.importClauses()
+
+	for _, cr := range garbage {
+		s.removeClause(cr)
+	}
+	s.clauses = s.clauses[:0]
+	s.garbageCollect()
+
+	if len(s.learnts) != 1 {
+		t.Fatalf("learnts after GC = %d, want 1", len(s.learnts))
+	}
+	cr := s.learnts[0]
+	got := s.ca.lits(cr)
+	want := lits(1, 2, 3)
+	if len(got) != 3 {
+		t.Fatalf("relocated clause size %d", len(got))
+	}
+	for i := range got {
+		if cnf.Lit(got[i]) != want[i] {
+			t.Fatalf("relocated clause lits %v, want %v", got, want)
+		}
+	}
+	if st := s.Solve(lits(-2)[0], lits(-3)[0]); st != Sat {
+		t.Fatalf("solve after GC: %v", st)
+	}
+	if m := s.Model(); !m[0] {
+		t.Fatal("imported clause lost by GC: ¬x2 ∧ ¬x3 did not imply x1")
+	}
+}
+
+// TestImportLevelZeroSemantics: units are enqueued, level-0 satisfied
+// clauses and fingerprint duplicates are dropped as subsumed, and a clause
+// refuting the level-0 trail flips the solver to permanently unsat.
+func TestImportLevelZeroSemantics(t *testing.T) {
+	s := New()
+	s.EnsureVars(4)
+	x := &fakeExchange{inbox: [][]cnf.Lit{lits(1)}}
+	s.SetExchange(x, 4)
+	s.importClauses()
+	if got := s.Stats().Imported; got != 1 {
+		t.Fatalf("unit import: Imported = %d, want 1", got)
+	}
+	if s.value(lits(1)[0]) != lTrue || s.level[0] != 0 {
+		t.Fatal("imported unit not enqueued at level 0")
+	}
+
+	// (x1 ∨ x2) is satisfied at level 0 by the unit; a re-sent copy of the
+	// unit is a fingerprint duplicate.
+	x.inbox = [][]cnf.Lit{lits(1, 2), lits(1)}
+	s.importClauses()
+	st := s.Stats()
+	if st.Imported != 1 || st.ImportSubsumed != 2 {
+		t.Fatalf("subsumed import: imported=%d subsumed=%d, want 1/2", st.Imported, st.ImportSubsumed)
+	}
+
+	// ¬x1 contradicts the level-0 unit: the clause set is refuted.
+	x.inbox = [][]cnf.Lit{lits(-1)}
+	s.importClauses()
+	if s.Okay() {
+		t.Fatal("importing a refuting unit must make the solver unsat")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("solver not permanently unsat after refuting import")
+	}
+}
+
+// TestExportFilter: only short (len <= shareMaxLen) or low-LBD
+// (<= shareMaxLBD) clauses over the shared prefix are exported, non-unit
+// exports are rate-limited, and duplicates are suppressed.
+func TestExportFilter(t *testing.T) {
+	s := New()
+	s.EnsureVars(12)
+	x := &fakeExchange{}
+	s.SetExchange(x, 10) // vars 0..9 shared, 10..11 member-local
+
+	long := lits(1, 2, 3, 4, 5, 6, 7, 8, 9)[:shareMaxLen+1]
+	s.shareSince = defaultShareGap // open the limiter
+	s.maybeExport(long, shareMaxLBD+1)
+	if len(x.exported) != 0 {
+		t.Fatal("long high-LBD clause must not pass the filter")
+	}
+	s.maybeExport(lits(1, 2, 3), 2)
+	if len(x.exported) != 1 || s.Stats().Exported != 1 {
+		t.Fatalf("glue clause not exported: %d", len(x.exported))
+	}
+	// Rate limiter: shareSince was reset by the successful export.
+	s.maybeExport(lits(2, 3, 4), 2)
+	if len(x.exported) != 1 {
+		t.Fatal("rate limiter did not hold back the second long export")
+	}
+	// Units bypass the limiter.
+	s.maybeExport(lits(4), 1)
+	if len(x.exported) != 2 {
+		t.Fatal("unit clause must bypass the rate limiter")
+	}
+	// Clauses touching non-shared variables never cross.
+	s.shareSince = defaultShareGap
+	s.maybeExport(lits(1, 11), 1)
+	if len(x.exported) != 2 {
+		t.Fatal("clause over non-shared variable exported")
+	}
+	// Duplicate suppression.
+	s.shareSince = defaultShareGap
+	s.maybeExport(lits(1, 2, 3), 2)
+	if len(x.exported) != 2 {
+		t.Fatal("duplicate clause re-exported")
+	}
+}
+
+// TestSearchExportsGlue: an end-to-end run over a shared prefix exports at
+// least one clause (the pigeonhole proof learns plenty of short clauses).
+func TestSearchExportsGlue(t *testing.T) {
+	s := New()
+	x := &fakeExchange{}
+	const holes = 4 // 5 pigeons in 4 holes: (holes+1)*holes variables
+	s.EnsureVars((holes + 1) * holes)
+	s.SetExchange(x, (holes+1)*holes)
+	addPigeonhole(s, holes)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("php: %v", st)
+	}
+	if s.Stats().Exported == 0 || len(x.exported) == 0 {
+		t.Fatal("no clauses exported from a conflict-heavy proof")
+	}
+}
+
+// TestLBDCounterWraparound: when the stamp counter wraps, stale stamps are
+// cleared so levels are not falsely treated as already counted.
+func TestLBDCounterWraparound(t *testing.T) {
+	s := New()
+	s.EnsureVars(4)
+	// Pretend the literals sit at distinct decision levels 1..3.
+	ls := lits(1, 2, 3)
+	for i, l := range ls {
+		s.level[l.Var()] = int32(i + 1)
+	}
+	// Fresh stamps are all 0; the wrapped counter value would also be 0,
+	// falsely matching every level without the overflow fix.
+	s.lbdCounter = ^uint32(0)
+	if got := s.computeLBD(ls); got != 3 {
+		t.Fatalf("computeLBD after counter wrap = %d, want 3", got)
+	}
+	if s.lbdCounter == 0 {
+		t.Fatal("lbdCounter left at the ambiguous value 0")
+	}
+	// The next call must still count correctly.
+	if got := s.computeLBD(ls); got != 3 {
+		t.Fatalf("computeLBD after wrap recovery = %d, want 3", got)
+	}
+}
+
+// TestGlucoseRestartPolicy: the adaptive policy still proves a conflict-heavy
+// instance and actually restarts, and the diversification knobs keep the
+// solver correct on a satisfiable one.
+func TestGlucoseRestartPolicy(t *testing.T) {
+	s := New()
+	s.SetRestartPolicy(RestartGlucose)
+	s.SetVarDecay(0.92)
+	addPigeonhole(s, 6)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("php under glucose restarts: %v", st)
+	}
+	if s.Stats().Restarts == 0 {
+		t.Fatal("glucose policy never restarted on a conflict-heavy proof")
+	}
+
+	pos := New()
+	pos.SetDefaultPhase(true)
+	pos.AddClause(lits(1, 2)...)
+	pos.AddClause(lits(-1, 2)...)
+	if st := pos.Solve(); st != Sat {
+		t.Fatalf("positive-phase solver: %v", st)
+	}
+	if m := pos.Model(); !m[1] {
+		t.Fatal("model does not satisfy the formula")
+	}
+}

@@ -155,6 +155,14 @@ type Options struct {
 	// Parallelism caps the number of solvers AlgoPortfolio races
 	// concurrently; 0 races the full line-up. Other algorithms ignore it.
 	Parallelism int
+	// ShareClauses makes AlgoPortfolio members exchange learnt clauses:
+	// each CDCL-based racer exports its glue and binary learnt clauses over
+	// the instance's variables to a lock-free bus and imports the others'
+	// at restart boundaries, so the portfolio deduces shared structure once
+	// instead of once per member. Other algorithms ignore it. Off by
+	// default; solving behavior with it off is identical to not having a
+	// bus at all.
+	ShareClauses bool
 }
 
 // Status is the outcome class of a Solve call.
@@ -199,6 +207,12 @@ type Result struct {
 	// Winner names the member that decided an AlgoPortfolio race; empty
 	// for single-algorithm runs (and for portfolio runs that timed out).
 	Winner string
+	// ClausesExported / ClausesImported total the learnt-clause traffic of
+	// an AlgoPortfolio run with ShareClauses enabled (zero otherwise).
+	ClausesExported, ClausesImported int64
+	// Sharing is a human-readable per-member breakdown of that traffic,
+	// including the winner's import hit rate; empty without sharing.
+	Sharing string
 	// Iterations, SatCalls, UnsatCalls, Conflicts and Elapsed expose the
 	// algorithm's work profile. For AlgoPortfolio they aggregate over every
 	// raced member.
@@ -234,7 +248,11 @@ func (r Result) String() string {
 	case Unsatisfiable:
 		inner.Status = opt.StatusUnsat
 	}
-	return inner.String()
+	s := inner.String()
+	if r.Sharing != "" {
+		s += " " + r.Sharing
+	}
+	return s
 }
 
 // ErrWeighted is returned when a unit-weight-only algorithm is asked to
@@ -345,7 +363,9 @@ func buildSolver(w *WCNF, o Options) (opt.Solver, Algorithm, error) {
 	case AlgoBnB:
 		solver = bnb.New(io_)
 	case AlgoPortfolio:
-		solver = portfolio.New(io_, o.Parallelism)
+		e := portfolio.New(io_, o.Parallelism)
+		e.Share = o.ShareClauses
+		solver = e
 	default:
 		return nil, algo, fmt.Errorf("maxsat: unknown algorithm %q", algo)
 	}
@@ -357,16 +377,19 @@ func buildSolver(w *WCNF, o Options) (opt.Solver, Algorithm, error) {
 
 func fromInternal(r opt.Result, algo Algorithm) Result {
 	out := Result{
-		Cost:       r.Cost,
-		LowerBound: r.LowerBound,
-		Model:      r.Model,
-		Algorithm:  algo,
-		Winner:     r.Solver,
-		Iterations: r.Iterations,
-		SatCalls:   r.SatCalls,
-		UnsatCalls: r.UnsatCalls,
-		Conflicts:  r.Conflicts,
-		Elapsed:    r.Elapsed,
+		Cost:            r.Cost,
+		LowerBound:      r.LowerBound,
+		Model:           r.Model,
+		Algorithm:       algo,
+		Winner:          r.Solver,
+		ClausesExported: r.Exported,
+		ClausesImported: r.Imported,
+		Sharing:         r.ShareSummary(),
+		Iterations:      r.Iterations,
+		SatCalls:        r.SatCalls,
+		UnsatCalls:      r.UnsatCalls,
+		Conflicts:       r.Conflicts,
+		Elapsed:         r.Elapsed,
 	}
 	switch r.Status {
 	case opt.StatusOptimal:

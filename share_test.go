@@ -1,0 +1,94 @@
+package maxsat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/opt"
+)
+
+// TestShareClausesMatchesFamilies toggles ShareClauses on the generator
+// families and asserts the proved optimum is identical either way and
+// matches the sequential reference.
+func TestShareClausesMatchesFamilies(t *testing.T) {
+	insts := []gen.Instance{
+		gen.EquivMiter(6),
+		gen.EquivMiter(8),
+		gen.BMCCounter(3, 8),
+		gen.Coloring(7, 8, 20, 3),
+		gen.Pigeonhole(4),
+		gen.RandomKSAT(3, 14, 3, 5.0),
+		gen.ColoringWeighted(3, 8, 20, 3, 5), // weighted line-up shares via wmsu1
+	}
+	for _, in := range insts {
+		off, err := Solve(in.W.Clone(), Options{Algorithm: AlgoPortfolio, Timeout: 30 * time.Second, Parallelism: 4})
+		if err != nil {
+			t.Fatalf("%s share-off: %v", in.Name, err)
+		}
+		on, err := Solve(in.W.Clone(), Options{Algorithm: AlgoPortfolio, Timeout: 30 * time.Second, Parallelism: 4, ShareClauses: true})
+		if err != nil {
+			t.Fatalf("%s share-on: %v", in.Name, err)
+		}
+		if off.Status != Optimal || on.Status != Optimal {
+			t.Fatalf("%s: status off=%v on=%v", in.Name, off.Status, on.Status)
+		}
+		if off.Cost != on.Cost {
+			t.Fatalf("%s: cost drift off=%d on=%d", in.Name, off.Cost, on.Cost)
+		}
+		if in.KnownCost >= 0 && on.Cost != in.KnownCost {
+			t.Fatalf("%s: share-on cost %d, known optimum %d", in.Name, on.Cost, in.KnownCost)
+		}
+		if !opt.VerifyModel(in.W, opt.Result{Cost: on.Cost, Model: on.Model}) {
+			t.Fatalf("%s: share-on model invalid", in.Name)
+		}
+		if on.Sharing == "" {
+			t.Fatalf("%s: sharing summary missing from share-on result", in.Name)
+		}
+		if off.Sharing != "" || off.ClausesExported != 0 || off.ClausesImported != 0 {
+			t.Fatalf("%s: share-off run reports sharing traffic: %q", in.Name, off.Sharing)
+		}
+	}
+}
+
+// TestQuickShareClauses is the quick-check differential of the issue: random
+// small instances, optimum with sharing on == optimum with sharing off ==
+// sequential msu4-v2, across many seeds.
+func TestQuickShareClauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rounds := 12
+	if testing.Short() {
+		rounds = 4
+	}
+	for i := 0; i < rounds; i++ {
+		vars := 8 + rng.Intn(12)
+		ratio := 4.5 + rng.Float64()*2.5
+		in := gen.RandomKSAT(rng.Int63(), vars, 3, ratio)
+
+		ref, err := Solve(in.W.Clone(), Options{Algorithm: AlgoMSU4V2, Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("round %d %s ref: %v", i, in.Name, err)
+		}
+		for _, shareOn := range []bool{false, true} {
+			r, err := Solve(in.W.Clone(), Options{
+				Algorithm:    AlgoPortfolio,
+				Timeout:      30 * time.Second,
+				Parallelism:  4,
+				ShareClauses: shareOn,
+			})
+			if err != nil {
+				t.Fatalf("round %d %s share=%v: %v", i, in.Name, shareOn, err)
+			}
+			if r.Status != Optimal || ref.Status != Optimal {
+				t.Fatalf("round %d %s share=%v: status %v/%v", i, in.Name, shareOn, r.Status, ref.Status)
+			}
+			if r.Cost != ref.Cost {
+				t.Fatalf("round %d %s share=%v: cost %d, msu4-v2 found %d", i, in.Name, shareOn, r.Cost, ref.Cost)
+			}
+			if !opt.VerifyModel(in.W, opt.Result{Cost: r.Cost, Model: r.Model}) {
+				t.Fatalf("round %d %s share=%v: model invalid", i, in.Name, shareOn)
+			}
+		}
+	}
+}
