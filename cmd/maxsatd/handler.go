@@ -1,0 +1,271 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// daemon wires a maxsat.Server to the HTTP API:
+//
+//	POST /solve            DIMACS .cnf/.wcnf body → job (or cached result)
+//	GET  /jobs/{id}        poll a job; ?sse=1 (or Accept: text/event-stream)
+//	                       streams anytime bounds, then the result
+//	GET  /stats            service counters
+//	GET  /healthz          liveness
+type daemon struct {
+	srv        *maxsat.Server
+	maxBody    int64
+	maxTimeout time.Duration
+	start      time.Time
+}
+
+func newHandler(srv *maxsat.Server, maxBody int64, maxTimeout time.Duration) http.Handler {
+	d := &daemon{srv: srv, maxBody: maxBody, maxTimeout: maxTimeout, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", d.solve)
+	mux.HandleFunc("GET /jobs/{id}", d.job)
+	mux.HandleFunc("GET /stats", d.stats)
+	mux.HandleFunc("GET /healthz", d.healthz)
+	return mux
+}
+
+// jobJSON is the poll/submit response shape.
+type jobJSON struct {
+	ID     uint64      `json:"id"`
+	State  string      `json:"state"`
+	LB     *int64      `json:"lb,omitempty"`
+	UB     *int64      `json:"ub,omitempty"`
+	Result *resultJSON `json:"result,omitempty"`
+}
+
+// resultJSON is the completed-result shape (also the SSE "result" event).
+type resultJSON struct {
+	Status     string  `json:"status"`
+	Cost       int64   `json:"cost"`
+	LowerBound int64   `json:"lb"`
+	Algorithm  string  `json:"algorithm"`
+	Winner     string  `json:"winner,omitempty"`
+	Cached     bool    `json:"cached"`
+	Model      []int   `json:"model,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// boundJSON is the SSE "bound" event shape.
+type boundJSON struct {
+	LB *int64 `json:"lb,omitempty"`
+	UB *int64 `json:"ub,omitempty"`
+}
+
+func toBoundJSON(e maxsat.BoundUpdate) boundJSON {
+	var b boundJSON
+	if e.HasLB {
+		lb := int64(e.LB)
+		b.LB = &lb
+	}
+	if e.HasUB {
+		ub := int64(e.UB)
+		b.UB = &ub
+	}
+	return b
+}
+
+func toResultJSON(r maxsat.Result, withModel bool) *resultJSON {
+	out := &resultJSON{
+		Status:     r.Status.String(),
+		Cost:       int64(r.Cost),
+		LowerBound: int64(r.LowerBound),
+		Algorithm:  string(r.Algorithm),
+		Winner:     r.Winner,
+		Cached:     r.Cached,
+		ElapsedSec: r.Elapsed.Seconds(),
+	}
+	if withModel && r.Model != nil {
+		out.Model = make([]int, len(r.Model))
+		for v, val := range r.Model {
+			lit := v + 1
+			if !val {
+				lit = -lit
+			}
+			out.Model[v] = lit
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// solve admits a job. The body is a DIMACS .cnf or .wcnf instance; options
+// travel as query parameters: alg, enc, jobs, share, pre, timeout, and
+// wait=1 to block until the result instead of returning the job handle.
+func (d *daemon) solve(w http.ResponseWriter, r *http.Request) {
+	opts, err := optionsFromQuery(r, d.maxTimeout)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, d.maxBody)
+	formula, err := maxsat.ParseWCNF(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	job, err := d.srv.Submit(formula, opts)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == maxsat.ErrServerQueueFull {
+			code = http.StatusServiceUnavailable
+		} else if err == maxsat.ErrServerClosed {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	withModel := r.URL.Query().Get("model") != "0"
+	if isTrue(r.URL.Query().Get("wait")) {
+		if _, err := job.Wait(r.Context()); err != nil {
+			// Client went away; the job keeps running for other requesters.
+			return
+		}
+		writeJSON(w, http.StatusOK, jobView(job, withModel))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView(job, withModel))
+}
+
+// job serves GET /jobs/{id}: a JSON snapshot, or an SSE stream of bound
+// improvements followed by the final result.
+func (d *daemon) job(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	job, ok := d.srv.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	withModel := r.URL.Query().Get("model") != "0"
+	if isTrue(r.URL.Query().Get("sse")) ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		d.stream(w, r, job, withModel)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(job, withModel))
+}
+
+func jobView(job *maxsat.Job, withModel bool) jobJSON {
+	state, best := job.State()
+	out := jobJSON{ID: job.ID(), State: state.String()}
+	b := toBoundJSON(best)
+	out.LB, out.UB = b.LB, b.UB
+	if res, done := job.Result(); done {
+		out.Result = toResultJSON(res, withModel)
+	}
+	return out
+}
+
+// stream writes Server-Sent Events: one "bound" event per improvement (the
+// current best bounds are replayed first, so a late subscriber sees at least
+// one), then a single "result" event. Bound improvements are monotone — the
+// lower bound never falls, the upper bound never rises.
+func (d *daemon) stream(w http.ResponseWriter, r *http.Request, job *maxsat.Job, withModel bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+		return err == nil
+	}
+
+	updates := job.Updates()
+	for {
+		select {
+		case e, open := <-updates:
+			if !open {
+				// Job complete: the result is available now.
+				if res, done := job.Result(); done {
+					emit("result", toResultJSON(res, withModel))
+				}
+				return
+			}
+			if !emit("bound", toBoundJSON(e)) {
+				return
+			}
+		case <-r.Context().Done():
+			// Subscriber left; the job itself keeps running.
+			return
+		}
+	}
+}
+
+func (d *daemon) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.srv.Stats())
+}
+
+func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"uptime_sec": time.Since(d.start).Seconds(),
+	})
+}
+
+func isTrue(s string) bool { return s == "1" || s == "true" || s == "yes" }
+
+// optionsFromQuery maps the /solve query parameters onto maxsat.Options.
+func optionsFromQuery(r *http.Request, maxTimeout time.Duration) (maxsat.Options, error) {
+	q := r.URL.Query()
+	o := maxsat.Options{
+		Algorithm:    maxsat.Algorithm(q.Get("alg")),
+		Encoding:     q.Get("enc"),
+		Preprocess:   isTrue(q.Get("pre")),
+		ShareClauses: isTrue(q.Get("share")),
+	}
+	if v := q.Get("jobs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return o, fmt.Errorf("bad jobs %q", v)
+		}
+		o.Parallelism = n
+	}
+	if v := q.Get("timeout"); v != "" {
+		to, err := time.ParseDuration(v)
+		if err != nil || to < 0 {
+			return o, fmt.Errorf("bad timeout %q", v)
+		}
+		o.Timeout = to
+	}
+	// Clamp only explicit requests; an unset timeout stays zero so the
+	// server's DefaultTimeout applies (main caps that default too, keeping
+	// -max-timeout a hard ceiling either way).
+	if maxTimeout > 0 && o.Timeout > maxTimeout {
+		o.Timeout = maxTimeout
+	}
+	return o, nil
+}

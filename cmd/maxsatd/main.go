@@ -1,0 +1,91 @@
+// Command maxsatd is the MaxSAT solving daemon: the repository's solver
+// stack behind an HTTP API, with a bounded worker pool, deduplication of
+// identical in-flight submissions, a verified-result cache, and anytime
+// bound streaming over Server-Sent Events.
+//
+// Endpoints:
+//
+//	POST /solve        body: DIMACS .cnf or .wcnf instance.
+//	                   Query: alg, enc, jobs, share, pre, timeout (e.g. 30s),
+//	                   model=0 to omit the witness, wait=1 to block for the
+//	                   result. Returns the job as JSON (202, or 200 with
+//	                   wait=1); a formula whose optimum is already cached
+//	                   returns completed immediately.
+//	GET /jobs/{id}     JSON snapshot of the job (state, bounds, result), or
+//	                   with ?sse=1 / Accept: text/event-stream a stream of
+//	                   "bound" events — monotone anytime bound improvements —
+//	                   terminated by one "result" event.
+//	GET /stats         worker/queue/cache counters as JSON.
+//	GET /healthz       liveness probe.
+//
+// Usage:
+//
+//	maxsatd [-addr :8080] [-workers N] [-queue 1024] [-cache 256]
+//	        [-timeout 1m] [-max-timeout 5m] [-max-body 67108864]
+//
+// Example session:
+//
+//	$ maxsatd -addr :8080 &
+//	$ curl -s --data-binary @instance.wcnf 'localhost:8080/solve?wait=1'
+//	$ curl -s --data-binary @hard.cnf 'localhost:8080/solve?alg=portfolio'
+//	$ curl -sN 'localhost:8080/jobs/2?sse=1'       # watch bounds improve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("maxsatd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "worker-slot budget shared by all jobs (0 = NumCPU)")
+		queue      = fs.Int("queue", 1024, "max admitted-but-unfinished jobs (0 = unbounded)")
+		cache      = fs.Int("cache", 256, "verified-result cache entries (-1 disables)")
+		timeout    = fs.Duration("timeout", time.Minute, "default per-job solve timeout (0 = unbounded)")
+		maxTimeout = fs.Duration("max-timeout", 5*time.Minute, "hard ceiling on per-job timeouts, client-requested or default (0 = no cap)")
+		maxBody    = fs.Int64("max-body", 64<<20, "max request body bytes")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: maxsatd [flags]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
+	// -max-timeout is a hard ceiling: it caps explicit client requests (in
+	// the handler) and the daemon's own default alike, so no job can run
+	// unbounded while a cap is configured.
+	if *maxTimeout > 0 && (*timeout <= 0 || *timeout > *maxTimeout) {
+		*timeout = *maxTimeout
+	}
+	srv := maxsat.NewServer(maxsat.ServerConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+	})
+	defer srv.Close()
+	log.Printf("maxsatd listening on %s (%d workers, cache %d, default timeout %s)",
+		*addr, *workers, *cache, *timeout)
+	if err := http.ListenAndServe(*addr, newHandler(srv, *maxBody, *maxTimeout)); err != nil {
+		log.Printf("maxsatd: %v", err)
+		return 1
+	}
+	return 0
+}

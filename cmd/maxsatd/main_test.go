@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+func newTestServer(t *testing.T, cfg maxsat.ServerConfig) *httptest.Server {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	srv := maxsat.NewServer(cfg)
+	ts := httptest.NewServer(newHandler(srv, 16<<20, time.Minute))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func dimacs(t *testing.T, w *maxsat.WCNF) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := maxsat.WriteWCNF(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, body []byte, query string) (jobJSON, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/solve"+query, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out jobJSON
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+// TestSolveEndToEnd POSTs an instance and checks the daemon returns the same
+// optimum as the direct library call (the cmd/maxsat path).
+func TestSolveEndToEnd(t *testing.T) {
+	ts := newTestServer(t, maxsat.ServerConfig{})
+	inst := gen.Pigeonhole(4)
+	direct, err := maxsat.Solve(inst.W, maxsat.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job, code := postSolve(t, ts, dimacs(t, inst.W), "?wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if job.Result == nil || job.Result.Status != "OPTIMAL" || job.Result.Cost != int64(direct.Cost) {
+		t.Fatalf("daemon result %+v, want OPTIMAL cost %d", job.Result, direct.Cost)
+	}
+	if len(job.Result.Model) != inst.W.NumVars {
+		t.Fatalf("model has %d literals, want %d", len(job.Result.Model), inst.W.NumVars)
+	}
+}
+
+// TestCacheHitObservableInStats resubmits the same instance and checks the
+// second answer is served from cache, visible in GET /stats.
+func TestCacheHitObservableInStats(t *testing.T) {
+	ts := newTestServer(t, maxsat.ServerConfig{})
+	body := dimacs(t, gen.EquivMiter(5).W)
+
+	first, _ := postSolve(t, ts, body, "?wait=1")
+	if first.Result == nil || first.Result.Cached {
+		t.Fatalf("first solve: %+v", first.Result)
+	}
+	// Different algorithm, same formula: still a cache hit.
+	second, _ := postSolve(t, ts, body, "?wait=1&alg=maxsatz")
+	if second.Result == nil || !second.Result.Cached {
+		t.Fatalf("second solve not cached: %+v", second.Result)
+	}
+	if second.Result.Cost != first.Result.Cost {
+		t.Fatalf("cached cost %d != first cost %d", second.Result.Cost, first.Result.Cost)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st maxsat.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits != 1 || st.Submitted != 2 {
+		t.Fatalf("stats %+v, want 1 cache hit of 2 submissions", st)
+	}
+}
+
+// TestJobPollAndSSE submits without waiting, then watches the SSE stream:
+// at least one monotone "bound" event must arrive before the "result" event.
+func TestJobPollAndSSE(t *testing.T) {
+	ts := newTestServer(t, maxsat.ServerConfig{})
+	// A slow-ish instance so anytime bounds actually stream mid-run.
+	inst := gen.Pigeonhole(7)
+	job, code := postSolve(t, ts, dimacs(t, inst.W), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", code)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d?sse=1", ts.URL, job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var (
+		bounds    []boundJSON
+		result    *resultJSON
+		event     string
+		sawResult bool
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && !sawResult {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "bound":
+				var b boundJSON
+				if err := json.Unmarshal([]byte(data), &b); err != nil {
+					t.Fatalf("bound event %q: %v", data, err)
+				}
+				bounds = append(bounds, b)
+			case "result":
+				result = new(resultJSON)
+				if err := json.Unmarshal([]byte(data), result); err != nil {
+					t.Fatalf("result event %q: %v", data, err)
+				}
+				sawResult = true
+			}
+		}
+	}
+	if len(bounds) == 0 {
+		t.Fatal("no bound event before the result")
+	}
+	for i := 1; i < len(bounds); i++ {
+		p, c := bounds[i-1], bounds[i]
+		if p.LB != nil && c.LB != nil && *c.LB < *p.LB {
+			t.Fatalf("SSE LB fell: %v after %v", *c.LB, *p.LB)
+		}
+		if p.UB != nil && c.UB != nil && *c.UB > *p.UB {
+			t.Fatalf("SSE UB rose: %v after %v", *c.UB, *p.UB)
+		}
+	}
+	if result == nil || result.Status != "OPTIMAL" || result.Cost != int64(inst.KnownCost) {
+		t.Fatalf("SSE result %+v, want OPTIMAL cost %d", result, inst.KnownCost)
+	}
+	last := bounds[len(bounds)-1]
+	if last.LB == nil || last.UB == nil || *last.LB != result.Cost || *last.UB != result.Cost {
+		t.Fatalf("closing bound %+v, want lb=ub=%d", last, result.Cost)
+	}
+
+	// Poll view of the finished job.
+	pollResp, err := http.Get(fmt.Sprintf("%s/jobs/%d", ts.URL, job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pollResp.Body.Close()
+	var poll jobJSON
+	if err := json.NewDecoder(pollResp.Body).Decode(&poll); err != nil {
+		t.Fatal(err)
+	}
+	if poll.State != "done" || poll.Result == nil || poll.Result.Cost != result.Cost {
+		t.Fatalf("poll after SSE: %+v", poll)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, maxsat.ServerConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || !h.OK {
+		t.Fatalf("healthz body: ok=%v err=%v", h.OK, err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, maxsat.ServerConfig{})
+	if _, code := postSolve(t, ts, []byte("this is not dimacs"), ""); code != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", code)
+	}
+	body := dimacs(t, gen.Pigeonhole(3).W)
+	if _, code := postSolve(t, ts, body, "?alg=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown algorithm: status %d, want 400", code)
+	}
+	if _, code := postSolve(t, ts, body, "?timeout=eleven"); code != http.StatusBadRequest {
+		t.Errorf("bad timeout: status %d, want 400", code)
+	}
+	// Weighted instance under a unit-weight-only algorithm.
+	w := maxsat.NewWCNF(1)
+	w.AddSoft(2, maxsat.FromDIMACS(1))
+	w.AddSoft(1, maxsat.FromDIMACS(-1))
+	if _, code := postSolve(t, ts, dimacs(t, w), "?alg=msu4-v2"); code != http.StatusBadRequest {
+		t.Errorf("weighted msu4: status %d, want 400", code)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRunFlagParsing keeps the CLI surface honest without binding a port.
+func TestRunFlagParsing(t *testing.T) {
+	if code := run([]string{"-badflag"}); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,94 @@
+// Server: drive an in-process maxsat.Server end to end — submit a job,
+// stream its anytime bound improvements, fetch the result, then show the
+// verified-result cache and the in-flight coalescer absorbing resubmissions.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+// pigeonhole builds PHP(p+1, p): p+1 pigeons into p holes. The CNF is
+// unsatisfiable and its MaxSAT cost is exactly 1 — but proving that takes
+// real search, so the anytime lower bound is visible on the stream.
+func pigeonhole(p int) *maxsat.Formula {
+	f := maxsat.NewFormula(0)
+	pigeons, holes := p+1, p
+	v := func(pg, h int) maxsat.Lit { return maxsat.PosLit(maxsat.Var(pg*holes + h)) }
+	for pg := 0; pg < pigeons; pg++ {
+		c := make([]maxsat.Lit, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = v(pg, h)
+		}
+		f.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(v(p1, h).Neg(), v(p2, h).Neg())
+			}
+		}
+	}
+	return f
+}
+
+func main() {
+	srv := maxsat.NewServer(maxsat.ServerConfig{
+		Workers:        4,
+		CacheEntries:   64,
+		DefaultTimeout: time.Minute,
+	})
+	defer srv.Close()
+
+	w := maxsat.FromFormula(pigeonhole(7))
+	fmt.Printf("submitting PHP(8,7): %d vars, %d clauses\n", w.NumVars, w.NumClauses())
+
+	// Submit returns immediately; the job runs on the worker pool.
+	job, err := srv.Submit(w, maxsat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream anytime bounds while the solve runs. The channel replays the
+	// best bounds so far on subscribe, delivers every improvement (lower
+	// bound only rises, upper bound only falls), and closes on completion.
+	for e := range job.Updates() {
+		switch {
+		case e.HasLB && e.HasUB:
+			fmt.Printf("  bound: %d <= optimum <= %d\n", e.LB, e.UB)
+		case e.HasUB:
+			fmt.Printf("  bound: optimum <= %d\n", e.UB)
+		case e.HasLB:
+			fmt.Printf("  bound: optimum >= %d\n", e.LB)
+		}
+	}
+
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result: %s cost=%d by %s in %v (cached=%v)\n",
+		res.Status, res.Cost, res.Algorithm, res.Elapsed.Round(time.Millisecond), res.Cached)
+
+	// Resubmit the same formula under a different algorithm: the verified
+	// optimum is a fact about the formula, so the cache answers instantly.
+	again, err := srv.Submit(w, maxsat.Options{Algorithm: maxsat.AlgoPortfolio})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := again.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resubmit: %s cost=%d (cached=%v)\n", res2.Status, res2.Cost, res2.Cached)
+
+	st := srv.Stats()
+	fmt.Printf("stats: submitted=%d cache hits=%d misses=%d coalesced=%d\n",
+		st.Submitted, st.CacheHits, st.CacheMisses, st.Coalesced)
+}

@@ -27,6 +27,16 @@ type Bounds struct {
 
 	mu    sync.Mutex
 	model cnf.Assignment // witnesses ub; nil until first publish
+
+	obs func(BoundsEvent) // improvement observer; set before sharing
+}
+
+// BoundsEvent is a snapshot of the shared bounds, delivered to the observer
+// registered with SetObserver after every improving publish. HasLB / HasUB
+// report whether the corresponding bound has been published at all.
+type BoundsEvent struct {
+	LB, UB       cnf.Weight
+	HasLB, HasUB bool
 }
 
 const (
@@ -42,6 +52,40 @@ func NewBounds() *Bounds {
 	return b
 }
 
+// SetObserver registers fn to be called after every improving publish with a
+// snapshot of the bounds. The serving layer uses it to stream anytime bound
+// improvements to subscribers without polling.
+//
+// SetObserver must be called before the Bounds is shared with any solver
+// (there is no internal synchronization on the registration itself). fn may
+// be called concurrently from every publishing goroutine and must not block;
+// under concurrent publishes, callbacks may be delivered out of order, but
+// each carries a snapshot no older than the publish that triggered it, so a
+// receiver that keeps its own best-seen bounds observes a monotone stream.
+func (b *Bounds) SetObserver(fn func(BoundsEvent)) {
+	if b == nil {
+		return
+	}
+	b.obs = fn
+}
+
+// Snapshot returns the current bounds as an event value.
+func (b *Bounds) Snapshot() BoundsEvent {
+	var e BoundsEvent
+	if b == nil {
+		return e
+	}
+	e.LB, e.HasLB = b.LB()
+	e.UB, e.HasUB = b.UB()
+	return e
+}
+
+func (b *Bounds) notify() {
+	if b.obs != nil {
+		b.obs(b.Snapshot())
+	}
+}
+
 // PublishLB raises the shared lower bound to lb if it improves on the
 // current one. It reports whether the publish improved the bound.
 func (b *Bounds) PublishLB(lb cnf.Weight) bool {
@@ -54,6 +98,7 @@ func (b *Bounds) PublishLB(lb cnf.Weight) bool {
 			return false
 		}
 		if b.lb.CompareAndSwap(cur, int64(lb)) {
+			b.notify()
 			return true
 		}
 	}
@@ -67,12 +112,16 @@ func (b *Bounds) PublishUB(cost cnf.Weight, model cnf.Assignment) bool {
 		return false
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if int64(cost) >= b.ub.Load() {
+		b.mu.Unlock()
 		return false
 	}
 	b.model = append(b.model[:0], model...)
 	b.ub.Store(int64(cost))
+	// Notify outside the lock so a slow observer never blocks Best() for
+	// the racing solvers.
+	b.mu.Unlock()
+	b.notify()
 	return true
 }
 

@@ -148,3 +148,73 @@ func TestBoundsConcurrent(t *testing.T) {
 		t.Fatalf("final LB = %d, want -1", lb)
 	}
 }
+
+func TestBoundsObserver(t *testing.T) {
+	b := NewBounds()
+	var events []BoundsEvent
+	b.SetObserver(func(e BoundsEvent) { events = append(events, e) })
+
+	if b.PublishLB(1) != true {
+		t.Fatal("publish failed")
+	}
+	b.PublishUB(5, cnf.Assignment{true})
+	b.PublishUB(9, cnf.Assignment{true}) // no improvement → no event
+	b.PublishLB(0)                       // no improvement → no event
+	b.PublishUB(3, cnf.Assignment{true})
+
+	want := []BoundsEvent{
+		{LB: 1, HasLB: true},
+		{LB: 1, UB: 5, HasLB: true, HasUB: true},
+		{LB: 1, UB: 3, HasLB: true, HasUB: true},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event[%d] = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+	if snap := b.Snapshot(); snap != (BoundsEvent{LB: 1, UB: 3, HasLB: true, HasUB: true}) {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	var nilB *Bounds
+	nilB.SetObserver(func(BoundsEvent) {}) // nil-safe, like every Bounds method
+	if snap := nilB.Snapshot(); snap != (BoundsEvent{}) {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestBoundsObserverConcurrentMonotoneFold(t *testing.T) {
+	// Callbacks may be delivered out of order under concurrent publishes,
+	// but a receiver folding them into best-seen bounds observes a monotone
+	// stream; the final fold must equal the final bounds.
+	b := NewBounds()
+	var mu sync.Mutex
+	best := BoundsEvent{}
+	b.SetObserver(func(e BoundsEvent) {
+		mu.Lock()
+		if e.HasLB && (!best.HasLB || e.LB > best.LB) {
+			best.LB, best.HasLB = e.LB, true
+		}
+		if e.HasUB && (!best.HasUB || e.UB < best.UB) {
+			best.UB, best.HasUB = e.UB, true
+		}
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 50 {
+				b.PublishLB(cnf.Weight(i - 40))
+				b.PublishUB(cnf.Weight(100-i+g), cnf.Assignment{true})
+			}
+		}()
+	}
+	wg.Wait()
+	if !best.HasLB || !best.HasUB || best.LB != 9 || best.UB != 51 {
+		t.Fatalf("folded bounds = %+v, want lb=9 ub=51", best)
+	}
+}

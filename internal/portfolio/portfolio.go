@@ -82,6 +82,17 @@ func WeightedMembers() []Spec {
 	}
 }
 
+// LineupSize returns the size of the default line-up raced for the given
+// instance kind — the worker-slot demand a full portfolio run places on the
+// serving layer's global budget (the WalkSAT seeder is not counted: it is
+// flip-bounded and exits in milliseconds).
+func LineupSize(weighted bool) int {
+	if weighted {
+		return len(WeightedMembers())
+	}
+	return len(DefaultMembers())
+}
+
 // Engine races portfolio members under a shared bound. It implements
 // opt.Solver, so a portfolio can run anywhere a single algorithm can —
 // including the experiment harness, where it appears as one more row.

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+
+	"repro/internal/opt"
+)
+
+// lru is the verified-result cache: formulaKey → proved verdict, with
+// least-recently-used eviction. Only StatusOptimal results whose model
+// verified against the submitted formula, and StatusUnsat verdicts, are
+// stored (see Server.finish); StatusUnknown results depend on the submission's
+// resource budget and are never cached.
+type lru struct {
+	cap int
+	ll  *list.List
+	m   map[formulaKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  formulaKey
+	res  opt.Result
+	meta any
+}
+
+func newLRU(capacity int) *lru {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lru{cap: capacity, ll: list.New(), m: make(map[formulaKey]*list.Element)}
+}
+
+func (c *lru) len() int {
+	if c == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// get returns the cached result for k, copying the model so callers can
+// never alias (and a later eviction can never disturb) the cached witness.
+func (c *lru) get(k formulaKey) (opt.Result, any, bool) {
+	if c == nil {
+		return opt.Result{}, nil, false
+	}
+	el, ok := c.m[k]
+	if !ok {
+		return opt.Result{}, nil, false
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	res := e.res
+	if res.Model != nil {
+		res.Model = append(res.Model[:0:0], res.Model...)
+	}
+	return res, e.meta, true
+}
+
+// add stores a verified result, copying the model: the same Result value is
+// handed to the job's waiters, and a caller mutating its Model in place must
+// not be able to corrupt the cached witness (which would turn every future
+// hit into a failed verification).
+func (c *lru) add(k formulaKey, res opt.Result, meta any) {
+	if c == nil {
+		return
+	}
+	if res.Model != nil {
+		res.Model = append(res.Model[:0:0], res.Model...)
+	}
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.res, e.meta = res, meta
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, res: res, meta: meta})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		delete(c.m, last.Value.(*cacheEntry).key)
+		c.ll.Remove(last)
+	}
+}

@@ -1,0 +1,620 @@
+// Package serve is the solving-as-a-service layer: it admits MaxSAT jobs,
+// schedules them on a bounded worker pool, deduplicates identical in-flight
+// submissions, caches verified results keyed by a canonical formula
+// fingerprint, and streams anytime bound improvements to subscribers.
+//
+// The layer sits above the optimizer contract of internal/opt and below the
+// public maxsat.Server / cmd/maxsatd surfaces. It is deliberately ignorant
+// of algorithms: a submission carries the formula plus a SolveFunc closure
+// built by the caller, so the layer composes with every optimizer — and
+// every future optimizer — without knowing their names.
+//
+// Scheduling: the pool's budget is counted in worker slots. A sequential job
+// occupies one slot; a portfolio job declares how many members it will race
+// (JobSpec.Slots) and occupies that many, clamped to the pool's capacity —
+// the granted slot count is handed back to the SolveFunc so the portfolio
+// races exactly that many members. Slots are acquired FIFO after a job is
+// admitted and released when its solve returns, so N jobs × M members can
+// never oversubscribe the machine.
+//
+// Caching: a verified OPTIMAL verdict (model re-checked against the
+// submitted formula) or an UNSATISFIABLE verdict is a fact about the formula
+// alone, independent of which algorithm proved it or what resource budget it
+// ran under. The cache therefore keys on the canonical formula fingerprint
+// only, so a resubmission under different options still hits. UNKNOWN
+// results — budget-dependent — are never cached.
+//
+// Coalescing: an identical submission (same formula and same canonical
+// options) arriving while the first is still queued or running attaches to
+// the running job instead of spawning a duplicate; every attached handle
+// gets the same result and its own cancellation vote. The job is abandoned
+// only when every handle has cancelled.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/opt"
+)
+
+// SolveFunc runs one optimization. The serving layer calls it with the
+// formula snapshot taken at Submit time, a fresh bounds channel it observes
+// for anytime streaming (always non-nil), and the number of worker slots the
+// job was granted (≥ 1; a portfolio should race exactly that many members).
+type SolveFunc func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result
+
+// JobSpec describes one submission.
+type JobSpec struct {
+	// Formula is the instance to solve. The server snapshots (clones) it at
+	// Submit time, so the caller may reuse or mutate its copy afterwards.
+	Formula *cnf.WCNF
+	// OptsKey is the canonical identity of the solve options, used to
+	// coalesce identical in-flight submissions. Submissions with equal
+	// formulas but different OptsKeys run separately.
+	OptsKey string
+	// Slots is the worker-slot demand (portfolio parallelism); values < 1
+	// are treated as 1 and values above the pool capacity are clamped to it.
+	Slots int
+	// Timeout bounds the solve, measured from the moment the job starts
+	// running (queue time does not count); 0 falls back to
+	// Config.DefaultTimeout, and a negative value means unbounded even when
+	// a default is configured.
+	Timeout time.Duration
+	// Meta is opaque caller data carried into Result.Meta (the maxsat layer
+	// stores the resolved algorithm name there).
+	Meta any
+	// Solve runs the optimization.
+	Solve SolveFunc
+}
+
+// Config configures a Server. The zero value is usable: one slot per CPU-ish
+// default is not assumed — Workers ≤ 0 falls back to 1 — so callers should
+// set Workers explicitly.
+type Config struct {
+	// Workers is the global worker-slot budget; ≤ 0 means 1.
+	Workers int
+	// QueueDepth caps the number of jobs queued or running at once; further
+	// submissions fail with ErrQueueFull. ≤ 0 means unbounded.
+	QueueDepth int
+	// CacheEntries bounds the verified-result LRU cache; 0 means 256,
+	// negative disables caching.
+	CacheEntries int
+	// DefaultTimeout applies to jobs that do not set their own; 0 means
+	// unbounded.
+	DefaultTimeout time.Duration
+	// RetainDone bounds how many completed jobs stay addressable by ID
+	// (for poll-style clients); 0 means 1024, negative retains none beyond
+	// their live handles.
+	RetainDone int
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	Workers     int   `json:"workers"`
+	WorkersBusy int   `json:"workers_busy"`
+	Queued      int   `json:"queued"`
+	Running     int   `json:"running"`
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Cancelled   int64 `json:"cancelled"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Coalesced   int64 `json:"coalesced"`
+	CacheSize   int   `json:"cache_size"`
+}
+
+// State is a job's lifecycle phase.
+type State int8
+
+// Job states.
+const (
+	// Queued: admitted, waiting for worker slots.
+	Queued State = iota
+	// Running: occupying worker slots, solve in progress.
+	Running
+	// Done: result available (solved, cancelled, or served from cache).
+	Done
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	default:
+		return "done"
+	}
+}
+
+// Result is a completed job's outcome.
+type Result struct {
+	opt.Result
+	// Meta echoes JobSpec.Meta — for a cache hit, the Meta of the submission
+	// that originally proved the result.
+	Meta any
+	// Cached reports that the result was served from the verified-result
+	// cache instead of a fresh solve.
+	Cached bool
+	// Err is non-nil when the job failed outright (solver panic); Status is
+	// then StatusUnknown.
+	Err error
+}
+
+// Event is a bound-improvement notification (see opt.BoundsEvent).
+type Event = opt.BoundsEvent
+
+// Errors returned by Submit.
+var (
+	ErrClosed    = errors.New("serve: server is closed")
+	ErrQueueFull = errors.New("serve: job queue is full")
+	ErrBadSpec   = errors.New("serve: job spec needs a formula and a solve function")
+)
+
+// Server is the solving service. Create one with New, submit with Submit,
+// shut down with Close.
+type Server struct {
+	cfg     Config
+	sem     *sema
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	inflight  map[jobKey]*job
+	jobs      map[uint64]*job
+	doneOrder []uint64
+	cache     *lru
+	nextID    uint64
+	queued    int
+	running   int
+	stats     Stats
+}
+
+// New returns a running server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.RetainDone == 0 {
+		cfg.RetainDone = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		sem:      newSema(cfg.Workers),
+		baseCtx:  ctx,
+		stop:     cancel,
+		inflight: make(map[jobKey]*job),
+		jobs:     make(map[uint64]*job),
+		cache:    newLRU(cfg.CacheEntries),
+	}
+}
+
+// job is the shared state behind every handle of one (possibly coalesced)
+// submission.
+type job struct {
+	id     uint64
+	key    jobKey
+	w      *cnf.WCNF
+	spec   JobSpec
+	slots  int
+	bounds *opt.Bounds
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	st   State
+	best Event
+	subs []chan Event
+	res  Result
+	refs int
+	done chan struct{}
+}
+
+// Handle is one caller's view of a job. Handles from coalesced submissions
+// share the underlying job but cancel independently.
+type Handle struct {
+	s    *Server
+	j    *job
+	once sync.Once
+}
+
+// Submit admits one job. It returns immediately: with a Done handle on a
+// cache hit, with a handle attached to an existing identical in-flight job
+// (coalesced), or with a handle on a freshly queued job.
+func (s *Server) Submit(spec JobSpec) (*Handle, error) {
+	if spec.Formula == nil || spec.Solve == nil {
+		return nil, ErrBadSpec
+	}
+	fkey := keyFor(spec.Formula)
+	key := jobKey{formulaKey: fkey, opts: spec.OptsKey}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.stats.Submitted++
+
+	// Cache first: a verified verdict answers any submission of the formula.
+	if res, meta, ok := s.cache.get(fkey); ok {
+		// Defeat fingerprint collisions: a cached model must verify against
+		// the formula actually submitted. UNSAT verdicts carry no model; the
+		// shape fields of formulaKey are their only collision guard. The
+		// verification is O(formula), so it runs outside the server lock —
+		// the entry is already a private copy (lru.get copies the model).
+		s.mu.Unlock()
+		if res.Model == nil || opt.VerifyModel(spec.Formula, res) {
+			s.mu.Lock()
+			s.stats.CacheHits++
+			h := s.doneJobLocked(key, Result{Result: res, Meta: meta, Cached: true})
+			s.mu.Unlock()
+			return h, nil
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+	}
+	s.stats.CacheMisses++
+
+	// Coalesce onto an identical in-flight job.
+	if j, ok := s.inflight[key]; ok {
+		j.mu.Lock()
+		j.refs++
+		j.mu.Unlock()
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		return &Handle{s: s, j: j}, nil
+	}
+
+	if s.cfg.QueueDepth > 0 && s.queued+s.running >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+
+	slots := spec.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > s.cfg.Workers {
+		slots = s.cfg.Workers
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	s.nextID++
+	j := &job{
+		id:     s.nextID,
+		key:    key,
+		spec:   spec,
+		slots:  slots,
+		bounds: opt.NewBounds(),
+		cancel: cancel,
+		refs:   1,
+		done:   make(chan struct{}),
+	}
+	j.bounds.SetObserver(j.emit)
+	s.inflight[key] = j
+	s.jobs[j.id] = j
+	s.queued++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	// The formula snapshot is O(formula), so it is taken outside the server
+	// lock. Safe unpublished: only the run goroutine (started below, so the
+	// write happens-before its reads) ever touches j.w — coalesced handles
+	// and pollers never do.
+	j.w = spec.Formula.Clone()
+	go s.run(ctx, j)
+	return &Handle{s: s, j: j}, nil
+}
+
+// doneJobLocked registers an already-completed job (cache hit) so that
+// poll-style clients can still address it by ID. Caller holds s.mu.
+func (s *Server) doneJobLocked(key jobKey, res Result) *Handle {
+	s.nextID++
+	j := &job{
+		id:   s.nextID,
+		key:  key,
+		st:   Done,
+		res:  res,
+		done: make(chan struct{}),
+	}
+	if res.Status == opt.StatusOptimal {
+		j.best = Event{LB: res.Cost, UB: res.Cost, HasLB: true, HasUB: true}
+	}
+	close(j.done)
+	s.jobs[j.id] = j
+	s.retainLocked(j.id)
+	return &Handle{s: s, j: j}
+}
+
+// run executes one job: acquire slots, solve under the per-job deadline,
+// verify, cache, publish.
+func (s *Server) run(ctx context.Context, j *job) {
+	defer s.wg.Done()
+	// Release the job's cancel context on every exit path: without this,
+	// each completed job would stay registered as a child of baseCtx for
+	// the server's lifetime (cancel funcs are idempotent, so a handle's
+	// Cancel racing this is fine).
+	defer j.cancel()
+	if err := s.sem.acquire(ctx, j.slots); err != nil {
+		s.finish(j, Result{Result: opt.Result{Status: opt.StatusUnknown, Cost: -1}}, true)
+		return
+	}
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.mu.Unlock()
+	j.mu.Lock()
+	j.st = Running
+	j.mu.Unlock()
+
+	timeout := j.spec.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	runCtx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res, err := s.solve(runCtx, j)
+	s.sem.release(j.slots)
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+	s.finish(j, Result{Result: res, Meta: j.spec.Meta, Err: err}, ctx.Err() != nil)
+}
+
+// solve invokes the job's SolveFunc, converting a solver panic into a failed
+// result so one poisoned job cannot take the whole service down.
+func (s *Server) solve(ctx context.Context, j *job) (res opt.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = opt.Result{Status: opt.StatusUnknown, Cost: -1}
+			err = fmt.Errorf("serve: solver panic: %v", p)
+		}
+	}()
+	return j.spec.Solve(ctx, j.w, j.bounds, j.slots), nil
+}
+
+// finish completes a job: caches a verified verdict, emits the closing bound
+// event, publishes the result, and wakes every waiter and subscriber.
+func (s *Server) finish(j *job, res Result, cancelled bool) {
+	// The O(formula) model verification runs before the server lock is
+	// taken; only verified verdicts are cacheable.
+	cacheable := res.Err == nil &&
+		(res.Status == opt.StatusUnsat ||
+			(res.Status == opt.StatusOptimal && opt.VerifyModel(j.w, res.Result)))
+
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	if j.state() == Queued {
+		s.queued--
+	}
+	if cancelled && res.Err == nil && res.Status == opt.StatusUnknown {
+		s.stats.Cancelled++
+	} else {
+		s.stats.Completed++
+	}
+	if cacheable {
+		s.cache.add(j.key.formulaKey, res.Result, res.Meta)
+	}
+	s.stats.CacheSize = s.cache.len()
+	s.retainLocked(j.id)
+	s.mu.Unlock()
+
+	// A proved optimum closes the bounds; make sure subscribers see the
+	// closing improvement even if the winning publish bypassed the shared
+	// bounds (fast solo solves return without publishing).
+	if res.Status == opt.StatusOptimal {
+		j.emit(Event{LB: res.Cost, UB: res.Cost, HasLB: true, HasUB: true})
+	}
+	j.mu.Lock()
+	j.st = Done
+	j.res = res
+	subs := j.subs
+	j.subs = nil
+	j.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	close(j.done)
+}
+
+// retainLocked evicts completed jobs beyond the retention bound from the
+// by-ID map. Caller holds s.mu.
+func (s *Server) retainLocked(id uint64) {
+	if s.cfg.RetainDone < 0 {
+		delete(s.jobs, id)
+		return
+	}
+	s.doneOrder = append(s.doneOrder, id)
+	for len(s.doneOrder) > s.cfg.RetainDone {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// Job returns a handle for an admitted job by ID. Completed jobs stay
+// addressable until evicted by the Config.RetainDone bound. The returned
+// handle carries no cancellation vote (Cancel on it is a no-op).
+func (s *Server) Job(id uint64) (*Handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	h := &Handle{s: s, j: j}
+	h.once.Do(func() {}) // spend the cancellation vote: lookups don't own one
+	return h, true
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Workers = s.cfg.Workers
+	st.WorkersBusy = s.sem.busy()
+	st.Queued = s.queued
+	st.Running = s.running
+	st.CacheSize = s.cache.len()
+	return st
+}
+
+// Close cancels every queued and running job and waits for them to finish.
+// Subsequent Submits fail with ErrClosed; existing handles keep working.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// ---- job internals ----
+
+func (j *job) state() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st
+}
+
+// emit folds a bounds snapshot into the job's best-seen bounds and fans the
+// improvement out to every subscriber. Observer callbacks may arrive out of
+// order under concurrent publishes; the fold keeps the outgoing stream
+// monotone (LB never falls, UB never rises).
+func (j *job) emit(e Event) {
+	j.mu.Lock()
+	improved := false
+	if e.HasLB && (!j.best.HasLB || e.LB > j.best.LB) {
+		j.best.LB, j.best.HasLB = e.LB, true
+		improved = true
+	}
+	if e.HasUB && (!j.best.HasUB || e.UB < j.best.UB) {
+		j.best.UB, j.best.HasUB = e.UB, true
+		improved = true
+	}
+	if improved {
+		snap := j.best
+		for _, ch := range j.subs {
+			pushConflate(ch, snap)
+		}
+	}
+	j.mu.Unlock()
+}
+
+// pushConflate delivers e without ever blocking the publisher: when the
+// subscriber's buffer is full the oldest pending event is dropped — bound
+// events are cumulative snapshots, so the newest one supersedes everything
+// it displaced.
+func pushConflate(ch chan Event, e Event) {
+	for {
+		select {
+		case ch <- e:
+			return
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+	}
+}
+
+// ---- Handle ----
+
+// ID returns the server-assigned job ID.
+func (h *Handle) ID() uint64 { return h.j.id }
+
+// Done returns a channel closed when the job completes.
+func (h *Handle) Done() <-chan struct{} { return h.j.done }
+
+// State returns the job's current phase and its best-seen bounds.
+func (h *Handle) State() (State, Event) {
+	h.j.mu.Lock()
+	defer h.j.mu.Unlock()
+	return h.j.st, h.j.best
+}
+
+// Wait blocks until the job completes or ctx is cancelled. A ctx error
+// abandons only this wait — the job keeps running (use Cancel to withdraw).
+func (h *Handle) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-h.j.done:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	h.j.mu.Lock()
+	defer h.j.mu.Unlock()
+	return h.j.res, nil
+}
+
+// Result returns the outcome if the job has completed.
+func (h *Handle) Result() (Result, bool) {
+	select {
+	case <-h.j.done:
+	default:
+		return Result{}, false
+	}
+	h.j.mu.Lock()
+	defer h.j.mu.Unlock()
+	return h.j.res, true
+}
+
+// Cancel withdraws this handle's interest in the job. The underlying solve
+// is cancelled only when every coalesced handle has cancelled (each handle
+// holds one vote; Cancel is idempotent per handle).
+func (h *Handle) Cancel() {
+	h.once.Do(func() {
+		h.j.mu.Lock()
+		h.j.refs--
+		last := h.j.refs == 0 && h.j.st != Done
+		h.j.mu.Unlock()
+		if last && h.j.cancel != nil {
+			h.j.cancel()
+		}
+	})
+}
+
+// Subscribe returns a channel of monotone bound improvements: the current
+// best bounds are replayed as the first event (when any exist), every later
+// improvement follows, and the channel is closed when the job completes. A
+// slow consumer never blocks the solvers — intermediate events conflate,
+// keeping only the newest snapshot.
+func (h *Handle) Subscribe() <-chan Event {
+	ch := make(chan Event, 16)
+	h.j.mu.Lock()
+	if h.j.best.HasLB || h.j.best.HasUB {
+		ch <- h.j.best
+	}
+	if h.j.st == Done {
+		close(ch)
+	} else {
+		h.j.subs = append(h.j.subs, ch)
+	}
+	h.j.mu.Unlock()
+	return ch
+}

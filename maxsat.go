@@ -25,6 +25,15 @@
 // AlgoPortfolio races a line-up of the algorithms in parallel goroutines
 // with shared bound exchange (Options.Parallelism caps the racers); use
 // SolveContext for external cancellation and deadlines.
+//
+// # Serving
+//
+// Beyond the one-shot Solve entry points, Server runs the same stack as a
+// service: jobs on a bounded worker pool with per-job deadlines, identical
+// in-flight submissions deduplicated, verified results cached by a
+// canonical formula fingerprint, and anytime bound improvements streamed
+// through Job.Updates. cmd/maxsatd exposes a Server over HTTP. See
+// ARCHITECTURE.md for how the layers fit together.
 package maxsat
 
 import (
@@ -213,6 +222,10 @@ type Result struct {
 	// Sharing is a human-readable per-member breakdown of that traffic,
 	// including the winner's import hit rate; empty without sharing.
 	Sharing string
+	// Cached reports that the result was served from a Server's
+	// verified-result cache instead of a fresh solve; always false for the
+	// direct Solve entry points.
+	Cached bool
 	// Iterations, SatCalls, UnsatCalls, Conflicts and Elapsed expose the
 	// algorithm's work profile. For AlgoPortfolio they aggregate over every
 	// raced member.

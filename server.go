@@ -1,0 +1,238 @@
+package maxsat
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/opt"
+	"repro/internal/portfolio"
+	"repro/internal/serve"
+)
+
+// Server is the embeddable solving service: a bounded worker pool with
+// per-job deadlines and cancellation, deduplication of identical in-flight
+// submissions, a verified-result cache keyed by a canonical formula
+// fingerprint, and anytime bound streaming. cmd/maxsatd exposes the same
+// service over HTTP.
+//
+// Submit admits a job and returns immediately with a *Job handle; Wait
+// blocks for the result, Updates streams bound improvements while the solve
+// runs, Cancel withdraws the submission. A resubmission of a formula whose
+// optimum the server has already proved — under any options — is answered
+// from the cache without solving (observable in Stats); an identical
+// submission arriving while the first is still in flight attaches to the
+// running job instead of duplicating the work.
+//
+// Worker accounting: a sequential job occupies one worker slot; an
+// AlgoPortfolio job occupies one slot per racing member (Options.Parallelism,
+// or the full line-up size), clamped to the pool budget — the portfolio then
+// races exactly the members it was granted, so concurrent portfolio jobs
+// cannot oversubscribe the machine.
+type Server struct {
+	s *serve.Server
+}
+
+// ServerConfig configures a Server. The zero value gives a single-worker
+// pool with a 256-entry cache and no default deadline.
+type ServerConfig struct {
+	// Workers is the global worker-slot budget shared by all jobs; ≤ 0
+	// means 1. Size it to the machine (e.g. runtime.NumCPU()).
+	Workers int
+	// QueueDepth caps jobs admitted but not yet finished; further Submits
+	// fail. ≤ 0 means unbounded.
+	QueueDepth int
+	// CacheEntries bounds the verified-result cache; 0 means 256, negative
+	// disables caching.
+	CacheEntries int
+	// DefaultTimeout applies to jobs whose Options.Timeout is zero; 0 means
+	// unbounded.
+	DefaultTimeout time.Duration
+}
+
+// Server admission errors.
+var (
+	// ErrServerClosed is returned by Submit after Close.
+	ErrServerClosed = serve.ErrClosed
+	// ErrServerQueueFull is returned by Submit when ServerConfig.QueueDepth
+	// jobs are already admitted and unfinished.
+	ErrServerQueueFull = serve.ErrQueueFull
+)
+
+// BoundUpdate is one anytime bound improvement streamed by Job.Updates: the
+// best proved lower bound and best known upper bound so far. For a job that
+// ends Optimal the final update has LB == UB == the optimum.
+type BoundUpdate = opt.BoundsEvent
+
+// JobState is a job's lifecycle phase: JobQueued, JobRunning or JobDone.
+type JobState = serve.State
+
+// Job states.
+const (
+	JobQueued  JobState = serve.Queued
+	JobRunning JobState = serve.Running
+	JobDone    JobState = serve.Done
+)
+
+// NewServer starts a solving service. Close it to cancel outstanding jobs
+// and release its workers.
+func NewServer(cfg ServerConfig) *Server {
+	return &Server{s: serve.New(serve.Config{
+		Workers:        cfg.Workers,
+		QueueDepth:     cfg.QueueDepth,
+		CacheEntries:   cfg.CacheEntries,
+		DefaultTimeout: cfg.DefaultTimeout,
+	})}
+}
+
+// Job is a handle on one submission. Handles returned for coalesced
+// submissions share the underlying work but cancel independently: the solve
+// stops only when every handle has cancelled.
+type Job struct {
+	h    *serve.Handle
+	algo Algorithm
+}
+
+// Submit admits w for solving under o and returns immediately. The formula
+// is snapshotted at submission, so the caller may mutate w afterwards.
+// Options.Timeout bounds the solve from the moment it starts running (queue
+// time does not count); ServerConfig.DefaultTimeout applies when it is zero.
+// Submit fails fast on the errors Solve would return (unknown algorithm,
+// ErrWeighted) and on a full queue or closed server.
+func (s *Server) Submit(w *WCNF, o Options) (*Job, error) {
+	// Validate exactly like Solve would, and resolve AlgoAuto so that an
+	// explicit and an automatic submission of the same instance coalesce.
+	_, algo, err := buildSolver(w, o)
+	if err != nil {
+		return nil, err
+	}
+	o.Algorithm = algo
+	slots := 1
+	if algo == AlgoPortfolio {
+		if slots = o.Parallelism; slots <= 0 {
+			slots = portfolio.LineupSize(w.Weighted())
+		}
+		// Canonicalize for coalescing, like AlgoAuto above: Parallelism 0
+		// and an explicit full-line-up request describe identical work.
+		o.Parallelism = slots
+	}
+	timeout := o.Timeout
+	o.Timeout = 0 // the serving layer owns the deadline
+	h, err := s.s.Submit(serve.JobSpec{
+		Formula: w,
+		OptsKey: optsKey(o, timeout),
+		Slots:   slots,
+		Timeout: timeout,
+		Meta:    algo,
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, granted int) opt.Result {
+			ro := o
+			if algo == AlgoPortfolio {
+				ro.Parallelism = granted
+			}
+			solver, _, err := buildSolver(w, ro)
+			if err != nil {
+				// Unreachable: the spec was validated above on the same
+				// formula and options.
+				return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+			}
+			return solver.Solve(ctx, w, shared)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Job{h: h, algo: algo}, nil
+}
+
+// optsKey canonicalizes the options for in-flight coalescing. Every field
+// that changes what the job computes or how long it may run participates.
+func optsKey(o Options, timeout time.Duration) string {
+	return fmt.Sprintf("alg=%s enc=%s conf=%d skip=%t pre=%t par=%d share=%t to=%s",
+		o.Algorithm, o.Encoding, o.MaxConflictsPerCall, o.SkipAtLeast1,
+		o.Preprocess, o.Parallelism, o.ShareClauses, timeout)
+}
+
+// Job returns the handle for a previously submitted job by ID (completed
+// jobs stay addressable for a bounded time). The returned handle carries no
+// cancellation vote.
+func (s *Server) Job(id uint64) (*Job, bool) {
+	h, ok := s.s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	j := &Job{h: h}
+	if r, done := h.Result(); done {
+		if a, ok := r.Meta.(Algorithm); ok {
+			j.algo = a
+		}
+	}
+	return j, true
+}
+
+// ServerStats is a snapshot of the service counters: worker occupancy, queue
+// depth, submission/completion totals, and cache hit/miss/coalesce traffic.
+type ServerStats = serve.Stats
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() ServerStats { return s.s.Stats() }
+
+// Close cancels every queued and running job and waits for their goroutines
+// to exit. Outstanding handles remain usable (their jobs complete with
+// Status Unknown); subsequent Submits fail.
+func (s *Server) Close() { s.s.Close() }
+
+// ID returns the server-assigned job ID (stable across polls, used by the
+// HTTP daemon's /jobs/{id} endpoint).
+func (j *Job) ID() uint64 { return j.h.ID() }
+
+// Done returns a channel closed when the job completes.
+func (j *Job) Done() <-chan struct{} { return j.h.Done() }
+
+// State returns the job's phase and its best-seen bounds so far.
+func (j *Job) State() (JobState, BoundUpdate) { return j.h.State() }
+
+// Wait blocks until the job completes or ctx is cancelled. A ctx error
+// abandons only this Wait — the job keeps running; use Cancel to withdraw
+// the submission itself.
+func (j *Job) Wait(ctx context.Context) (Result, error) {
+	r, err := j.h.Wait(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return j.publicResult(r), nil
+}
+
+// Result returns the outcome if the job has already completed.
+func (j *Job) Result() (Result, bool) {
+	r, done := j.h.Result()
+	if !done {
+		return Result{}, false
+	}
+	return j.publicResult(r), true
+}
+
+func (j *Job) publicResult(r serve.Result) Result {
+	if r.Err != nil {
+		return Result{Status: Unknown, Cost: -1, Algorithm: j.algo}
+	}
+	algo := j.algo
+	if a, ok := r.Meta.(Algorithm); ok {
+		algo = a
+	}
+	out := fromInternal(r.Result, algo)
+	out.Cached = r.Cached
+	return out
+}
+
+// Cancel withdraws this handle's interest in the job; the underlying solve
+// is cancelled once every coalesced handle has cancelled. The job still
+// completes (with the best bounds proved so far) and Wait still returns.
+func (j *Job) Cancel() { j.h.Cancel() }
+
+// Updates returns a stream of anytime bound improvements: the best bounds so
+// far are replayed as the first update, every later improvement follows, and
+// the channel closes when the job completes. The stream is monotone (LB
+// never falls, UB never rises) and conflates under a slow reader — only
+// intermediate updates are dropped, never the most recent one.
+func (j *Job) Updates() <-chan BoundUpdate { return j.h.Subscribe() }

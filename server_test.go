@@ -1,0 +1,211 @@
+package maxsat
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestServerDifferential submits a spread of instances through the service
+// layer and checks every result against the direct SolveFormula path — the
+// cache, coalescing and pool machinery must never change an answer.
+func TestServerDifferential(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 2})
+	defer s.Close()
+	instances := []gen.Instance{
+		gen.Pigeonhole(4),
+		gen.RandomKSAT(7, 14, 3, 5.5),
+		gen.EquivMiter(6),
+		gen.Coloring(3, 8, 18, 2),
+	}
+	for _, inst := range instances {
+		direct, err := Solve(inst.W, Options{})
+		if err != nil {
+			t.Fatalf("%s direct: %v", inst.Name, err)
+		}
+		job, err := s.Submit(inst.W, Options{})
+		if err != nil {
+			t.Fatalf("%s submit: %v", inst.Name, err)
+		}
+		res, err := job.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("%s wait: %v", inst.Name, err)
+		}
+		if res.Status != Optimal || res.Cost != direct.Cost {
+			t.Errorf("%s: served %v cost %d, direct cost %d",
+				inst.Name, res.Status, res.Cost, direct.Cost)
+		}
+		if res.Cached {
+			t.Errorf("%s: first submission claims a cache hit", inst.Name)
+		}
+		// Resubmission — different algorithm, same formula — is served from
+		// the verified-result cache with the same optimum.
+		again, err := s.Submit(inst.W, Options{Algorithm: AlgoPortfolio, Parallelism: 2})
+		if err != nil {
+			t.Fatalf("%s resubmit: %v", inst.Name, err)
+		}
+		res2, err := again.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("%s rewait: %v", inst.Name, err)
+		}
+		if !res2.Cached || res2.Cost != direct.Cost {
+			t.Errorf("%s: resubmission cached=%v cost=%d, want cached cost %d",
+				inst.Name, res2.Cached, res2.Cost, direct.Cost)
+		}
+	}
+	st := s.Stats()
+	if st.CacheHits != int64(len(instances)) {
+		t.Errorf("CacheHits = %d, want %d", st.CacheHits, len(instances))
+	}
+}
+
+// TestServerWeighted covers the weighted-partial path end to end.
+func TestServerWeighted(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 1})
+	defer s.Close()
+	w := NewWCNF(2)
+	w.AddHard(FromDIMACS(1), FromDIMACS(2))
+	w.AddSoft(3, FromDIMACS(-1))
+	w.AddSoft(1, FromDIMACS(-2))
+	job, err := s.Submit(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || res.Cost != 1 {
+		t.Fatalf("weighted result %v cost %d, want Optimal cost 1", res.Status, res.Cost)
+	}
+	// A unit-weight-only algorithm is rejected at Submit, like at Solve.
+	if _, err := s.Submit(w, Options{Algorithm: AlgoMSU4V2}); err != ErrWeighted {
+		t.Fatalf("weighted msu4 submit: %v, want ErrWeighted", err)
+	}
+}
+
+// TestServerUpdatesMonotone streams bound improvements for a real solve and
+// checks monotonicity plus the closing lb == ub == optimum event.
+func TestServerUpdatesMonotone(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 2})
+	defer s.Close()
+	inst := gen.Pigeonhole(6)
+	job, err := s.Submit(inst.W, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []BoundUpdate
+	for e := range job.Updates() {
+		events = append(events, e)
+	}
+	if len(events) == 0 {
+		t.Fatal("no bound updates streamed")
+	}
+	for i := 1; i < len(events); i++ {
+		prev, cur := events[i-1], events[i]
+		if prev.HasLB && cur.HasLB && cur.LB < prev.LB {
+			t.Fatalf("LB fell: %+v after %+v", cur, prev)
+		}
+		if prev.HasUB && cur.HasUB && cur.UB > prev.UB {
+			t.Fatalf("UB rose: %+v after %+v", cur, prev)
+		}
+	}
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if !last.HasLB || !last.HasUB || last.LB != res.Cost || last.UB != res.Cost {
+		t.Fatalf("closing event %+v, want lb=ub=%d", last, res.Cost)
+	}
+}
+
+// TestServerCancelNoGoroutineLeak cancels running and queued jobs (including
+// a portfolio job) and then closes the server; every solver goroutine must
+// exit. Run under -race this also exercises the exchange teardown.
+func TestServerCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := NewServer(ServerConfig{Workers: 2})
+	inst := gen.Pigeonhole(20) // far too hard to finish: cancellation does the work
+	var jobs []*Job
+	for _, o := range []Options{
+		{},
+		{Algorithm: AlgoPortfolio, Parallelism: 4, ShareClauses: true},
+		{Algorithm: AlgoBnB},
+	} {
+		job, err := s.Submit(inst.W, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	time.Sleep(50 * time.Millisecond) // let the pool start what it can
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	for _, j := range jobs {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatalf("cancelled job never completed: %v", err)
+		}
+		cancel()
+	}
+	s.Close()
+	// Goroutine counts settle asynchronously; poll with a deadline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerPortfolioSlots proves the oversubscription guard: a portfolio
+// job asking for more members than the pool has slots races a truncated
+// line-up and still answers correctly.
+func TestServerPortfolioSlots(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 2})
+	defer s.Close()
+	inst := gen.Pigeonhole(4)
+	job, err := s.Submit(inst.W, Options{Algorithm: AlgoPortfolio, Parallelism: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || res.Cost != inst.KnownCost {
+		t.Fatalf("clamped portfolio: %v cost %d, want Optimal cost %d",
+			res.Status, res.Cost, inst.KnownCost)
+	}
+}
+
+// TestServerTimeoutUnknown bounds a hopeless job and checks the deadline
+// produces Unknown instead of hanging.
+func TestServerTimeoutUnknown(t *testing.T) {
+	s := NewServer(ServerConfig{Workers: 1, DefaultTimeout: 50 * time.Millisecond})
+	defer s.Close()
+	inst := gen.Pigeonhole(20)
+	job, err := s.Submit(inst.W, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := job.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("status %v, want Unknown at the deadline", res.Status)
+	}
+}
