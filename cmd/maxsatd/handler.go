@@ -1,15 +1,30 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
 )
+
+// daemonOpts is the handler-level configuration (request-size, timeout and
+// memory ceilings, plus the bearer-token table).
+type daemonOpts struct {
+	maxBody    int64
+	maxTimeout time.Duration
+	defaultMem int64             // per-job clause-storage budget when the client asks for none
+	maxMem     int64             // hard ceiling on client-requested budgets (0 = no cap)
+	tokens     map[string]string // bearer secret → client name; empty = auth off
+}
 
 // daemon wires a maxsat.Server to the HTTP API:
 //
@@ -17,22 +32,79 @@ import (
 //	GET  /jobs/{id}        poll a job; ?sse=1 (or Accept: text/event-stream)
 //	                       streams anytime bounds, then the result
 //	GET  /stats            service counters
-//	GET  /healthz          liveness
+//	GET  /healthz          liveness (503 once draining)
+//
+// Every endpoint except /healthz passes through the auth middleware: with a
+// token table configured, requests need a valid Authorization: Bearer secret
+// and are accounted to the token's client name; without one, requests are
+// accounted per peer IP (so the per-client rate limits still bite).
 type daemon struct {
-	srv        *maxsat.Server
-	maxBody    int64
-	maxTimeout time.Duration
-	start      time.Time
+	srv      *maxsat.Server
+	opts     daemonOpts
+	draining atomic.Bool
+	start    time.Time
 }
 
-func newHandler(srv *maxsat.Server, maxBody int64, maxTimeout time.Duration) http.Handler {
-	d := &daemon{srv: srv, maxBody: maxBody, maxTimeout: maxTimeout, start: time.Now()}
+func newDaemon(srv *maxsat.Server, opts daemonOpts) *daemon {
+	return &daemon{srv: srv, opts: opts, start: time.Now()}
+}
+
+func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", d.solve)
 	mux.HandleFunc("GET /jobs/{id}", d.job)
 	mux.HandleFunc("GET /stats", d.stats)
 	mux.HandleFunc("GET /healthz", d.healthz)
-	return mux
+	return d.auth(mux)
+}
+
+// ctxKey keys the authenticated client name in the request context.
+type ctxKey int
+
+const clientKey ctxKey = 0
+
+// auth is the admission middleware: it resolves the client identity that the
+// serving layer's rate limits, quotas, and audit log are charged to. The
+// liveness probe is exempt — health checkers do not carry credentials.
+func (d *daemon) auth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		var client string
+		if len(d.opts.tokens) == 0 {
+			// Authentication off: account per peer address so one host
+			// cannot starve the rest even on an open server.
+			host, _, err := net.SplitHostPort(r.RemoteAddr)
+			if err != nil {
+				host = r.RemoteAddr
+			}
+			client = "ip:" + host
+		} else {
+			const prefix = "Bearer "
+			h := r.Header.Get("Authorization")
+			if !strings.HasPrefix(h, prefix) {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="maxsatd"`)
+				httpError(w, http.StatusUnauthorized, "missing bearer token")
+				return
+			}
+			name, ok := d.opts.tokens[strings.TrimSpace(strings.TrimPrefix(h, prefix))]
+			if !ok {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="maxsatd", error="invalid_token"`)
+				httpError(w, http.StatusUnauthorized, "invalid bearer token")
+				return
+			}
+			client = name
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), clientKey, client)))
+	})
+}
+
+// clientFrom returns the client identity the auth middleware resolved.
+func clientFrom(r *http.Request) string {
+	c, _ := r.Context().Value(clientKey).(string)
+	return c
 }
 
 // jobJSON is the poll/submit response shape.
@@ -112,26 +184,40 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 // travel as query parameters: alg, enc, jobs, share, pre, timeout, and
 // wait=1 to block until the result instead of returning the job handle.
 func (d *daemon) solve(w http.ResponseWriter, r *http.Request) {
-	opts, err := optionsFromQuery(r, d.maxTimeout)
+	opts, err := optionsFromQuery(r, d.opts)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, d.maxBody)
+	body := http.MaxBytesReader(w, r.Body, d.opts.maxBody)
 	formula, err := maxsat.ParseWCNF(body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
-	job, err := d.srv.Submit(formula, opts)
+	job, err := d.srv.SubmitAs(clientFrom(r), formula, opts)
 	if err != nil {
-		code := http.StatusBadRequest
-		if err == maxsat.ErrServerQueueFull {
-			code = http.StatusServiceUnavailable
-		} else if err == maxsat.ErrServerClosed {
-			code = http.StatusServiceUnavailable
+		switch {
+		case errors.Is(err, maxsat.ErrServerClosed):
+			// Draining or shut down: tell keep-alive clients to reconnect
+			// elsewhere, not to retry on this connection.
+			w.Header().Set("Connection", "close")
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, maxsat.ErrServerQueueFull),
+			errors.Is(err, maxsat.ErrServerRateLimited),
+			errors.Is(err, maxsat.ErrServerOverQuota):
+			// Shed, not failed: 429 plus the server's retry hint.
+			if after, ok := maxsat.RetryAfter(err); ok {
+				secs := int(math.Ceil(after.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		default:
+			httpError(w, http.StatusBadRequest, "%v", err)
 		}
-		httpError(w, code, "%v", err)
 		return
 	}
 	withModel := r.URL.Query().Get("model") != "0"
@@ -230,16 +316,25 @@ func (d *daemon) stats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	code := http.StatusOK
+	body := map[string]any{
 		"ok":         true,
 		"uptime_sec": time.Since(d.start).Seconds(),
-	})
+	}
+	if d.draining.Load() {
+		// Fail the liveness probe during drain so load balancers stop
+		// routing here while in-flight jobs run down.
+		code = http.StatusServiceUnavailable
+		body["ok"] = false
+		body["draining"] = true
+	}
+	writeJSON(w, code, body)
 }
 
 func isTrue(s string) bool { return s == "1" || s == "true" || s == "yes" }
 
 // optionsFromQuery maps the /solve query parameters onto maxsat.Options.
-func optionsFromQuery(r *http.Request, maxTimeout time.Duration) (maxsat.Options, error) {
+func optionsFromQuery(r *http.Request, d daemonOpts) (maxsat.Options, error) {
 	q := r.URL.Query()
 	o := maxsat.Options{
 		Algorithm:    maxsat.Algorithm(q.Get("alg")),
@@ -264,8 +359,23 @@ func optionsFromQuery(r *http.Request, maxTimeout time.Duration) (maxsat.Options
 	// Clamp only explicit requests; an unset timeout stays zero so the
 	// server's DefaultTimeout applies (main caps that default too, keeping
 	// -max-timeout a hard ceiling either way).
-	if maxTimeout > 0 && o.Timeout > maxTimeout {
-		o.Timeout = maxTimeout
+	if d.maxTimeout > 0 && o.Timeout > d.maxTimeout {
+		o.Timeout = d.maxTimeout
+	}
+	// mem is the per-job clause-storage budget in bytes; unset falls back to
+	// the daemon default, and -max-mem is a hard ceiling on both.
+	if v := q.Get("mem"); v != "" {
+		mem, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || mem < 0 {
+			return o, fmt.Errorf("bad mem %q", v)
+		}
+		o.MemoryBudget = mem
+	}
+	if o.MemoryBudget == 0 {
+		o.MemoryBudget = d.defaultMem
+	}
+	if d.maxMem > 0 && (o.MemoryBudget <= 0 || o.MemoryBudget > d.maxMem) {
+		o.MemoryBudget = d.maxMem
 	}
 	return o, nil
 }

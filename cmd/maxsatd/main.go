@@ -7,21 +7,39 @@
 //
 //	POST /solve        body: DIMACS .cnf or .wcnf instance.
 //	                   Query: alg, enc, jobs, share, pre, timeout (e.g. 30s),
-//	                   model=0 to omit the witness, wait=1 to block for the
-//	                   result. Returns the job as JSON (202, or 200 with
-//	                   wait=1); a formula whose optimum is already cached
-//	                   returns completed immediately.
+//	                   mem (clause-storage budget in bytes), model=0 to omit
+//	                   the witness, wait=1 to block for the result. Returns
+//	                   the job as JSON (202, or 200 with wait=1); a formula
+//	                   whose optimum is already cached returns completed
+//	                   immediately. A shed submission (queue full, client
+//	                   rate limit or quota) returns 429 with a Retry-After
+//	                   header; a draining server returns 503.
 //	GET /jobs/{id}     JSON snapshot of the job (state, bounds, result), or
 //	                   with ?sse=1 / Accept: text/event-stream a stream of
 //	                   "bound" events — monotone anytime bound improvements —
 //	                   terminated by one "result" event.
-//	GET /stats         worker/queue/cache counters as JSON.
-//	GET /healthz       liveness probe.
+//	GET /stats         worker/queue/cache/admission counters as JSON.
+//	GET /healthz       liveness probe (503 once draining).
+//
+// Authentication: -token installs a bearer-token table ("alice:s3cret,bob:hunter2";
+// a bare secret names itself token-N). With tokens configured every endpoint
+// except /healthz requires Authorization: Bearer <secret>, and admission
+// accounting (rate limits, quotas, the audit log) is per token name; without
+// tokens, accounting is per peer IP.
+//
+// Shutdown: SIGTERM (or SIGINT) stops admissions immediately, fails the
+// health probe, and drains — running jobs finish and their SSE streams
+// receive the terminal "result" event — for up to -drain, after which
+// stragglers are cancelled (they still complete with their best bounds).
+// The daemon then exits 0.
 //
 // Usage:
 //
 //	maxsatd [-addr :8080] [-workers N] [-queue 1024] [-cache 256]
 //	        [-timeout 1m] [-max-timeout 5m] [-max-body 67108864]
+//	        [-mem 0] [-max-mem 0] [-token name:secret,...]
+//	        [-rate 0] [-burst 0] [-quota 0] [-highwater 0.75]
+//	        [-drain 30s] [-audit]
 //
 // Example session:
 //
@@ -32,12 +50,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -47,7 +70,17 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// onReady, when set (by tests), is called with the bound listen address once
+// the daemon is accepting connections.
+var onReady func(addr string)
+
 func run(args []string) int {
+	return runWith(context.Background(), args)
+}
+
+// runWith is run under a caller-supplied lifetime: cancelling ctx triggers
+// the same graceful drain as SIGTERM (tests use this in place of a signal).
+func runWith(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("maxsatd", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
@@ -57,12 +90,26 @@ func run(args []string) int {
 		timeout    = fs.Duration("timeout", time.Minute, "default per-job solve timeout (0 = unbounded)")
 		maxTimeout = fs.Duration("max-timeout", 5*time.Minute, "hard ceiling on per-job timeouts, client-requested or default (0 = no cap)")
 		maxBody    = fs.Int64("max-body", 64<<20, "max request body bytes")
+		mem        = fs.Int64("mem", 0, "default per-job clause-storage budget in bytes (0 = unbounded)")
+		maxMem     = fs.Int64("max-mem", 0, "hard ceiling on per-job clause-storage budgets (0 = no cap)")
+		tokens     = fs.String("token", "", "bearer tokens as name:secret[,name:secret...]; empty disables authentication")
+		rate       = fs.Float64("rate", 0, "per-client sustained submissions per second (0 = unlimited)")
+		burst      = fs.Int("burst", 0, "per-client submission burst (0 = 2x rate)")
+		quota      = fs.Int("quota", 0, "per-client queued-or-running job cap (0 = unlimited)")
+		highwater  = fs.Float64("highwater", 0.75, "queue-pressure fraction past which portfolio jobs degrade to fewer members (0 disables)")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM before running jobs are cancelled")
+		audit      = fs.Bool("audit", false, "log one line per admission decision, cancellation, and completion")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: maxsatd [flags]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tokenMap, err := parseTokens(*tokens)
+	if err != nil {
+		fmt.Fprintf(fs.Output(), "maxsatd: %v\n", err)
 		return 2
 	}
 	if *workers == 0 {
@@ -74,18 +121,101 @@ func run(args []string) int {
 	if *maxTimeout > 0 && (*timeout <= 0 || *timeout > *maxTimeout) {
 		*timeout = *maxTimeout
 	}
-	srv := maxsat.NewServer(maxsat.ServerConfig{
+	cfg := maxsat.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
-	})
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		ClientQuota:    *quota,
+		HighWater:      *highwater,
+	}
+	if *audit {
+		cfg.Audit = func(e maxsat.AuditEvent) {
+			log.Printf("audit client=%q action=%s job=%d %s", e.Client, e.Action, e.JobID, e.Detail)
+		}
+	}
+	srv := maxsat.NewServer(cfg)
 	defer srv.Close()
-	log.Printf("maxsatd listening on %s (%d workers, cache %d, default timeout %s)",
-		*addr, *workers, *cache, *timeout)
-	if err := http.ListenAndServe(*addr, newHandler(srv, *maxBody, *maxTimeout)); err != nil {
+	d := newDaemon(srv, daemonOpts{
+		maxBody:    *maxBody,
+		maxTimeout: *maxTimeout,
+		defaultMem: *mem,
+		maxMem:     *maxMem,
+		tokens:     tokenMap,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Printf("maxsatd: %v", err)
 		return 1
 	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Handler: d.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("maxsatd listening on %s (%d workers, cache %d, default timeout %s)",
+		ln.Addr(), *workers, *cache, *timeout)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errc:
+		log.Printf("maxsatd: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (Submit now fails, /healthz turns 503),
+	// let running jobs finish so attached SSE streams get their terminal
+	// "result" event, then close the HTTP listener once the handlers have
+	// flushed. Jobs still running at the deadline are cancelled — they too
+	// complete, with their best bounds.
+	stop()
+	d.draining.Store(true)
+	log.Printf("maxsatd: draining (deadline %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	err = srv.Drain(drainCtx)
+	cancel()
+	if err != nil {
+		log.Printf("maxsatd: drain deadline passed; cancelled remaining jobs")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		_ = httpSrv.Close()
+	}
+	log.Printf("maxsatd: drained, exiting")
 	return 0
+}
+
+// parseTokens parses the -token flag: a comma-separated list of name:secret
+// pairs; a bare secret gets the positional name token-N.
+func parseTokens(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for i, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, secret, ok := strings.Cut(entry, ":")
+		if !ok {
+			name, secret = fmt.Sprintf("token-%d", i+1), entry
+		}
+		if name == "" || secret == "" {
+			return nil, fmt.Errorf("bad -token entry %q (want name:secret)", entry)
+		}
+		if _, dup := out[secret]; dup {
+			return nil, fmt.Errorf("duplicate -token secret")
+		}
+		out[secret] = name
+	}
+	return out, nil
 }

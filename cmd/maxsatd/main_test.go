@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -21,7 +22,8 @@ func newTestServer(t *testing.T, cfg maxsat.ServerConfig) *httptest.Server {
 		cfg.Workers = 2
 	}
 	srv := maxsat.NewServer(cfg)
-	ts := httptest.NewServer(newHandler(srv, 16<<20, time.Minute))
+	d := newDaemon(srv, daemonOpts{maxBody: 16 << 20, maxTimeout: time.Minute})
+	ts := httptest.NewServer(d.handler())
 	t.Cleanup(func() {
 		ts.Close()
 		srv.Close()
@@ -245,5 +247,181 @@ func TestBadRequests(t *testing.T) {
 func TestRunFlagParsing(t *testing.T) {
 	if code := run([]string{"-badflag"}); code != 2 {
 		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+}
+
+// TestAuthBearerTokens checks the token table gates every endpoint except
+// the health probe.
+func TestAuthBearerTokens(t *testing.T) {
+	srv := maxsat.NewServer(maxsat.ServerConfig{Workers: 1})
+	d := newDaemon(srv, daemonOpts{maxBody: 16 << 20, maxTimeout: time.Minute,
+		tokens: map[string]string{"s3cret": "alice"}})
+	ts := httptest.NewServer(d.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	body := dimacs(t, gen.Pigeonhole(3).W)
+
+	// No credentials → 401 with a challenge.
+	resp, err := http.Post(ts.URL+"/solve?wait=1", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated: status %d, want 401", resp.StatusCode)
+	}
+	if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Fatal("401 without a WWW-Authenticate challenge")
+	}
+	// Wrong secret → 401.
+	req, _ := http.NewRequest("POST", ts.URL+"/solve?wait=1", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad token: status %d, want 401", resp.StatusCode)
+	}
+	// Right secret → solves.
+	req, _ = http.NewRequest("POST", ts.URL+"/solve?wait=1", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated solve: status %d, want 200", resp.StatusCode)
+	}
+	// The health probe stays open for credential-less checkers.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz behind auth: status %d", hresp.StatusCode)
+	}
+}
+
+// TestShedReturns429WithRetryAfter fills the queue and checks the shed
+// submission gets 429 plus a Retry-After hint instead of a bare 503.
+func TestShedReturns429WithRetryAfter(t *testing.T) {
+	ts := newTestServer(t, maxsat.ServerConfig{Workers: 1, QueueDepth: 1})
+	// Occupy the only queue slot with a job that will not finish on its own.
+	long := dimacs(t, gen.Pigeonhole(9).W)
+	if _, code := postSolve(t, ts, long, "?timeout=1m"); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/solve", "text/plain",
+		bytes.NewReader(dimacs(t, gen.Pigeonhole(4).W)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+}
+
+// TestRateLimit429 drives the per-client token bucket over HTTP: same peer,
+// burst 1 → the second request sheds with 429.
+func TestRateLimit429(t *testing.T) {
+	ts := newTestServer(t, maxsat.ServerConfig{Workers: 1, RatePerSec: 0.001, Burst: 1})
+	body := dimacs(t, gen.Pigeonhole(3).W)
+	if _, code := postSolve(t, ts, body, "?wait=1"); code != http.StatusOK {
+		t.Fatalf("first submit: status %d", code)
+	}
+	_, code := postSolve(t, ts, body, "?wait=1")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429", code)
+	}
+}
+
+// TestDrainGraceful boots the real daemon loop, attaches an SSE stream to a
+// long job, then cancels the run context (the SIGTERM path): the daemon must
+// stop admitting, deliver a terminal "result" event to the stream, and exit 0.
+func TestDrainGraceful(t *testing.T) {
+	ready := make(chan string, 1)
+	onReady = func(addr string) { ready <- addr }
+	defer func() { onReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	exit := make(chan int, 1)
+	go func() {
+		exit <- runWith(ctx, []string{
+			"-addr", "127.0.0.1:0", "-workers", "1", "-drain", "500ms",
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	base := "http://" + addr
+
+	// A job too hard to finish: it will still be running when the drain
+	// deadline cancels it, and must then report its best bounds.
+	job, code := postSolve(t, &httptest.Server{URL: base}, dimacs(t, gen.Pigeonhole(10).W), "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	stream, err := http.Get(fmt.Sprintf("%s/jobs/%d?sse=1", base, job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+
+	cancel() // SIGTERM
+
+	// During the drain, admissions fail and the health probe goes dark.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hresp, err := http.Get(base + "/healthz")
+		if err != nil {
+			break // listener already closed: drain finished
+		}
+		st := hresp.StatusCode
+		hresp.Body.Close()
+		if st == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The SSE stream must end with a terminal "result" event.
+	var sawResult bool
+	var event string
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			event = strings.TrimPrefix(line, "event: ")
+		} else if strings.HasPrefix(line, "data: ") && event == "result" {
+			sawResult = true
+		}
+	}
+	if !sawResult {
+		t.Fatal("SSE stream ended without a terminal result event")
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never exited after the drain")
 	}
 }

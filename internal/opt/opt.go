@@ -163,6 +163,14 @@ type Options struct {
 	Encoding card.Encoding
 	// MaxConflictsPerCall, when positive, caps each SAT call.
 	MaxConflictsPerCall int64
+	// MemBytes, when positive, caps the CDCL solver's clause-storage
+	// footprint in bytes (sat.Budget.MaxMemory): once learnt-clause growth
+	// crosses the cap, the current SAT call returns Unknown and the
+	// optimizer ends with the best bounds proved so far instead of growing
+	// without bound. Optimizers that do not run a CDCL engine (branch and
+	// bound, WalkSAT) have intrinsically bounded footprints and ignore it.
+	// The portfolio engine divides the cap evenly across its racing members.
+	MemBytes int64
 	// Preprocess enables the soft-aware preprocessing stage (see Prep):
 	// the hard clauses are simplified once with soft-clause selectors
 	// frozen before the optimizer starts, and models are reconstructed
@@ -240,6 +248,7 @@ func (o Options) AttachExchange(s *sat.Solver, sharedVars int) {
 func (o Options) Budget(ctx context.Context) sat.Budget {
 	b := sat.Budget{
 		MaxConflicts: o.MaxConflictsPerCall,
+		MaxMemory:    o.MemBytes,
 		Ctx:          ctx,
 	}
 	if dl, ok := ctx.Deadline(); ok {

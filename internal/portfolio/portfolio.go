@@ -184,6 +184,14 @@ func (e *Engine) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) opt
 	if e.Jobs > 0 && e.Jobs < len(members) {
 		members = members[:e.Jobs]
 	}
+	if memberOpts.MemBytes > 0 && len(members) > 1 {
+		// The memory budget bounds the whole race, so each member gets an
+		// equal share of the cap rather than the full cap N times over.
+		memberOpts.MemBytes /= int64(len(members))
+		if memberOpts.MemBytes < 1 {
+			memberOpts.MemBytes = 1
+		}
+	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()

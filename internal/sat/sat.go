@@ -14,9 +14,11 @@
 // handles (see arena.go), so the hot propagate/analyze loop is free of
 // pointer chasing and steady-state heap allocation.
 //
-// The solver is resource-bounded: a Budget can cap conflicts and wall-clock
-// time, in which case Solve returns Unknown. This is how the experiment
-// harness emulates the per-instance timeout of the paper's evaluation.
+// The solver is resource-bounded: a Budget can cap conflicts, wall-clock
+// time, and clause-storage bytes, in which case Solve returns Unknown. This
+// is how the experiment harness emulates the per-instance timeout of the
+// paper's evaluation, and how the serving layer keeps a pathological
+// instance from OOM-killing the daemon.
 package sat
 
 import (
@@ -66,6 +68,13 @@ type Budget struct {
 	// MaxConflicts, when positive, caps the number of conflicts of one
 	// Solve call.
 	MaxConflicts int64
+	// MaxMemory, when positive, caps the solver's clause-storage footprint
+	// in bytes (see MemoryFootprint). Learnt-clause growth is what makes a
+	// CDCL run's memory unbounded, so a byte cap turns a pathological
+	// instance into an Unknown verdict instead of an OOM kill. The cap is
+	// checked alongside the deadline — every few hundred conflicts and at
+	// Solve entry — so overshoot is bounded by that many learnt clauses.
+	MaxMemory int64
 	// Stop, when non-nil, aborts the search as soon as it is observed true.
 	Stop *atomic.Bool
 	// Ctx, when non-nil, aborts the search once the context is cancelled or
@@ -995,7 +1004,20 @@ func (s *Solver) budgetExhausted() bool {
 	if !s.budget.Deadline.IsZero() && time.Now().After(s.budget.Deadline) {
 		return true
 	}
+	if s.budget.MaxMemory > 0 && s.MemoryFootprint() > s.budget.MaxMemory {
+		return true
+	}
 	return false
+}
+
+// MemoryFootprint returns the solver's clause-storage footprint in bytes:
+// the clause arena (problem and learnt clauses live inline in one []uint32,
+// including the dead words awaiting GC) plus the two watcher entries each
+// attached clause holds. Fixed per-variable state is excluded — it is set by
+// EnsureVars, not by search, so it cannot grow without bound. This is the
+// quantity Budget.MaxMemory caps.
+func (s *Solver) MemoryFootprint() int64 {
+	return 4*int64(cap(s.ca.data)) + 16*int64(len(s.clauses)+len(s.learnts))
 }
 
 // Solve determines satisfiability of the clause set under the given

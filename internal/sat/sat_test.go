@@ -315,6 +315,26 @@ func TestBudgetConflicts(t *testing.T) {
 	}
 }
 
+func TestBudgetMemory(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 7) // learns far more than a few hundred bytes of clauses
+	if s.MemoryFootprint() <= 0 {
+		t.Fatal("footprint of a loaded solver must be positive")
+	}
+	s.SetBudget(Budget{MaxMemory: 256})
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("got %v, want Unknown under a 256-byte memory budget", st)
+	}
+	if !s.Okay() {
+		t.Fatal("aborted solve must not mark solver unsat")
+	}
+	// Lifting the cap must allow completion.
+	s.SetBudget(Budget{})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat without budget", st)
+	}
+}
+
 func TestBudgetDeadline(t *testing.T) {
 	s := New()
 	addPigeonhole(s, 11)

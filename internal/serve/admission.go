@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// Admission control: the per-client half of the server's trust boundary.
+//
+// QueueDepth protects the server globally, but one misbehaving client can
+// fill the whole queue and starve everyone else. The admission layer adds
+// two per-client bounds on top of it:
+//
+//   - a token-bucket rate limit (Config.RatePerSec / Config.Burst) on
+//     submissions, counted per client whatever their disposition — fresh
+//     run, cache hit, or coalesce — so even cheap resubmissions cannot be
+//     used to hammer the server;
+//   - an in-flight quota (Config.ClientQuota) on jobs a client has queued
+//     or running. Cache hits and coalesced attaches do not count: they
+//     occupy no worker slots.
+//
+// A shed submission fails with a *ShedError wrapping ErrRateLimited,
+// ErrOverQuota, or ErrQueueFull and carrying the delay after which a retry
+// can succeed; the HTTP daemon surfaces it as 429 + Retry-After. Every
+// admission decision, cancellation, and completion is reported to the
+// Config.Audit hook when one is installed.
+
+// Shed reasons returned (wrapped in *ShedError) by Submit.
+var (
+	// ErrRateLimited: the client exceeded its sustained submission rate.
+	ErrRateLimited = errors.New("serve: client rate limit exceeded")
+	// ErrOverQuota: the client has too many jobs queued or running.
+	ErrOverQuota = errors.New("serve: client in-flight quota exceeded")
+)
+
+// ShedError is an admission rejection: the wrapped reason (ErrQueueFull,
+// ErrRateLimited, or ErrOverQuota — match with errors.Is) plus the delay
+// after which a retry has a chance of being admitted.
+type ShedError struct {
+	Reason     error
+	RetryAfter time.Duration
+}
+
+// Error returns the wrapped reason's message.
+func (e *ShedError) Error() string { return e.Reason.Error() }
+
+// Unwrap exposes the reason to errors.Is / errors.As.
+func (e *ShedError) Unwrap() error { return e.Reason }
+
+// RetryAfter extracts the retry hint from a Submit error; ok is false when
+// the error carries none (ErrClosed, ErrBadSpec).
+func RetryAfter(err error) (time.Duration, bool) {
+	var se *ShedError
+	if errors.As(err, &se) {
+		return se.RetryAfter, true
+	}
+	return 0, false
+}
+
+// AuditEvent is one entry of the admission audit log: who asked for what and
+// how the server disposed of it.
+type AuditEvent struct {
+	// Time is when the decision was made.
+	Time time.Time
+	// Client is the submitting client's identity (JobSpec.Client; empty when
+	// the caller supplied none).
+	Client string
+	// Action is "submit" (admitted), "shed" (refused), "cancel" (a handle
+	// withdrew its vote), or "result" (job completed).
+	Action string
+	// JobID identifies the job for admitted submissions and results; 0 for
+	// sheds (no job was created).
+	JobID uint64
+	// Detail qualifies the action: the disposition of a submit ("run",
+	// "cache-hit", "coalesced", with "degraded" appended when overload
+	// shrank the slot grant), the reason of a shed, or the status line of a
+	// result.
+	Detail string
+}
+
+// clientState is one client's admission bookkeeping: the token bucket and
+// the in-flight job count. Server.mu guards it.
+type clientState struct {
+	tokens   float64   // current bucket level
+	last     time.Time // last refill instant
+	inflight int       // jobs queued or running on this client's account
+}
+
+// client returns (creating on demand) the state for name. Caller holds s.mu.
+func (s *Server) clientLocked(name string) *clientState {
+	c, ok := s.clients[name]
+	if !ok {
+		c = &clientState{tokens: s.burst(), last: s.now()}
+		s.clients[name] = c
+	}
+	return c
+}
+
+// burst returns the effective token-bucket capacity.
+func (s *Server) burst() float64 {
+	if s.cfg.Burst > 0 {
+		return float64(s.cfg.Burst)
+	}
+	b := 2 * s.cfg.RatePerSec
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// takeTokenLocked refills name's bucket to now and consumes one token. When
+// the bucket is empty it reports the delay until the next token instead.
+// Caller holds s.mu; rate limiting must be enabled.
+func (s *Server) takeTokenLocked(name string) (time.Duration, bool) {
+	c := s.clientLocked(name)
+	now := s.now()
+	burst := s.burst()
+	c.tokens += now.Sub(c.last).Seconds() * s.cfg.RatePerSec
+	if c.tokens > burst {
+		c.tokens = burst
+	}
+	c.last = now
+	if c.tokens < 1 {
+		wait := time.Duration((1 - c.tokens) / s.cfg.RatePerSec * float64(time.Second))
+		return wait, false
+	}
+	c.tokens--
+	return 0, true
+}
+
+// releaseClientLocked returns one in-flight unit to name's account and drops
+// the entry once it holds no state worth keeping (no in-flight jobs and a
+// bucket that would refill to full anyway), so the client map cannot grow
+// without bound under churning client identities. Caller holds s.mu.
+func (s *Server) releaseClientLocked(name string) {
+	c, ok := s.clients[name]
+	if !ok {
+		return
+	}
+	if c.inflight > 0 {
+		c.inflight--
+	}
+	if c.inflight == 0 {
+		refilled := c.tokens + s.now().Sub(c.last).Seconds()*s.cfg.RatePerSec
+		if s.cfg.RatePerSec <= 0 || refilled >= s.burst() {
+			delete(s.clients, name)
+		}
+	}
+}
+
+// audit delivers e to the audit hook. Never called with s.mu held: the hook
+// is caller code and may call back into Stats or Submit.
+func (s *Server) audit(e AuditEvent) {
+	if s.cfg.Audit == nil {
+		return
+	}
+	e.Time = s.now()
+	s.cfg.Audit(e)
+}
+
+// shedRetryAfter is the retry hint for queue-full and over-quota sheds: the
+// delay is governed by how long the jobs ahead will run, which the default
+// timeout approximates when one is configured.
+func (s *Server) shedRetryAfter() time.Duration {
+	if d := s.cfg.DefaultTimeout / 4; d > time.Second {
+		if d > time.Minute {
+			return time.Minute
+		}
+		return d
+	}
+	return time.Second
+}

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/opt"
+)
+
+// fakeClock is an injectable clock for the token-bucket tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestRateLimitTokenBucket(t *testing.T) {
+	s := New(Config{Workers: 1, RatePerSec: 1, Burst: 2, CacheEntries: -1})
+	defer s.Close()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s.now = clk.now
+
+	spec := JobSpec{Formula: contradiction(), Client: "alice", Solve: optimal(1)}
+	for i := range 2 {
+		if _, err := s.Submit(spec); err != nil {
+			t.Fatalf("submit %d within burst: %v", i, err)
+		}
+	}
+	_, err := s.Submit(spec)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	wait, ok := RetryAfter(err)
+	if !ok || wait <= 0 || wait > time.Second {
+		t.Fatalf("RetryAfter = %v %v, want (0, 1s]", wait, ok)
+	}
+	// Other clients have their own buckets.
+	bob := spec
+	bob.Client = "bob"
+	if _, err := s.Submit(bob); err != nil {
+		t.Fatalf("independent client throttled: %v", err)
+	}
+	// One second refills one token.
+	clk.advance(time.Second)
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatalf("submit after refill: %v", err)
+	}
+	if st := s.Stats(); st.RateLimited != 1 {
+		t.Fatalf("RateLimited = %d, want 1", st.RateLimited)
+	}
+}
+
+func TestClientQuota(t *testing.T) {
+	s := New(Config{Workers: 1, ClientQuota: 1})
+	defer s.Close()
+	release := make(chan struct{})
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), OptsKey: "a1",
+		Client: "alice", Solve: blocker(release)})
+
+	_, err := s.Submit(JobSpec{Formula: contradiction(), OptsKey: "a2",
+		Client: "alice", Solve: blocker(release)})
+	if !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("err = %v, want ErrOverQuota", err)
+	}
+	if _, ok := RetryAfter(err); !ok {
+		t.Fatal("quota denial carries no retry hint")
+	}
+	// A coalescing resubmission occupies no workers, so it is exempt.
+	h2, err := s.Submit(JobSpec{Formula: contradiction(), OptsKey: "a1",
+		Client: "alice", Solve: blocker(release)})
+	if err != nil {
+		t.Fatalf("coalesced submission hit the quota: %v", err)
+	}
+	if h2.ID() != h.ID() {
+		t.Fatal("expected a coalesced handle")
+	}
+	// Other clients are unaffected.
+	h3, err := s.Submit(JobSpec{Formula: contradiction(), OptsKey: "b1",
+		Client: "bob", Solve: blocker(release)})
+	if err != nil {
+		t.Fatalf("independent client denied: %v", err)
+	}
+	close(release)
+	waitResult(t, h)
+	waitResult(t, h3)
+	// Completion released the quota unit.
+	h4, err := s.Submit(JobSpec{Formula: contradiction(), OptsKey: "a3",
+		Client: "alice", Solve: optimal(1)})
+	if err != nil {
+		t.Fatalf("quota not released on completion: %v", err)
+	}
+	waitResult(t, h4)
+	if st := s.Stats(); st.QuotaDenied != 1 {
+		t.Fatalf("QuotaDenied = %d, want 1", st.QuotaDenied)
+	}
+}
+
+// TestDegradationUnderPressure drives the queue past the high-water mark and
+// checks a portfolio-style submission is granted a shrunken slot count.
+func TestDegradationUnderPressure(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 12, HighWater: 0.5, CacheEntries: -1})
+	defer s.Close()
+	release := make(chan struct{})
+	var handles []*Handle
+	// 4 running + 2 queued = load 6 = the high-water mark (0.5 * 12).
+	for i := range 6 {
+		handles = append(handles, mustSubmit(t, s, JobSpec{
+			Formula: contradiction(), OptsKey: string(rune('a' + i)),
+			Solve: blocker(release)}))
+	}
+	granted := make(chan int, 1)
+	wide := mustSubmit(t, s, JobSpec{
+		Formula: contradiction(), OptsKey: "wide", Slots: 4,
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+			granted <- slots
+			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+		},
+	})
+	// pressure = (6-6+1)/(12-6) = 1/6 → granted = round(4 · 5/6) = 3.
+	if st := s.Stats(); st.Degraded != 1 {
+		t.Fatalf("Degraded = %d, want 1", st.Degraded)
+	}
+	close(release)
+	for _, h := range handles {
+		waitResult(t, h)
+	}
+	if got := <-granted; got != 3 {
+		t.Fatalf("granted %d slots under pressure, want 3", got)
+	}
+	waitResult(t, wide)
+
+	// Below the high-water mark the full request is granted.
+	granted2 := make(chan int, 1)
+	calm := mustSubmit(t, s, JobSpec{
+		Formula: contradiction(), OptsKey: "calm", Slots: 4,
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+			granted2 <- slots
+			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+		},
+	})
+	waitResult(t, calm)
+	if got := <-granted2; got != 4 {
+		t.Fatalf("granted %d slots on an idle server, want 4", got)
+	}
+}
+
+// TestAuditTrail checks the audit hook sees every admission decision,
+// cancellation vote, and completion with the right client attribution.
+func TestAuditTrail(t *testing.T) {
+	var mu sync.Mutex
+	var events []AuditEvent
+	s := New(Config{Workers: 1, Audit: func(e AuditEvent) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}})
+	defer s.Close()
+
+	waitResult(t, mustSubmit(t, s, JobSpec{Formula: contradiction(),
+		Client: "alice", Solve: optimal(1)}))
+	// Resubmission: a cache hit, still audited.
+	waitResult(t, mustSubmit(t, s, JobSpec{Formula: contradiction(),
+		Client: "bob", Solve: optimal(1)}))
+	// A cancellation vote — on a distinct formula, so alice's cached verdict
+	// cannot answer it.
+	other := cnf.NewWCNF(2)
+	other.AddSoft(1, cnf.PosLit(1))
+	other.AddSoft(1, cnf.NegLit(1))
+	h := mustSubmit(t, s, JobSpec{Formula: other, OptsKey: "blocked",
+		Client: "carol", Solve: blocker(nil)})
+	h.Cancel()
+	waitResult(t, h)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n >= 6 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	find := func(client, action, detail string) *AuditEvent {
+		for i := range events {
+			e := &events[i]
+			if e.Client == client && e.Action == action &&
+				(detail == "" || e.Detail == detail) {
+				return e
+			}
+		}
+		return nil
+	}
+	if e := find("alice", "submit", "run slots=1"); e == nil || e.JobID == 0 {
+		t.Fatalf("no run-submit event for alice: %+v", events)
+	}
+	if find("alice", "result", "OPTIMAL") == nil {
+		t.Fatalf("no result event for alice: %+v", events)
+	}
+	if find("bob", "submit", "cache-hit") == nil {
+		t.Fatalf("no cache-hit event for bob: %+v", events)
+	}
+	if find("carol", "cancel", "last-vote") == nil {
+		t.Fatalf("no cancel event for carol: %+v", events)
+	}
+	for _, e := range events {
+		if e.Time.IsZero() {
+			t.Fatalf("unstamped audit event: %+v", e)
+		}
+	}
+}
+
+func TestDrainLetsJobsFinish(t *testing.T) {
+	s := New(Config{Workers: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		close(started)
+		select {
+		case <-release:
+			return opt.Result{Status: opt.StatusOptimal, Cost: 1, LowerBound: 1,
+				Model: cnf.Assignment{true}}
+		case <-ctx.Done():
+			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+		}
+	}})
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// Admissions stop immediately and the drain is observable in Stats.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Stats().Draining {
+		if time.Now().After(deadline) {
+			t.Fatal("Stats.Draining never turned true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(JobSpec{Formula: contradiction(), OptsKey: "late",
+		Solve: optimal(1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit during drain: %v, want ErrClosed", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v while a job was still running", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// The running job finishes normally — a real result, not a cancellation.
+	close(release)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain never returned after the last job finished")
+	}
+	r := waitResult(t, h)
+	if r.Status != opt.StatusOptimal || r.Cost != 1 {
+		t.Fatalf("drained job result %+v, want the real optimum", r)
+	}
+}
+
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	s := New(Config{Workers: 1})
+	started := make(chan struct{})
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		close(started)
+		<-ctx.Done() // only cancellation ends this job
+		return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+	}})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want DeadlineExceeded", err)
+	}
+	// The straggler was cancelled but still completed with a terminal result.
+	r := waitResult(t, h)
+	if r.Status != opt.StatusUnknown {
+		t.Fatalf("straggler result %+v", r)
+	}
+}
+
+// TestCloseRacesSubscriber closes the server while an Updates subscriber is
+// attached mid-stream: the subscriber must receive a closed channel (its
+// terminal signal) and the job a terminal result — no hang, no leak (the
+// chaos suite's leak checker covers this file's tests too under -race).
+func TestCloseRacesSubscriber(t *testing.T) {
+	defer checkGoroutines(t)()
+	s := New(Config{Workers: 1})
+	started := make(chan struct{})
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		close(started)
+		shared.PublishUB(3, cnf.Assignment{true})
+		<-ctx.Done()
+		return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+	}})
+	<-started
+	sub := h.Subscribe()
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		for range sub {
+		}
+	}()
+	s.Close()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber channel never closed after Close")
+	}
+	if _, done := h.Result(); !done {
+		t.Fatal("job has no terminal result after Close")
+	}
+}

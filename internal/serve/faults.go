@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/opt"
+)
+
+// Fault injection: a deterministic chaos-testing hook set for the serving
+// layer. Production servers leave Config.Faults nil — the hook is consulted
+// (and the switch below exists) only so tests can drive the server through
+// its failure paths on purpose: a member panic, a worker that stalls, a
+// budget that exhausts mid-run, a cancellation that lands mid-solve. The
+// chaos suite (chaos_test.go) uses it to assert the invariants operators
+// rely on: the worker pool never deadlocks, goroutines never leak, and an
+// unverified result is never served from the cache.
+
+// FaultKind enumerates the injectable faults.
+type FaultKind int8
+
+// Injectable faults.
+const (
+	// FaultNone: run the job normally.
+	FaultNone FaultKind = iota
+	// FaultPanic panics in the worker goroutine in place of the solve,
+	// exercising the panic-isolation path exactly where a buggy optimizer
+	// would hit it.
+	FaultPanic
+	// FaultSlow delays the solve by Delay (respecting cancellation),
+	// simulating a stalled worker; the job's deadline keeps counting.
+	FaultSlow
+	// FaultExhaust drops the solve and reports budget exhaustion: Unknown
+	// with the job's best shared bounds, exactly what a SAT call returning
+	// on a spent conflict/time/memory budget produces.
+	FaultExhaust
+	// FaultCancel cancels the job's own context Delay after it starts
+	// running, simulating a client withdrawing mid-solve.
+	FaultCancel
+)
+
+// Fault is one injected fault decision.
+type Fault struct {
+	Kind  FaultKind
+	Delay time.Duration // FaultSlow: stall length; FaultCancel: time until the cancel lands
+}
+
+// Faults is the fault-injection hook set. Deterministic by construction:
+// the server calls Before with the job's identity and acts on the returned
+// decision, so a test seeding its own decision function replays the same
+// fault schedule every run.
+type Faults struct {
+	// Before is consulted in the worker goroutine immediately before the
+	// job's SolveFunc would run. Returning FaultNone runs the job normally.
+	Before func(jobID uint64, optsKey string) Fault
+}
+
+// inject applies the configured fault decision for j under the job's run
+// context. It reports the injected result when the fault replaces the solve
+// entirely (handled true); otherwise the caller proceeds to the real
+// SolveFunc. May panic — that is FaultPanic's purpose — and the server's
+// panic isolation must contain it.
+func (f *Faults) inject(ctx context.Context, j *job) (res opt.Result, handled bool) {
+	if f == nil || f.Before == nil {
+		return opt.Result{}, false
+	}
+	switch d := f.Before(j.id, j.key.opts); d.Kind {
+	case FaultPanic:
+		panic(fmt.Sprintf("serve: injected fault: panic in job %d", j.id))
+	case FaultSlow:
+		t := time.NewTimer(d.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	case FaultExhaust:
+		r := opt.Result{Status: opt.StatusUnknown, Cost: -1}
+		if e := j.bounds.Snapshot(); e.HasLB {
+			r.LowerBound = e.LB
+		}
+		if cost, model, ok := j.bounds.Best(); ok {
+			r.Cost, r.Model = cost, model
+		}
+		return r, true
+	case FaultCancel:
+		// The timer is left running: j.cancel is idempotent and the job's
+		// context is released when the run goroutine exits, so a late fire
+		// is harmless — but firing is the point.
+		time.AfterFunc(d.Delay, j.cancel)
+	}
+	return opt.Result{}, false
+}

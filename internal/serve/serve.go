@@ -29,12 +29,24 @@
 // the running job instead of spawning a duplicate; every attached handle
 // gets the same result and its own cancellation vote. The job is abandoned
 // only when every handle has cancelled.
+//
+// Hardening: admission is additionally bounded per client — a token-bucket
+// rate limit and an in-flight quota (see admission.go) shed a misbehaving
+// client with a retry hint before it can starve the queue, and every
+// decision is reported to an audit hook. Under overload (queue pressure past
+// Config.HighWater), multi-slot portfolio jobs are granted fewer slots —
+// down to a solo member — instead of queueing full line-ups behind each
+// other; the grant reductions are visible in Stats.Degraded. Drain stops
+// admissions and lets running jobs finish before a deadline, and a
+// fault-injection hook set (faults.go) drives the chaos suite that holds the
+// layer to its no-deadlock / no-leak / no-unverified-result invariants.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -68,6 +80,11 @@ type JobSpec struct {
 	// Meta is opaque caller data carried into Result.Meta (the maxsat layer
 	// stores the resolved algorithm name there).
 	Meta any
+	// Client is the submitting client's identity for admission accounting
+	// and audit logging (the HTTP daemon uses the bearer token's name, or
+	// the peer address when authentication is off). All anonymous
+	// submissions (empty Client) share one account.
+	Client string
 	// Solve runs the optimization.
 	Solve SolveFunc
 }
@@ -91,6 +108,29 @@ type Config struct {
 	// (for poll-style clients); 0 means 1024, negative retains none beyond
 	// their live handles.
 	RetainDone int
+
+	// RatePerSec is the per-client sustained submission rate (token
+	// bucket); 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket capacity; 0 means max(1, 2·RatePerSec).
+	Burst int
+	// ClientQuota caps one client's queued-or-running jobs (cache hits and
+	// coalesced attaches, which occupy no workers, are exempt); 0 disables.
+	ClientQuota int
+	// HighWater enables graceful degradation under overload: once
+	// queued+running reaches HighWater·QueueDepth, multi-slot (portfolio)
+	// grants shrink linearly with the remaining queue headroom, down to a
+	// single slot as the queue approaches full — new jobs race fewer
+	// members instead of queueing whole line-ups behind each other.
+	// 0 disables; requires QueueDepth > 0 to have any effect.
+	HighWater float64
+	// Audit, when non-nil, receives one event per admission decision,
+	// cancellation vote, and completion. Called outside all server locks;
+	// the hook must not block for long (it runs on submit and worker paths).
+	Audit func(AuditEvent)
+	// Faults is the fault-injection hook set for chaos testing; nil (always,
+	// in production) runs every job normally.
+	Faults *Faults
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -106,6 +146,20 @@ type Stats struct {
 	CacheMisses int64 `json:"cache_misses"`
 	Coalesced   int64 `json:"coalesced"`
 	CacheSize   int   `json:"cache_size"`
+	// Panics counts jobs that failed outright because their solver
+	// panicked (Result.Err non-nil) — the crash-rate signal operators
+	// alert on.
+	Panics int64 `json:"panics"`
+	// Degraded counts jobs granted fewer worker slots than they asked for
+	// because queue pressure was past the high-water mark.
+	Degraded int64 `json:"degraded"`
+	// RateLimited / QuotaDenied count submissions shed by the per-client
+	// admission bounds.
+	RateLimited int64 `json:"rate_limited"`
+	QuotaDenied int64 `json:"quota_denied"`
+	// Draining reports that the server has stopped admissions and is
+	// waiting for the remaining jobs (set by Drain, and by Close).
+	Draining bool `json:"draining"`
 }
 
 // State is a job's lifecycle phase.
@@ -166,12 +220,15 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
+	now func() time.Time // injectable clock for the admission tests
+
 	mu        sync.Mutex
 	closed    bool
 	inflight  map[jobKey]*job
 	jobs      map[uint64]*job
 	doneOrder []uint64
 	cache     *lru
+	clients   map[string]*clientState
 	nextID    uint64
 	queued    int
 	running   int
@@ -195,22 +252,26 @@ func New(cfg Config) *Server {
 		sem:      newSema(cfg.Workers),
 		baseCtx:  ctx,
 		stop:     cancel,
+		now:      time.Now,
 		inflight: make(map[jobKey]*job),
 		jobs:     make(map[uint64]*job),
 		cache:    newLRU(cfg.CacheEntries),
+		clients:  make(map[string]*clientState),
 	}
 }
 
 // job is the shared state behind every handle of one (possibly coalesced)
 // submission.
 type job struct {
-	id     uint64
-	key    jobKey
-	w      *cnf.WCNF
-	spec   JobSpec
-	slots  int
-	bounds *opt.Bounds
-	cancel context.CancelFunc
+	id      uint64
+	key     jobKey
+	w       *cnf.WCNF
+	spec    JobSpec
+	slots   int
+	client  string
+	charged bool // holds one unit of the client's in-flight quota
+	bounds  *opt.Bounds
+	cancel  context.CancelFunc
 
 	mu   sync.Mutex
 	st   State
@@ -231,7 +292,9 @@ type Handle struct {
 
 // Submit admits one job. It returns immediately: with a Done handle on a
 // cache hit, with a handle attached to an existing identical in-flight job
-// (coalesced), or with a handle on a freshly queued job.
+// (coalesced), or with a handle on a freshly queued job. A submission shed
+// by the global queue bound or the per-client admission bounds fails with a
+// *ShedError carrying a retry hint (see admission.go).
 func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	if spec.Formula == nil || spec.Solve == nil {
 		return nil, ErrBadSpec
@@ -246,7 +309,19 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	}
 	s.stats.Submitted++
 
-	// Cache first: a verified verdict answers any submission of the formula.
+	// Rate limit before anything else — even a cache hit costs a token, so
+	// a client hammering the server with resubmissions of a solved formula
+	// is still throttled.
+	if s.cfg.RatePerSec > 0 {
+		if wait, ok := s.takeTokenLocked(spec.Client); !ok {
+			s.stats.RateLimited++
+			s.mu.Unlock()
+			s.audit(AuditEvent{Client: spec.Client, Action: "shed", Detail: "rate-limited"})
+			return nil, &ShedError{Reason: ErrRateLimited, RetryAfter: wait}
+		}
+	}
+
+	// Cache next: a verified verdict answers any submission of the formula.
 	if res, meta, ok := s.cache.get(fkey); ok {
 		// Defeat fingerprint collisions: a cached model must verify against
 		// the formula actually submitted. UNSAT verdicts carry no model; the
@@ -259,6 +334,7 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 			s.stats.CacheHits++
 			h := s.doneJobLocked(key, Result{Result: res, Meta: meta, Cached: true})
 			s.mu.Unlock()
+			s.audit(AuditEvent{Client: spec.Client, Action: "submit", JobID: h.j.id, Detail: "cache-hit"})
 			return h, nil
 		}
 		s.mu.Lock()
@@ -276,12 +352,28 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 		j.mu.Unlock()
 		s.stats.Coalesced++
 		s.mu.Unlock()
+		s.audit(AuditEvent{Client: spec.Client, Action: "submit", JobID: j.id, Detail: "coalesced"})
 		return &Handle{s: s, j: j}, nil
 	}
 
+	// Only submissions that will occupy workers count against the
+	// per-client in-flight quota (cache hits and coalesces above occupy
+	// none).
+	if s.cfg.ClientQuota > 0 {
+		if c, ok := s.clients[spec.Client]; ok && c.inflight >= s.cfg.ClientQuota {
+			s.stats.QuotaDenied++
+			retry := s.shedRetryAfter()
+			s.mu.Unlock()
+			s.audit(AuditEvent{Client: spec.Client, Action: "shed", Detail: "over-quota"})
+			return nil, &ShedError{Reason: ErrOverQuota, RetryAfter: retry}
+		}
+	}
+
 	if s.cfg.QueueDepth > 0 && s.queued+s.running >= s.cfg.QueueDepth {
+		retry := s.shedRetryAfter()
 		s.mu.Unlock()
-		return nil, ErrQueueFull
+		s.audit(AuditEvent{Client: spec.Client, Action: "shed", Detail: "queue-full"})
+		return nil, &ShedError{Reason: ErrQueueFull, RetryAfter: retry}
 	}
 
 	slots := spec.Slots
@@ -291,24 +383,34 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	if slots > s.cfg.Workers {
 		slots = s.cfg.Workers
 	}
+	slots, degraded := s.degradeLocked(slots)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	s.nextID++
 	j := &job{
-		id:     s.nextID,
-		key:    key,
-		spec:   spec,
-		slots:  slots,
-		bounds: opt.NewBounds(),
-		cancel: cancel,
-		refs:   1,
-		done:   make(chan struct{}),
+		id:      s.nextID,
+		key:     key,
+		spec:    spec,
+		slots:   slots,
+		client:  spec.Client,
+		charged: true,
+		bounds:  opt.NewBounds(),
+		cancel:  cancel,
+		refs:    1,
+		done:    make(chan struct{}),
 	}
+	s.clientLocked(spec.Client).inflight++
 	j.bounds.SetObserver(j.emit)
 	s.inflight[key] = j
 	s.jobs[j.id] = j
 	s.queued++
 	s.wg.Add(1)
 	s.mu.Unlock()
+
+	detail := fmt.Sprintf("run slots=%d", slots)
+	if degraded {
+		detail += " degraded"
+	}
+	s.audit(AuditEvent{Client: spec.Client, Action: "submit", JobID: j.id, Detail: detail})
 
 	// The formula snapshot is O(formula), so it is taken outside the server
 	// lock. Safe unpublished: only the run goroutine (started below, so the
@@ -317,6 +419,35 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	j.w = spec.Formula.Clone()
 	go s.run(ctx, j)
 	return &Handle{s: s, j: j}, nil
+}
+
+// degradeLocked is the overload-degradation ladder: past the high-water mark
+// a multi-slot grant shrinks linearly with the remaining queue headroom, so
+// a portfolio submitted to a nearly-full server races a truncated line-up —
+// down to its strongest member alone — instead of queueing the full width
+// behind every job already waiting. Caller holds s.mu.
+func (s *Server) degradeLocked(slots int) (int, bool) {
+	if slots <= 1 || s.cfg.HighWater <= 0 || s.cfg.QueueDepth <= 0 {
+		return slots, false
+	}
+	hw := int(math.Ceil(s.cfg.HighWater * float64(s.cfg.QueueDepth)))
+	load := s.queued + s.running
+	if load < hw || s.cfg.QueueDepth <= hw {
+		return slots, false
+	}
+	pressure := float64(load-hw+1) / float64(s.cfg.QueueDepth-hw)
+	if pressure > 1 {
+		pressure = 1
+	}
+	granted := int(math.Round(float64(slots) * (1 - pressure)))
+	if granted < 1 {
+		granted = 1
+	}
+	if granted >= slots {
+		return slots, false
+	}
+	s.stats.Degraded++
+	return granted, true
 }
 
 // doneJobLocked registers an already-completed job (cache hit) so that
@@ -380,7 +511,9 @@ func (s *Server) run(ctx context.Context, j *job) {
 }
 
 // solve invokes the job's SolveFunc, converting a solver panic into a failed
-// result so one poisoned job cannot take the whole service down.
+// result so one poisoned job cannot take the whole service down. The
+// fault-injection hook runs inside the same recover scope, so an injected
+// panic exercises exactly the containment a real solver panic would.
 func (s *Server) solve(ctx context.Context, j *job) (res opt.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -388,6 +521,9 @@ func (s *Server) solve(ctx context.Context, j *job) (res opt.Result, err error) 
 			err = fmt.Errorf("serve: solver panic: %v", p)
 		}
 	}()
+	if r, handled := s.cfg.Faults.inject(ctx, j); handled {
+		return r, nil
+	}
 	return j.spec.Solve(ctx, j.w, j.bounds, j.slots), nil
 }
 
@@ -407,10 +543,20 @@ func (s *Server) finish(j *job, res Result, cancelled bool) {
 	if j.state() == Queued {
 		s.queued--
 	}
+	if j.charged {
+		j.charged = false
+		s.releaseClientLocked(j.client)
+	}
+	detail := res.Status.String()
 	if cancelled && res.Err == nil && res.Status == opt.StatusUnknown {
 		s.stats.Cancelled++
+		detail = "cancelled"
 	} else {
 		s.stats.Completed++
+	}
+	if res.Err != nil {
+		s.stats.Panics++
+		detail = "failed: " + res.Err.Error()
 	}
 	if cacheable {
 		s.cache.add(j.key.formulaKey, res.Result, res.Meta)
@@ -418,6 +564,7 @@ func (s *Server) finish(j *job, res Result, cancelled bool) {
 	s.stats.CacheSize = s.cache.len()
 	s.retainLocked(j.id)
 	s.mu.Unlock()
+	s.audit(AuditEvent{Client: j.client, Action: "result", JobID: j.id, Detail: detail})
 
 	// A proved optimum closes the bounds; make sure subscribers see the
 	// closing improvement even if the winning publish bypassed the shared
@@ -476,6 +623,7 @@ func (s *Server) Stats() Stats {
 	st.Queued = s.queued
 	st.Running = s.running
 	st.CacheSize = s.cache.len()
+	st.Draining = s.closed
 	return st
 }
 
@@ -492,6 +640,38 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+}
+
+// Drain is the graceful half of Close: it stops admissions immediately
+// (Submit fails with ErrClosed, Stats reports Draining) and lets the queued
+// and running jobs run to completion — their handles and subscribers receive
+// real results. When ctx expires first, the stragglers are cancelled Close-
+// style and Drain returns ctx's error after they unwind; every job still
+// completes (with its best bounds), so subscribers always see a terminal
+// event. A nil error means every job finished within the deadline. Drain and
+// Close compose: calling either after the other is safe.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		s.wg.Wait()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.stop() // deadline passed: cancel the stragglers
+		<-done
+		return ctx.Err()
+	}
 }
 
 // ---- job internals ----
@@ -593,6 +773,11 @@ func (h *Handle) Cancel() {
 		h.j.refs--
 		last := h.j.refs == 0 && h.j.st != Done
 		h.j.mu.Unlock()
+		detail := "vote"
+		if last {
+			detail = "last-vote"
+		}
+		h.s.audit(AuditEvent{Client: h.j.client, Action: "cancel", JobID: h.j.id, Detail: detail})
 		if last && h.j.cancel != nil {
 			h.j.cancel()
 		}

@@ -149,6 +149,14 @@ type Options struct {
 	Encoding string
 	// Timeout bounds the optimization; zero means unbounded.
 	Timeout time.Duration
+	// MemoryBudget, when positive, caps the clause storage of the
+	// underlying CDCL solver(s) in bytes. A solve whose learnt clauses
+	// outgrow the cap stops with Status Unknown and the best bounds proved
+	// so far instead of exhausting the process's memory — the serving stack
+	// relies on this to survive pathological instances. AlgoPortfolio
+	// divides the cap evenly across its racing members; algorithms that do
+	// not run a CDCL engine (AlgoBnB) ignore it. Zero means unbounded.
+	MemoryBudget int64
 	// MaxConflictsPerCall caps each underlying SAT call (advanced).
 	MaxConflictsPerCall int64
 	// SkipAtLeast1 disables msu4's optional per-core "at least one
@@ -323,6 +331,7 @@ func SolveFile(path string, o Options) (Result, error) {
 func buildSolver(w *WCNF, o Options) (opt.Solver, Algorithm, error) {
 	io_ := opt.Options{
 		MaxConflictsPerCall: o.MaxConflictsPerCall,
+		MemBytes:            o.MemoryBudget,
 		Preprocess:          o.Preprocess,
 	}
 	algo := o.Algorithm

@@ -31,7 +31,8 @@ import (
 // races exactly the members it was granted, so concurrent portfolio jobs
 // cannot oversubscribe the machine.
 type Server struct {
-	s *serve.Server
+	s          *serve.Server
+	defaultMem int64
 }
 
 // ServerConfig configures a Server. The zero value gives a single-worker
@@ -49,16 +50,53 @@ type ServerConfig struct {
 	// DefaultTimeout applies to jobs whose Options.Timeout is zero; 0 means
 	// unbounded.
 	DefaultTimeout time.Duration
+
+	// RatePerSec is the per-client sustained submission rate (token bucket);
+	// 0 disables rate limiting. Clients are the names passed to SubmitAs;
+	// plain Submit charges a shared anonymous account.
+	RatePerSec float64
+	// Burst is the token-bucket capacity; 0 means max(1, 2·RatePerSec).
+	Burst int
+	// ClientQuota caps one client's queued-or-running jobs; cache hits and
+	// coalesced attaches are exempt. 0 disables.
+	ClientQuota int
+	// HighWater (a fraction of QueueDepth, e.g. 0.75) enables graceful
+	// degradation: past that queue pressure, portfolio jobs are granted
+	// fewer worker slots — down to a single member — instead of queueing
+	// full line-ups. Reductions are counted in ServerStats.Degraded.
+	// 0 disables; needs QueueDepth > 0.
+	HighWater float64
+	// MemoryBudget, when positive, applies to jobs whose Options.MemoryBudget
+	// is zero: a clause-storage byte cap per job (see Options.MemoryBudget).
+	MemoryBudget int64
+	// Audit, when non-nil, receives one AuditEvent per admission decision,
+	// cancellation and completion. Called outside server locks; must not
+	// block for long.
+	Audit func(AuditEvent)
 }
+
+// AuditEvent is one entry of the server's admission audit log.
+type AuditEvent = serve.AuditEvent
 
 // Server admission errors.
 var (
-	// ErrServerClosed is returned by Submit after Close.
+	// ErrServerClosed is returned by Submit after Close (or during Drain).
 	ErrServerClosed = serve.ErrClosed
 	// ErrServerQueueFull is returned by Submit when ServerConfig.QueueDepth
-	// jobs are already admitted and unfinished.
+	// jobs are already admitted and unfinished. Match with errors.Is: the
+	// returned error wraps it together with a retry hint (see RetryAfter).
 	ErrServerQueueFull = serve.ErrQueueFull
+	// ErrServerRateLimited is returned (wrapped, with a retry hint) when a
+	// client exceeds ServerConfig.RatePerSec.
+	ErrServerRateLimited = serve.ErrRateLimited
+	// ErrServerOverQuota is returned (wrapped, with a retry hint) when a
+	// client exceeds ServerConfig.ClientQuota.
+	ErrServerOverQuota = serve.ErrOverQuota
 )
+
+// RetryAfter extracts the retry hint from a shed Submit error (queue full,
+// rate limited, over quota); ok is false for errors that carry none.
+func RetryAfter(err error) (time.Duration, bool) { return serve.RetryAfter(err) }
 
 // BoundUpdate is one anytime bound improvement streamed by Job.Updates: the
 // best proved lower bound and best known upper bound so far. For a job that
@@ -78,12 +116,20 @@ const (
 // NewServer starts a solving service. Close it to cancel outstanding jobs
 // and release its workers.
 func NewServer(cfg ServerConfig) *Server {
-	return &Server{s: serve.New(serve.Config{
-		Workers:        cfg.Workers,
-		QueueDepth:     cfg.QueueDepth,
-		CacheEntries:   cfg.CacheEntries,
-		DefaultTimeout: cfg.DefaultTimeout,
-	})}
+	return &Server{
+		s: serve.New(serve.Config{
+			Workers:        cfg.Workers,
+			QueueDepth:     cfg.QueueDepth,
+			CacheEntries:   cfg.CacheEntries,
+			DefaultTimeout: cfg.DefaultTimeout,
+			RatePerSec:     cfg.RatePerSec,
+			Burst:          cfg.Burst,
+			ClientQuota:    cfg.ClientQuota,
+			HighWater:      cfg.HighWater,
+			Audit:          cfg.Audit,
+		}),
+		defaultMem: cfg.MemoryBudget,
+	}
 }
 
 // Job is a handle on one submission. Handles returned for coalesced
@@ -99,8 +145,17 @@ type Job struct {
 // Options.Timeout bounds the solve from the moment it starts running (queue
 // time does not count); ServerConfig.DefaultTimeout applies when it is zero.
 // Submit fails fast on the errors Solve would return (unknown algorithm,
-// ErrWeighted) and on a full queue or closed server.
+// ErrWeighted) and on a full queue or closed server. Submissions shed by the
+// admission bounds (queue full, rate limited, over quota) fail with an error
+// wrapping the matching sentinel and carrying a RetryAfter hint.
 func (s *Server) Submit(w *WCNF, o Options) (*Job, error) {
+	return s.SubmitAs("", w, o)
+}
+
+// SubmitAs is Submit on a named client's account: the per-client rate limit
+// and in-flight quota are charged to client, and audit events carry it. The
+// empty name is the shared anonymous account that plain Submit uses.
+func (s *Server) SubmitAs(client string, w *WCNF, o Options) (*Job, error) {
 	// Validate exactly like Solve would, and resolve AlgoAuto so that an
 	// explicit and an automatic submission of the same instance coalesce.
 	_, algo, err := buildSolver(w, o)
@@ -117,6 +172,9 @@ func (s *Server) Submit(w *WCNF, o Options) (*Job, error) {
 		// and an explicit full-line-up request describe identical work.
 		o.Parallelism = slots
 	}
+	if o.MemoryBudget == 0 {
+		o.MemoryBudget = s.defaultMem
+	}
 	timeout := o.Timeout
 	o.Timeout = 0 // the serving layer owns the deadline
 	h, err := s.s.Submit(serve.JobSpec{
@@ -125,6 +183,7 @@ func (s *Server) Submit(w *WCNF, o Options) (*Job, error) {
 		Slots:   slots,
 		Timeout: timeout,
 		Meta:    algo,
+		Client:  client,
 		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, granted int) opt.Result {
 			ro := o
 			if algo == AlgoPortfolio {
@@ -148,9 +207,9 @@ func (s *Server) Submit(w *WCNF, o Options) (*Job, error) {
 // optsKey canonicalizes the options for in-flight coalescing. Every field
 // that changes what the job computes or how long it may run participates.
 func optsKey(o Options, timeout time.Duration) string {
-	return fmt.Sprintf("alg=%s enc=%s conf=%d skip=%t pre=%t par=%d share=%t to=%s",
+	return fmt.Sprintf("alg=%s enc=%s conf=%d skip=%t pre=%t par=%d share=%t to=%s mem=%d",
 		o.Algorithm, o.Encoding, o.MaxConflictsPerCall, o.SkipAtLeast1,
-		o.Preprocess, o.Parallelism, o.ShareClauses, timeout)
+		o.Preprocess, o.Parallelism, o.ShareClauses, timeout, o.MemoryBudget)
 }
 
 // Job returns the handle for a previously submitted job by ID (completed
@@ -181,6 +240,15 @@ func (s *Server) Stats() ServerStats { return s.s.Stats() }
 // to exit. Outstanding handles remain usable (their jobs complete with
 // Status Unknown); subsequent Submits fail.
 func (s *Server) Close() { s.s.Close() }
+
+// Drain shuts down gracefully: admissions stop immediately (Submit fails
+// with ErrServerClosed, ServerStats.Draining turns true) while queued and
+// running jobs run to completion and deliver real results to their handles
+// and Updates subscribers. When ctx expires first, the remaining jobs are
+// cancelled Close-style — they still complete, with their best bounds — and
+// Drain returns ctx's error after every worker has unwound. A nil error
+// means every job finished within the deadline.
+func (s *Server) Drain(ctx context.Context) error { return s.s.Drain(ctx) }
 
 // ID returns the server-assigned job ID (stable across polls, used by the
 // HTTP daemon's /jobs/{id} endpoint).
