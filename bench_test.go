@@ -364,7 +364,7 @@ func BenchmarkWeighted(b *testing.B) {
 		gen.ColoringWeighted(3, 8, 20, 3, 5),
 		gen.ColoringWeighted(4, 10, 26, 3, 5),
 	}
-	algos := []Algorithm{AlgoWMSU1, AlgoWMSU4, AlgoPBO, AlgoBnB}
+	algos := []Algorithm{AlgoWMSU1, AlgoWMSU4, AlgoOLL, AlgoPBO, AlgoBnB}
 	for _, algo := range algos {
 		algo := algo
 		b.Run(string(algo), func(b *testing.B) {
@@ -384,6 +384,35 @@ func BenchmarkWeighted(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkWeightedFamilies runs the two core-guided weighted engines
+// head to head on every family of the weighted suite — the wmsu4-vs-oll
+// comparison behind the CI BENCH_weighted artifact. Both must prove the
+// same optimum; cost disagreement fails the benchmark, so the artifact
+// doubles as a differential check.
+func BenchmarkWeightedFamilies(b *testing.B) {
+	insts := gen.WeightedSuite(42)
+	for _, algo := range []Algorithm{AlgoWMSU4, AlgoOLL} {
+		algo := algo
+		for _, in := range insts {
+			in := in
+			b.Run(string(algo)+"/"+in.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := Solve(in.W, Options{Algorithm: algo, Timeout: 30 * time.Second})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if r.Status != Optimal {
+						b.Fatalf("%s on %s: %v", algo, in.Name, r.Status)
+					}
+					if in.KnownCost >= 0 && r.Cost != in.KnownCost {
+						b.Fatalf("%s on %s: cost %d, known optimum %d", algo, in.Name, r.Cost, in.KnownCost)
+					}
+				}
+			})
+		}
 	}
 }
 

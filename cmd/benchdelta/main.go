@@ -1,0 +1,224 @@
+// Command benchdelta compares two `go test -bench` runs, benchstat-style,
+// without external dependencies. It accepts either raw benchmark output or
+// the `go test -json` stream (the "Output" events are unwrapped), matches
+// benchmarks by name, and prints old/new timings with their relative delta
+// plus the geometric-mean ratio across common benchmarks.
+//
+// Usage:
+//
+//	benchdelta [-metric ns/op] [-threshold 20] old.txt new.txt
+//
+// With -threshold N the exit status is 1 when any benchmark slowed down by
+// more than N percent (use in CI to turn the table into a gate; the default
+// 0 disables gating, so the step is informational).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// benchLine matches "BenchmarkName-8  <iters>  <value> ns/op [<value> <unit>]...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// benchName matches a bare benchmark name: `go test -json` emits the name
+// and its result line as two separate output events.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s*$`)
+
+// benchResult matches the result half of a split line: iters then metrics.
+var benchResult = regexp.MustCompile(`^(\d+)\s+(.*)$`)
+
+// metrics holds every "<value> <unit>" pair of one benchmark line.
+type metrics map[string]float64
+
+func run(args []string, out io.Writer) int {
+	metric := "ns/op"
+	threshold := 0.0
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-metric":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "-metric needs a value")
+				return 2
+			}
+			i++
+			metric = args[i]
+		case "-threshold":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "-threshold needs a value")
+				return 2
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "bad threshold %q\n", args[i])
+				return 2
+			}
+			threshold = v
+		default:
+			if strings.HasPrefix(args[i], "-") {
+				fmt.Fprintf(os.Stderr, "unknown flag %q\n", args[i])
+				return 2
+			}
+			files = append(files, args[i])
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-metric ns/op] [-threshold pct] old new")
+		return 2
+	}
+	old, err := parseFile(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cur, err := parseFile(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	var names []string
+	for name := range old {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(out, "%-56s %14s %14s %9s\n", "benchmark ("+metric+")", "old", "new", "delta")
+	logSum, n, worst := 0.0, 0, 0.0
+	for _, name := range names {
+		ov, okO := old[name][metric]
+		nv, okN := cur[name][metric]
+		if !okO || !okN {
+			continue
+		}
+		delta := "~"
+		if ov > 0 {
+			pct := (nv - ov) / ov * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if pct > worst {
+				worst = pct
+			}
+			if nv > 0 {
+				logSum += math.Log(nv / ov)
+				n++
+			}
+		}
+		fmt.Fprintf(out, "%-56s %14s %14s %9s\n", name, formatValue(ov), formatValue(nv), delta)
+	}
+	if n > 0 {
+		fmt.Fprintf(out, "%-56s %14s %14s %8.3fx\n", "geomean", "", "", math.Exp(logSum/float64(n)))
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			fmt.Fprintf(out, "%-56s %29s\n", name, "(new)")
+		}
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(out, "%-56s %29s\n", name, "(gone)")
+		}
+	}
+	if threshold > 0 && worst > threshold {
+		fmt.Fprintf(out, "REGRESSION: worst delta %+.1f%% exceeds threshold %.1f%%\n", worst, threshold)
+		return 1
+	}
+	return 0
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.4gms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.5gµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.6g", v)
+	}
+}
+
+func parseFile(path string) (map[string]metrics, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return parse(fh)
+}
+
+// parse reads benchmark results from raw `go test -bench` output or from a
+// `go test -json` stream. Repeated runs of the same benchmark are averaged.
+func parse(r io.Reader) (map[string]metrics, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	sums := map[string]metrics{}
+	counts := map[string]map[string]float64{}
+	pending := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "{") {
+			var ev struct {
+				Action string `json:"Action"`
+				Output string `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		line = strings.TrimSpace(line)
+		var name, rest string
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			name, rest = m[1], m[3]
+			pending = ""
+		} else if m := benchName.FindStringSubmatch(line); m != nil {
+			pending = m[1]
+			continue
+		} else if m := benchResult.FindStringSubmatch(line); m != nil && pending != "" {
+			name, rest = pending, m[2]
+			pending = ""
+		} else {
+			pending = ""
+			continue
+		}
+		fields := strings.Fields(rest)
+		if sums[name] == nil {
+			sums[name] = metrics{}
+			counts[name] = map[string]float64{}
+		}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			sums[name][fields[i+1]] += v
+			counts[name][fields[i+1]]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name, ms := range sums {
+		for unit, sum := range ms {
+			ms[unit] = sum / counts[name][unit]
+		}
+	}
+	return sums, nil
+}

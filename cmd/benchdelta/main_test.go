@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseRawOutput(t *testing.T) {
+	in := `goos: linux
+BenchmarkSolvers/msu4-v2-8         	      10	  1200000 ns/op	       3.000 aborts
+BenchmarkSolvers/oll-8             	      20	   600000 ns/op
+PASS
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkSolvers/msu4-v2"]["ns/op"] != 1200000 {
+		t.Fatalf("ns/op = %v", got["BenchmarkSolvers/msu4-v2"])
+	}
+	if got["BenchmarkSolvers/msu4-v2"]["aborts"] != 3 {
+		t.Fatalf("aborts = %v", got["BenchmarkSolvers/msu4-v2"])
+	}
+	if got["BenchmarkSolvers/oll"]["ns/op"] != 600000 {
+		t.Fatalf("oll = %v", got["BenchmarkSolvers/oll"])
+	}
+}
+
+func TestParseJSONStream(t *testing.T) {
+	in := `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"BenchmarkTable1-8   \t       1\t 500000000 ns/op\t        29.00 instances\n"}
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t1.0s\n"}
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkTable1"]["ns/op"] != 5e8 {
+		t.Fatalf("ns/op = %v", got["BenchmarkTable1"])
+	}
+	if got["BenchmarkTable1"]["instances"] != 29 {
+		t.Fatalf("instances = %v", got["BenchmarkTable1"])
+	}
+}
+
+func TestParseAveragesRepeats(t *testing.T) {
+	in := "BenchmarkX-4 1 100 ns/op\nBenchmarkX-4 1 300 ns/op\n"
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"]["ns/op"] != 200 {
+		t.Fatalf("mean = %v, want 200", got["BenchmarkX"]["ns/op"])
+	}
+}
+
+func TestDeltaTable(t *testing.T) {
+	old := write(t, "old.txt", "BenchmarkA-8 1 1000 ns/op\nBenchmarkB-8 1 500 ns/op\nBenchmarkGone-8 1 1 ns/op\n")
+	cur := write(t, "new.txt", "BenchmarkA-8 1 1500 ns/op\nBenchmarkB-8 1 250 ns/op\nBenchmarkNew-8 1 1 ns/op\n")
+	var out bytes.Buffer
+	if code := run([]string{old, cur}, &out); code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"+50.0%", "-50.0%", "geomean", "(new)", "(gone)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestThresholdGate(t *testing.T) {
+	old := write(t, "old.txt", "BenchmarkA-8 1 1000 ns/op\n")
+	cur := write(t, "new.txt", "BenchmarkA-8 1 2000 ns/op\n")
+	var out bytes.Buffer
+	if code := run([]string{"-threshold", "50", old, cur}, &out); code != 1 {
+		t.Fatalf("exit %d, want 1 (regression)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing regression marker:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-threshold", "200", old, cur}, &out); code != 0 {
+		t.Fatalf("exit %d, want 0 (within threshold)\n%s", code, out.String())
+	}
+}
+
+func TestCustomMetric(t *testing.T) {
+	old := write(t, "old.txt", "BenchmarkT-8 1 100 ns/op 4.000 aborts\n")
+	cur := write(t, "new.txt", "BenchmarkT-8 1 100 ns/op 2.000 aborts\n")
+	var out bytes.Buffer
+	if code := run([]string{"-metric", "aborts", old, cur}, &out); code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "-50.0%") {
+		t.Fatalf("aborts delta missing:\n%s", out.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"only-one-file"}, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-threshold", "x", "a", "b"}, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus", "a", "b"}, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -3,6 +3,7 @@
 //
 //	table1  — aborted-instance counts for maxsatz / pbo / msu4-v1 / msu4-v2
 //	table2  — aborted counts on the 29 design-debugging instances
+//	wtable  — weighted suite across pbo / pbo-bin / wmsu1 / wmsu4 / oll
 //	fig1    — scatter maxsatz vs msu4-v2 (ASCII + CSV)
 //	fig2    — scatter pbo vs msu4-v2
 //	fig3    — scatter msu4-v1 vs msu4-v2
@@ -32,7 +33,7 @@ func main() {
 func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		what      = fs.String("run", "all", "experiment: table1, table2, fig1, fig2, fig3, all")
+		what      = fs.String("run", "all", "experiment: table1, table2, wtable, fig1, fig2, fig3, all")
 		timeout   = fs.Duration("timeout", 5*time.Second, "per-instance per-solver timeout (paper: 1000s)")
 		seed      = fs.Int64("seed", 42, "benchmark generator seed")
 		extended  = fs.Bool("extended", false, "add msu1/msu2/msu3/pbo-bin to the line-up")
@@ -71,8 +72,9 @@ func run(args []string, out io.Writer) int {
 
 	needMain := *what == "all" || *what == "table1" || *what == "fig1" || *what == "fig2" || *what == "fig3"
 	needDebug := *what == "all" || *what == "table2"
+	needWeighted := *what == "all" || *what == "wtable"
 
-	var mainRep, debugRep *harness.Report
+	var mainRep, debugRep, weightedRep *harness.Report
 	if needMain {
 		insts := gen.Suite(*seed)
 		fmt.Fprintf(out, "running %d industrial-style instances x %d solvers (timeout %v) ...\n",
@@ -85,12 +87,26 @@ func run(args []string, out io.Writer) int {
 			len(insts), len(solverNames(cfg)), *timeout)
 		debugRep = harness.Run(insts, cfg)
 	}
+	if needWeighted {
+		// The weighted table runs its own line-up: the unweighted branch-
+		// and-bound and msu4 columns cannot prove weighted optima.
+		wcfg := harness.Config{Timeout: *timeout, Solvers: harness.WeightedSolvers(), Progress: cfg.Progress}
+		if *pre {
+			wcfg.Solvers = harness.ComparePreprocessing(wcfg.Solvers)
+		}
+		insts := gen.WeightedSuite(*seed)
+		fmt.Fprintf(out, "running %d weighted instances x %d solvers (timeout %v) ...\n",
+			len(insts), len(wcfg.Solvers), *timeout)
+		weightedRep = harness.Run(insts, wcfg)
+	}
 
 	switch *what {
 	case "table1":
 		mainRep.RenderAbortTable(out, "Table 1: number of aborted instances")
 	case "table2":
 		debugRep.RenderAbortTable(out, "Table 2: design debugging instances (aborted)")
+	case "wtable":
+		weightedRep.RenderAbortTable(out, "Weighted table: weighted partial MaxSAT (aborted)")
 	case "fig1":
 		mainRep.RenderScatterASCII(out, "msu4-v2", "maxsatz", 64, 24)
 	case "fig2":
@@ -108,6 +124,8 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintln(out)
 		debugRep.RenderAbortTable(out, "Table 2: design debugging instances (aborted)")
 		fmt.Fprintln(out)
+		weightedRep.RenderAbortTable(out, "Weighted table: weighted partial MaxSAT (aborted)")
+		fmt.Fprintln(out)
 		fmt.Fprintln(out, "Figure 1: maxsatz (y) vs msu4-v2 (x)")
 		mainRep.RenderScatterASCII(out, "msu4-v2", "maxsatz", 64, 24)
 		fmt.Fprintln(out)
@@ -124,7 +142,7 @@ func run(args []string, out io.Writer) int {
 	// Agreement check: every proved optimum must be consistent across
 	// solvers and with analytically known optima.
 	bad := 0
-	for _, rep := range []*harness.Report{mainRep, debugRep} {
+	for _, rep := range []*harness.Report{mainRep, debugRep, weightedRep} {
 		if rep == nil {
 			continue
 		}
@@ -150,6 +168,9 @@ func run(args []string, out io.Writer) int {
 		}
 		if debugRep != nil {
 			writeCSV(*csvDir, "table2.csv", debugRep.WriteCSV)
+		}
+		if weightedRep != nil {
+			writeCSV(*csvDir, "wtable.csv", weightedRep.WriteCSV)
 		}
 		fmt.Fprintf(out, "CSV written to %s\n", *csvDir)
 	}

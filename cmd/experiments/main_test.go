@@ -55,3 +55,23 @@ func TestExperimentsBadFlag(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestExperimentsWeightedTableTiny(t *testing.T) {
+	var out bytes.Buffer
+	dir := t.TempDir()
+	code := run([]string{"-run", "wtable", "-timeout", "1ms", "-csv", dir}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "Weighted table") {
+		t.Fatalf("missing weighted table output:\n%s", out.String())
+	}
+	for _, col := range []string{"wmsu4", "oll"} {
+		if !strings.Contains(out.String(), col) {
+			t.Fatalf("column %s missing:\n%s", col, out.String())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wtable.csv")); err != nil {
+		t.Fatalf("csv missing: %v", err)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	genbench [-out bench] [-seed 42] [-suite table1|table2|all]
+//	genbench [-out bench] [-seed 42] [-suite table1|table2|weighted|all] [-format classic|mse22]
 package main
 
 import (
@@ -25,11 +25,16 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("genbench", flag.ContinueOnError)
 	var (
-		out   = fs.String("out", "bench", "output directory")
-		seed  = fs.Int64("seed", 42, "generator seed")
-		suite = fs.String("suite", "all", "which suite: table1, table2, all")
+		out    = fs.String("out", "bench", "output directory")
+		seed   = fs.Int64("seed", 42, "generator seed")
+		suite  = fs.String("suite", "all", "which suite: table1, table2, weighted, all")
+		format = fs.String("format", "classic", "wcnf dialect: classic (p wcnf header) or mse22 (headerless, h-prefixed hards)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "classic" && *format != "mse22" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
 		return 2
 	}
 	var insts []gen.Instance
@@ -38,8 +43,11 @@ func run(args []string) int {
 		insts = gen.Suite(*seed)
 	case "table2":
 		insts = gen.DebugSuite(*seed)
+	case "weighted":
+		insts = gen.WeightedSuite(*seed)
 	case "all":
 		insts = append(gen.Suite(*seed), gen.DebugSuite(*seed)...)
+		insts = append(insts, gen.WeightedSuite(*seed)...)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
 		return 2
@@ -66,13 +74,16 @@ func run(args []string) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		if ext == ".cnf" {
+		switch {
+		case ext == ".cnf":
 			plain := maxsat.NewFormula(in.W.NumVars)
 			for _, c := range in.W.Clauses {
 				plain.AddClause(c.Clause...)
 			}
 			err = maxsat.WriteDIMACS(f, plain)
-		} else {
+		case *format == "mse22":
+			err = maxsat.WriteWCNF2022(f, in.W)
+		default:
 			err = maxsat.WriteWCNF(f, in.W)
 		}
 		f.Close()

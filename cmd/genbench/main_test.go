@@ -63,3 +63,45 @@ func TestGenbenchBadSuite(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestGenbenchWeightedMSE22(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"-out", dir, "-suite", "weighted", "-format", "mse22"}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wcnfs, hards int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".wcnf" {
+			continue
+		}
+		wcnfs++
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(raw), "p wcnf") {
+			t.Fatalf("%s: mse22 output must be headerless", e.Name())
+		}
+		w, err := maxsat.ParseWCNFFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		hards += w.NumHard()
+	}
+	if wcnfs == 0 {
+		t.Fatal("no weighted instances written")
+	}
+	if hards == 0 {
+		t.Fatal("lost hard clauses in mse22 round trip")
+	}
+}
+
+func TestGenbenchBadFormat(t *testing.T) {
+	if code := run([]string{"-format", "bogus", "-out", t.TempDir()}); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -28,7 +28,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("maxsat", flag.ContinueOnError)
 	var (
-		alg     = fs.String("alg", "", "algorithm: auto (default), msu4-v1, msu4-v2, msu4, msu1, msu2, msu3, wmsu1, wmsu4, pbo, pbo-bin, maxsatz, portfolio")
+		alg     = fs.String("alg", "", "algorithm: auto (default), msu4-v1, msu4-v2, msu4, msu1, msu2, msu3, wmsu1, wmsu4, oll, pbo, pbo-bin, maxsatz, portfolio")
 		enc     = fs.String("enc", "", "cardinality encoding for -alg msu4: bdd, sorter, seq, totalizer")
 		jobs    = fs.Int("jobs", 0, "parallel solvers raced by -alg portfolio (0 = full line-up)")
 		share   = fs.Bool("share", false, "learnt-clause sharing between -alg portfolio members")

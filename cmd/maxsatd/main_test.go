@@ -425,3 +425,21 @@ func TestDrainGraceful(t *testing.T) {
 		t.Fatal("daemon never exited after the drain")
 	}
 }
+
+// TestSolveAlgOLL submits a weighted instance with alg=oll and checks the
+// daemon routes it to the OLL optimizer and returns the known optimum.
+func TestSolveAlgOLL(t *testing.T) {
+	ts := newTestServer(t, maxsat.ServerConfig{})
+	inst := gen.SelectionWeighted(3, 3, 4)
+
+	job, code := postSolve(t, ts, dimacs(t, inst.W), "?wait=1&alg=oll")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if job.Result == nil || job.Result.Status != "OPTIMAL" || job.Result.Cost != int64(inst.KnownCost) {
+		t.Fatalf("daemon result %+v, want OPTIMAL cost %d", job.Result, inst.KnownCost)
+	}
+	if job.Result.Algorithm != "oll" {
+		t.Fatalf("algorithm %q, want oll", job.Result.Algorithm)
+	}
+}

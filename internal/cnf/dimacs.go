@@ -124,11 +124,14 @@ func WriteDIMACS(w io.Writer, f *Formula) error {
 	return bw.Flush()
 }
 
-// ParseWCNF reads a weighted DIMACS formula. Two dialects are supported:
+// ParseWCNF reads a weighted DIMACS formula. Three dialects are supported:
 //
 //   - classic:  "p wcnf <vars> <clauses> [top]" header; each clause line
 //     starts with a weight; weight == top (when given) marks hard clauses.
 //   - plain cnf: parsed as soft unit-weight clauses (plain MaxSAT reading).
+//   - MaxSAT Evaluation 2022: no header at all; hard clauses start with the
+//     letter "h", soft clauses with their (positive) weight. Detected by the
+//     first content line not being a "p" header.
 func ParseWCNF(r io.Reader) (*WCNF, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -136,6 +139,7 @@ func ParseWCNF(r io.Reader) (*WCNF, error) {
 	line := 0
 	sawHeader := false
 	isWCNF := false
+	is2022 := false
 	var top int64 = -1
 	declaredVars := 0
 	for sc.Scan() {
@@ -145,6 +149,9 @@ func ParseWCNF(r io.Reader) (*WCNF, error) {
 			continue
 		}
 		if strings.HasPrefix(text, "p") {
+			if is2022 {
+				return nil, parseErr(line, "p line after headerless (2022-format) clauses")
+			}
 			if sawHeader {
 				return nil, parseErr(line, "duplicate p line")
 			}
@@ -180,7 +187,10 @@ func ParseWCNF(r io.Reader) (*WCNF, error) {
 			continue
 		}
 		if !sawHeader {
-			return nil, parseErr(line, "clause before p line")
+			// A clause before any header: the MaxSAT Evaluation 2022
+			// headerless dialect.
+			is2022 = true
+			sawHeader = true
 		}
 		toks := strings.Fields(text)
 		// WCNF clauses must fit on one line (weight prefix is ambiguous
@@ -188,7 +198,19 @@ func ParseWCNF(r io.Reader) (*WCNF, error) {
 		// one-clause-per-line case here and multi-line via the 0 terminator.
 		var weight Weight = 1
 		start := 0
-		if isWCNF {
+		switch {
+		case is2022:
+			if toks[0] == "h" {
+				weight = HardWeight
+			} else {
+				wt, err := strconv.ParseInt(toks[0], 10, 64)
+				if err != nil || wt <= 0 {
+					return nil, parseErr(line, "bad clause weight %q (2022 format: \"h\" or a positive weight)", toks[0])
+				}
+				weight = Weight(wt)
+			}
+			start = 1
+		case isWCNF:
 			wt, err := strconv.ParseInt(toks[0], 10, 64)
 			if err != nil || wt < 0 {
 				return nil, parseErr(line, "bad clause weight %q", toks[0])
@@ -243,6 +265,34 @@ func ParseWCNFFile(path string) (*WCNF, error) {
 	}
 	defer fh.Close()
 	return ParseWCNF(fh)
+}
+
+// WriteWCNF2022 writes w in the MaxSAT Evaluation 2022 headerless format:
+// hard clauses as "h <lits> 0", soft clauses as "<weight> <lits> 0".
+// ParseWCNF reads the format back (the variable count round-trips through
+// the literals actually used, since the format has no header to carry it).
+func WriteWCNF2022(out io.Writer, w *WCNF) error {
+	bw := bufio.NewWriter(out)
+	for _, c := range w.Clauses {
+		if c.Hard() {
+			if _, err := fmt.Fprint(bw, "h "); err != nil {
+				return err
+			}
+		} else {
+			if _, err := fmt.Fprintf(bw, "%d ", int64(c.Weight)); err != nil {
+				return err
+			}
+		}
+		for _, l := range c.Clause {
+			if _, err := fmt.Fprintf(bw, "%d ", l.DIMACS()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // WriteWCNF writes w in classic "p wcnf" format. Hard clauses get weight

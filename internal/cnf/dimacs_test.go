@@ -168,8 +168,12 @@ func TestParseWCNFErrors(t *testing.T) {
 		"p wcnf 2 1 10\n0 1 0\n", // zero weight
 		"p wcnf 2 1 10\n1 1\n",   // unterminated clause
 		"p wcnf 2 1 0\n1 1 0\n",  // bad top
-		"1 1 0\n",                // clause before header
+		"1 1 0\np wcnf 2 1 10\n", // header after 2022-format clauses
 		"p wcnf 2 1 10 extra\n",  // long header
+		"h 1\n",                  // 2022: unterminated clause
+		"0 1 0\n",                // 2022: zero weight
+		"-3 1 0\n",               // 2022: negative weight
+		"w 1 0\n",                // 2022: bad hard marker
 	}
 	for _, in := range cases {
 		if _, err := ParseWCNF(strings.NewReader(in)); err == nil {
@@ -269,5 +273,106 @@ func TestParserNeverPanics(t *testing.T) {
 			_, _ = ParseDIMACS(bytes.NewReader(mut))
 			_, _ = ParseWCNF(bytes.NewReader(mut))
 		}()
+	}
+}
+
+// TestParseWCNF2022 parses the published example of the MaxSAT Evaluation
+// 2022 format description: headerless, "h"-prefixed hard clauses, weight-
+// prefixed soft clauses.
+func TestParseWCNF2022(t *testing.T) {
+	in := `c This is a comment
+c MaxSAT Evaluation 2022 input format example
+h 1 2 0
+h -1 3 0
+1 -3 0
+2 4 0
+`
+	w, err := ParseWCNF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumVars != 4 || w.NumClauses() != 4 {
+		t.Fatalf("got %d vars %d clauses, want 4/4", w.NumVars, w.NumClauses())
+	}
+	if w.NumHard() != 2 || w.NumSoft() != 2 {
+		t.Fatalf("got %d hard %d soft, want 2/2", w.NumHard(), w.NumSoft())
+	}
+	if !w.Clauses[0].Hard() || !w.Clauses[1].Hard() {
+		t.Fatal("h-prefixed clauses must be hard")
+	}
+	if w.Clauses[2].Weight != 1 || w.Clauses[3].Weight != 2 {
+		t.Fatalf("soft weights = %d,%d, want 1,2", w.Clauses[2].Weight, w.Clauses[3].Weight)
+	}
+	if got := w.Clauses[1].Clause; len(got) != 2 || got[0] != FromDIMACS(-1) || got[1] != FromDIMACS(3) {
+		t.Fatalf("clause 1 literals wrong: %v", got)
+	}
+}
+
+// TestParseWCNF2022Unweighted checks the unweighted 2022 reading: every
+// soft clause written with weight 1.
+func TestParseWCNF2022Unweighted(t *testing.T) {
+	in := "h 1 -2 0\n1 2 0\n1 -1 0\n"
+	w, err := ParseWCNF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Weighted() {
+		t.Fatal("unit-weight 2022 instance must read as unweighted")
+	}
+	if w.NumHard() != 1 || w.NumSoft() != 2 {
+		t.Fatalf("got %d hard %d soft, want 1/2", w.NumHard(), w.NumSoft())
+	}
+}
+
+// TestWCNF2022RoundTrip writes random instances in the 2022 format and
+// parses them back; clauses, weights and hardness must survive. Variable
+// counts round-trip through the literals used (the format has no header),
+// so instances are built with their highest variable mentioned.
+func TestWCNF2022RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 30; iter++ {
+		w := NewWCNF(1 + rng.Intn(10))
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			var c []Lit
+			for j := 0; j <= rng.Intn(4); j++ {
+				c = append(c, NewLit(Var(rng.Intn(w.NumVars)), rng.Intn(2) == 0))
+			}
+			if rng.Intn(3) == 0 {
+				w.AddHard(c...)
+			} else {
+				w.AddSoft(Weight(1+rng.Intn(5)), c...)
+			}
+		}
+		// Pin the variable count into the instance for the round trip.
+		w.AddHard(PosLit(Var(w.NumVars-1)), NegLit(Var(w.NumVars-1)))
+		var buf bytes.Buffer
+		if err := WriteWCNF2022(&buf, w); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(buf.String(), "p ") {
+			t.Fatal("2022 format must not contain a header")
+		}
+		g, err := ParseWCNF(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, buf.String())
+		}
+		if g.NumVars != w.NumVars || g.NumClauses() != w.NumClauses() {
+			t.Fatalf("iter %d: size mismatch %d/%d vs %d/%d",
+				iter, w.NumVars, w.NumClauses(), g.NumVars, g.NumClauses())
+		}
+		for i := range w.Clauses {
+			if w.Clauses[i].Weight != g.Clauses[i].Weight {
+				t.Fatalf("iter %d: clause %d weight %d vs %d",
+					iter, i, w.Clauses[i].Weight, g.Clauses[i].Weight)
+			}
+			if len(w.Clauses[i].Clause) != len(g.Clauses[i].Clause) {
+				t.Fatalf("iter %d: clause %d length mismatch", iter, i)
+			}
+			for j, l := range w.Clauses[i].Clause {
+				if g.Clauses[i].Clause[j] != l {
+					t.Fatalf("iter %d: clause %d literal %d mismatch", iter, i, j)
+				}
+			}
+		}
 	}
 }

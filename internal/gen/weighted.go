@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cnf"
+)
+
+// PigeonholeWeighted is the soft pigeonhole family with a fully diverse
+// weight profile: PHP(p+1, p) hole constraints are hard, every "pigeon
+// placed" clause is soft with a distinct weight 1..p+1. Exactly one pigeon
+// must stay unplaced, and the optimum drops the cheapest: cost 1. The
+// instance family is the classic core-guided stress test (one big core that
+// must be re-bounded repeatedly), here with the weighted bookkeeping
+// exercised on top.
+func PigeonholeWeighted(p int) Instance {
+	pigeons, holes := p+1, p
+	w := cnf.NewWCNF(pigeons * holes)
+	v := func(pg, h int) cnf.Lit { return cnf.PosLit(cnf.Var(pg*holes + h)) }
+	for pg := 0; pg < pigeons; pg++ {
+		c := make([]cnf.Lit, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = v(pg, h)
+		}
+		w.AddSoft(cnf.Weight(pg+1), c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				w.AddHard(v(p1, h).Neg(), v(p2, h).Neg())
+			}
+		}
+	}
+	return Instance{
+		// No "-<digits>" suffix: benchmark tooling strips a trailing
+		// "-N" as the GOMAXPROCS marker, so it can't end the name.
+		Name:      fmt.Sprintf("wphp%d", p),
+		Family:    "pigeonhole-weighted",
+		W:         w,
+		KnownCost: 1,
+	}
+}
+
+// SelectionWeighted is a Boolean-lexicographic (BLO-structured) selection
+// family: groups·per mutually exclusive options (hard pairwise conflicts),
+// per options at each weight level base^0 … base^(groups−1). The optimum
+// keeps exactly one option — a heaviest one — so cost = per·Σ base^i −
+// base^(groups−1), known analytically. Broad weight levels spanning orders
+// of magnitude are the shape stratification and hardening are designed for:
+// the top stratum is satisfiable on its own and immediately pins the
+// incumbent.
+func SelectionWeighted(groups, per int, base cnf.Weight) Instance {
+	n := groups * per
+	w := cnf.NewWCNF(n)
+	var total, max cnf.Weight
+	wt := cnf.Weight(1)
+	for g := 0; g < groups; g++ {
+		for p := 0; p < per; p++ {
+			w.AddSoft(wt, cnf.PosLit(cnf.Var(g*per+p)))
+			total += wt
+		}
+		if wt > max {
+			max = wt
+		}
+		wt *= base
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w.AddHard(cnf.NegLit(cnf.Var(i)), cnf.NegLit(cnf.Var(j)))
+		}
+	}
+	return Instance{
+		Name:      fmt.Sprintf("wselect-g%dx%d-b%d", groups, per, base),
+		Family:    "blo-selection",
+		W:         w,
+		KnownCost: total - max,
+	}
+}
+
+// RandomKSATWeighted is the SATLIB-style random filler family with random
+// soft weights in 1..maxWeight (optimum not known analytically).
+func RandomKSATWeighted(seed int64, vars, k int, ratio float64, maxWeight int) Instance {
+	base := RandomKSAT(seed, vars, k, ratio)
+	rng := rand.New(rand.NewSource(seed ^ 0x77e1647ed))
+	for ci := range base.W.Clauses {
+		base.W.Clauses[ci].Weight = cnf.Weight(1 + rng.Intn(maxWeight))
+	}
+	base.Name = fmt.Sprintf("wrand%d-v%d-r%.1f-s%d", k, vars, ratio, seed)
+	base.Family = "random-weighted"
+	return base
+}
+
+// WeightedSuite is the weighted companion of Suite: the weighted graph
+// coloring family of the Table 1 suite plus the three weighted families
+// above, at sizes a complete algorithm proves in well under a second.
+func WeightedSuite(seed int64) []Instance {
+	return []Instance{
+		ColoringWeighted(seed, 12, 28, 3, 6),
+		ColoringWeighted(seed+1, 14, 34, 3, 9),
+		ColoringWeighted(seed+2, 16, 40, 3, 6),
+		PigeonholeWeighted(4),
+		PigeonholeWeighted(5),
+		SelectionWeighted(5, 4, 2),
+		SelectionWeighted(4, 5, 10),
+		RandomKSATWeighted(seed, 30, 3, 6.0, 7),
+		RandomKSATWeighted(seed+3, 40, 3, 5.5, 4),
+	}
+}

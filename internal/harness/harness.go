@@ -46,9 +46,23 @@ func ExtendedSolvers() []SolverSpec {
 		SolverSpec{Name: "msu3", Make: func(o opt.Options) opt.Solver { return core.NewMSU3(o) }},
 		SolverSpec{Name: "wmsu1", Make: func(o opt.Options) opt.Solver { return core.NewWMSU1(o) }},
 		SolverSpec{Name: "wmsu4", Make: func(o opt.Options) opt.Solver { return core.NewWMSU4(o) }},
+		SolverSpec{Name: "oll", Make: func(o opt.Options) opt.Solver { return core.NewOLL(o) }},
 		SolverSpec{Name: "pbo-bin", Make: func(o opt.Options) opt.Solver { return &pbo.BinarySearch{Opts: o} }},
 	)
 	return out
+}
+
+// WeightedSolvers is the line-up for the weighted-table experiment: every
+// complete weighted-capable algorithm in the repo, with the core-guided
+// pair (wmsu4, oll) alongside the PBO baselines.
+func WeightedSolvers() []SolverSpec {
+	return []SolverSpec{
+		{Name: "pbo", Make: func(o opt.Options) opt.Solver { return &pbo.Linear{Opts: o} }},
+		{Name: "pbo-bin", Make: func(o opt.Options) opt.Solver { return &pbo.BinarySearch{Opts: o} }},
+		{Name: "wmsu1", Make: func(o opt.Options) opt.Solver { return core.NewWMSU1(o) }},
+		{Name: "wmsu4", Make: func(o opt.Options) opt.Solver { return core.NewWMSU4(o) }},
+		{Name: "oll", Make: func(o opt.Options) opt.Solver { return core.NewOLL(o) }},
+	}
 }
 
 // WithPreprocessing returns a copy of spec whose solver runs with the

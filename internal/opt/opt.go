@@ -229,7 +229,10 @@ func (o Options) ConfigureSolver(ctx context.Context, s *sat.Solver) {
 //     qualify. Unguarded bound assertions do not (pbo linear search, wmsu4,
 //     msu2 — they never attach), and neither does retiring a scope variable
 //     by unit clause (msu1/wmsu1 re-assign selectors that way, so they may
-//     only share the plain formula prefix).
+//     only share the plain formula prefix; oll hardens soft selectors and
+//     asserts unit cores as hard units — facts about selector and formula
+//     variables that hold only under its own bound bookkeeping — so it
+//     never attaches either).
 //
 // Under those two promises a learnt clause over the scope is a logical
 // consequence of clauses every sharing member also has, so importing it

@@ -55,6 +55,7 @@ type Spec struct {
 func DefaultMembers() []Spec {
 	return []Spec{
 		{Name: "msu4-v2", Make: func(o opt.Options) opt.Solver { return core.NewMSU4V2(o) }},
+		{Name: "oll", Make: func(o opt.Options) opt.Solver { return core.NewOLL(o) }},
 		{Name: "maxsatz", Make: func(o opt.Options) opt.Solver { return bnb.New(o) }},
 		{Name: "msu3", Make: func(o opt.Options) opt.Solver {
 			o.Restart = sat.RestartGlucose
@@ -73,8 +74,13 @@ func DefaultMembers() []Spec {
 }
 
 // WeightedMembers is the line-up for weighted partial MaxSAT instances.
+// OLL leads: stratification, hardening and per-core totalizers make it the
+// strongest member of this line-up on industrial-shaped weighted instances
+// (the RC2/EvalMaxSAT lineage dominates the weighted MaxSAT Evaluation
+// tracks for the same reason).
 func WeightedMembers() []Spec {
 	return []Spec{
+		{Name: "oll", Make: func(o opt.Options) opt.Solver { return core.NewOLL(o) }},
 		{Name: "wmsu4", Make: func(o opt.Options) opt.Solver { return core.NewWMSU4(o) }},
 		{Name: "maxsatz", Make: func(o opt.Options) opt.Solver { return bnb.New(o) }},
 		{Name: "wmsu1", Make: func(o opt.Options) opt.Solver { return core.NewWMSU1(o) }},

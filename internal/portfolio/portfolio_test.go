@@ -226,3 +226,33 @@ func TestPortfolioName(t *testing.T) {
 		t.Fatal("label override")
 	}
 }
+
+// TestPortfolioWeightedSuiteWithOLL races the weighted line-up (OLL in the
+// lead) over the weighted generator suite, with and without clause sharing,
+// and checks the proved optima against the known costs / the wmsu4
+// reference. OLL itself never attaches the sharing bus (see
+// opt.Options.AttachExchange), so sharing must not perturb its optima.
+func TestPortfolioWeightedSuiteWithOLL(t *testing.T) {
+	for _, in := range gen.WeightedSuite(23) {
+		want := in.KnownCost
+		if want < 0 {
+			ref := core.NewWMSU4(opt.Options{}).Solve(context.Background(), in.W, nil)
+			if ref.Status != opt.StatusOptimal {
+				t.Fatalf("%s: wmsu4 reference did not finish: %v", in.Name, ref.Status)
+			}
+			want = ref.Cost
+		}
+		for _, share := range []bool{false, true} {
+			e := New(opt.Options{}, 0)
+			e.Share = share
+			r := e.Solve(context.Background(), in.W, nil)
+			if r.Status != opt.StatusOptimal || r.Cost != want {
+				t.Fatalf("%s (share=%v): got status %v cost %d, want optimal %d",
+					in.Name, share, r.Status, r.Cost, want)
+			}
+			if !opt.VerifyModel(in.W, r) {
+				t.Fatalf("%s (share=%v): model does not witness cost", in.Name, share)
+			}
+		}
+	}
+}

@@ -17,14 +17,19 @@
 // Plain MaxSAT instances are *Formula values (every clause soft, weight 1,
 // the paper's setting); weighted partial MaxSAT instances are *WCNF values
 // with hard clauses and positive soft weights. DIMACS .cnf and .wcnf files
-// round-trip through ParseDIMACS / ParseWCNF / WriteDIMACS / WriteWCNF.
+// round-trip through ParseDIMACS / ParseWCNF / WriteDIMACS / WriteWCNF;
+// ParseWCNF also reads the headerless MaxSAT Evaluation 2022 dialect,
+// which WriteWCNF2022 writes.
 //
 // Algorithms are selected by Options.Algorithm. The default, AlgoAuto,
 // routes unweighted instances to msu4 with sorting networks (the paper's
 // best performer, "msu4 v2") and weighted instances to the PBO optimizer.
+// AlgoOLL is the strongest weighted engine: an OLL-style core-guided
+// optimizer with stratification, hardening and core exhaustion.
 // AlgoPortfolio races a line-up of the algorithms in parallel goroutines
 // with shared bound exchange (Options.Parallelism caps the racers); use
-// SolveContext for external cancellation and deadlines.
+// SolveContext for external cancellation and deadlines, and
+// Options.OnImprove to observe bound improvements as they happen.
 //
 // # Serving
 //
@@ -89,6 +94,7 @@ var (
 	ParseWCNFFile   = cnf.ParseWCNFFile
 	WriteDIMACS     = cnf.WriteDIMACS
 	WriteWCNF       = cnf.WriteWCNF
+	WriteWCNF2022   = cnf.WriteWCNF2022
 )
 
 // Algorithm selects a MaxSAT algorithm.
@@ -117,6 +123,12 @@ const (
 	// AlgoWMSU4 is msu4 lifted to weighted partial MaxSAT: the line-30
 	// cardinality constraint becomes a pseudo-Boolean constraint.
 	AlgoWMSU4 Algorithm = "wmsu4"
+	// AlgoOLL is the OLL-style soft-cardinality core-guided optimizer
+	// (the RC2/EvalMaxSAT lineage): per-core incremental totalizers whose
+	// sum outputs become new soft literals, plus stratified weight levels,
+	// hardening and core exhaustion. Handles weighted and unweighted
+	// instances.
+	AlgoOLL Algorithm = "oll"
 	// AlgoPBO is the minisat+-style linear SAT-UNSAT optimizer on the
 	// blocking-variable formulation (handles weights).
 	AlgoPBO Algorithm = "pbo"
@@ -135,7 +147,8 @@ const (
 func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgoMSU4V1, AlgoMSU4V2, AlgoMSU4, AlgoMSU1, AlgoMSU2, AlgoMSU3,
-		AlgoWMSU1, AlgoWMSU4, AlgoPBO, AlgoPBOBin, AlgoBnB, AlgoPortfolio,
+		AlgoWMSU1, AlgoWMSU4, AlgoOLL, AlgoPBO, AlgoPBOBin, AlgoBnB,
+		AlgoPortfolio,
 	}
 }
 
@@ -180,6 +193,15 @@ type Options struct {
 	// default; solving behavior with it off is identical to not having a
 	// bus at all.
 	ShareClauses bool
+	// OnImprove, when non-nil, receives every anytime bound improvement of
+	// a Solve/SolveContext run as it is proved: lower bounds published by
+	// the core-guided algorithms after every core (AlgoOLL publishes one
+	// per core, AlgoPortfolio the best of all members) and upper bounds
+	// from every improved model. The callback runs on the solving
+	// goroutine(s) and must return quickly; improvements are monotone per
+	// bound but under AlgoPortfolio may arrive from concurrent members.
+	// Server.Submit ignores it — use Job.Updates for served jobs.
+	OnImprove func(BoundUpdate)
 }
 
 // Status is the outcome class of a Solve call.
@@ -300,7 +322,12 @@ func SolveContext(ctx context.Context, w *WCNF, o Options) (Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
-	r := solver.Solve(ctx, w, nil)
+	var shared *opt.Bounds
+	if o.OnImprove != nil {
+		shared = opt.NewBounds()
+		shared.SetObserver(o.OnImprove)
+	}
+	r := solver.Solve(ctx, w, shared)
 	return fromInternal(r, algo), nil
 }
 
@@ -378,6 +405,8 @@ func buildSolver(w *WCNF, o Options) (opt.Solver, Algorithm, error) {
 		solver = core.NewWMSU1(io_)
 	case AlgoWMSU4:
 		solver = &core.WMSU4{Opts: io_, SkipAtLeast1: o.SkipAtLeast1}
+	case AlgoOLL:
+		solver = core.NewOLL(io_)
 	case AlgoPBO:
 		solver = &pbo.Linear{Opts: io_}
 	case AlgoPBOBin:

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -82,8 +83,8 @@ func TestWeightedRejectedByCoreGuided(t *testing.T) {
 			t.Fatalf("%s: err = %v, want ErrWeighted", algo, err)
 		}
 	}
-	// BnB and PBO handle weights.
-	for _, algo := range []Algorithm{AlgoPBO, AlgoPBOBin, AlgoBnB} {
+	// BnB, PBO and the weighted core-guided engines handle weights.
+	for _, algo := range []Algorithm{AlgoPBO, AlgoPBOBin, AlgoBnB, AlgoWMSU1, AlgoWMSU4, AlgoOLL} {
 		if _, err := Solve(w, Options{Algorithm: algo}); err != nil {
 			t.Fatalf("%s: unexpected error %v", algo, err)
 		}
@@ -291,5 +292,62 @@ func TestWMSU4ViaFacade(t *testing.T) {
 	}
 	if r.Status != Optimal || r.Cost != 2 {
 		t.Fatalf("wmsu4: status %v cost %d, want optimal 2", r.Status, r.Cost)
+	}
+}
+
+func TestOLLViaFacade(t *testing.T) {
+	in := gen.SelectionWeighted(3, 3, 4)
+	r, err := Solve(in.W, Options{Algorithm: AlgoOLL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || r.Cost != in.KnownCost {
+		t.Fatalf("oll: status %v cost %d, want optimal %d", r.Status, r.Cost, in.KnownCost)
+	}
+}
+
+// TestOnImproveStreamsBounds checks the anytime observer: every bound
+// improvement of the solve is delivered, monotonically, and the last
+// upper bound matches the proved optimum.
+func TestOnImproveStreamsBounds(t *testing.T) {
+	var mu sync.Mutex
+	var events []BoundUpdate
+	in := gen.PigeonholeWeighted(4)
+	r, err := Solve(in.W, Options{
+		Algorithm: AlgoOLL,
+		OnImprove: func(e BoundUpdate) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || r.Cost != in.KnownCost {
+		t.Fatalf("status %v cost %d, want optimal %d", r.Status, r.Cost, in.KnownCost)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("no bound updates delivered")
+	}
+	var lb, ub Weight = -1, -1
+	for _, e := range events {
+		if e.HasLB {
+			if lb >= 0 && e.LB < lb {
+				t.Fatalf("lower bound regressed: %d -> %d", lb, e.LB)
+			}
+			lb = e.LB
+		}
+		if e.HasUB {
+			if ub >= 0 && e.UB > ub {
+				t.Fatalf("upper bound regressed: %d -> %d", ub, e.UB)
+			}
+			ub = e.UB
+		}
+	}
+	if ub != r.Cost {
+		t.Fatalf("final streamed UB %d, proved optimum %d", ub, r.Cost)
 	}
 }
