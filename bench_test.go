@@ -82,6 +82,51 @@ func BenchmarkTable1Pre(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1Cert measures certification overhead on the Table 1 suite:
+// each instance is solved twice through the public API — once plain, once
+// with Options.Certify — and the aggregate extra time of the proof-logged
+// certification pass is reported as cert_overhead_ms. With logging off the
+// solve path is byte-for-byte the plain one (BenchmarkTable1 itself is the
+// logging-off baseline); this benchmark prices what turning it on costs. CI
+// archives the output as the BENCH_cert artifact.
+func BenchmarkTable1Cert(b *testing.B) {
+	insts := gen.Suite(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var plain, certified time.Duration
+		solved, certs := 0, 0
+		for _, in := range insts {
+			t0 := time.Now()
+			r1, err := Solve(in.W, Options{Timeout: benchTimeout})
+			if err != nil {
+				b.Fatal(err)
+			}
+			plain += time.Since(t0)
+			t0 = time.Now()
+			r2, err := Solve(in.W, Options{Timeout: benchTimeout, Certify: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			certified += time.Since(t0)
+			if r1.Status != Unknown {
+				solved++
+			}
+			if r2.Certificate != nil {
+				certs++
+				if err := CheckCertificate(in.W, r2.Certificate); err != nil {
+					b.Fatalf("%s: certificate rejected: %v", in.Name, err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(insts)), "instances")
+		b.ReportMetric(float64(solved), "solved")
+		b.ReportMetric(float64(certs), "certified")
+		b.ReportMetric(float64((certified - plain).Milliseconds()), "cert_overhead_ms")
+		b.StartTimer()
+	}
+}
+
 // BenchmarkTable2 regenerates Table 2: the 29 design-debugging instances.
 func BenchmarkTable2(b *testing.B) {
 	insts := gen.DebugSuite(42)

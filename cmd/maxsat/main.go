@@ -9,6 +9,15 @@
 // Usage:
 //
 //	maxsat [-alg msu4-v2] [-enc sorter] [-jobs 4] [-share] [-pre] [-timeout 30s] [-stats] [-no-model] file
+//
+// -cert makes OPTIMAL and UNSATISFIABLE verdicts carry a machine-checkable
+// proof certificate, re-validated in-process before the result is printed.
+// With -cert, -proof writes the certificate's refutation as standard ASCII
+// DRAT and -proof-cnf writes the DIMACS formula it refutes, so external
+// tools (drat-trim) can cross-check the trace:
+//
+//	maxsat -cert -proof inst.drat -proof-cnf inst.bound.cnf inst.wcnf
+//	drat-trim inst.bound.cnf inst.drat
 package main
 
 import (
@@ -19,6 +28,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cnf"
+	"repro/internal/proof"
 )
 
 func main() {
@@ -36,6 +47,9 @@ func run(args []string) int {
 		timeout = fs.Duration("timeout", 0, "overall solve timeout (0 = unbounded)")
 		stats   = fs.Bool("stats", false, "print iteration/conflict statistics")
 		noModel = fs.Bool("no-model", false, "suppress the v line")
+		cert    = fs.Bool("cert", false, "emit and verify a proof certificate for OPTIMAL/UNSATISFIABLE verdicts")
+		prf     = fs.String("proof", "", "with -cert: write the certificate's refutation as ASCII DRAT to this file")
+		prfCNF  = fs.String("proof-cnf", "", "with -proof: write the DIMACS formula the DRAT file refutes")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: maxsat [flags] <file.cnf|file.wcnf>\n")
@@ -65,6 +79,7 @@ func run(args []string) int {
 		Parallelism:  *jobs,
 		Preprocess:   *pre,
 		ShareClauses: *share,
+		Certify:      *cert,
 	}
 	start := time.Now()
 	r, err := maxsat.Solve(w, o)
@@ -73,6 +88,19 @@ func run(args []string) int {
 		return 1
 	}
 	fmt.Printf("c algorithm %s, %.3fs\n", r.Algorithm, time.Since(start).Seconds())
+	if *cert && r.Certificate != nil {
+		if err := maxsat.CheckCertificate(w, r.Certificate); err != nil {
+			fmt.Fprintf(os.Stderr, "c error: certificate failed verification: %v\n", err)
+			return 1
+		}
+		fmt.Printf("c certificate %d bytes, verified by the independent checker\n", len(r.Certificate))
+		if *prf != "" {
+			if err := writeProof(w, r.Certificate, *prf, *prfCNF); err != nil {
+				fmt.Fprintf(os.Stderr, "c error: %v\n", err)
+				return 1
+			}
+		}
+	}
 	if *stats {
 		fmt.Printf("c %v\n", r)
 	}
@@ -92,6 +120,49 @@ func run(args []string) int {
 		fmt.Println("s UNKNOWN")
 	}
 	return 0
+}
+
+// writeProof renders the certificate's refutation as standard ASCII DRAT,
+// and (when cnfPath is set) the formula that trace refutes in DIMACS form —
+// the pair an external checker like drat-trim consumes.
+func writeProof(w *maxsat.WCNF, certBytes []byte, proofPath, cnfPath string) error {
+	c, err := proof.Decode(certBytes)
+	if err != nil {
+		return err
+	}
+	if len(c.Steps) == 0 {
+		fmt.Println("c no proof step to dump: a zero-cost optimum is certified by its model alone")
+		return nil
+	}
+	st := c.Steps[0]
+	var f *cnf.Formula
+	if c.Kind == proof.KindUnsat {
+		f = w.Hards()
+	} else {
+		f = proof.BoundFormula(w, st.Bound)
+	}
+	pf, err := os.Create(proofPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := st.Trace.WriteDRAT(pf); err != nil {
+		return err
+	}
+	fmt.Printf("c DRAT proof (%d records) written to %s\n", len(st.Trace.Records), proofPath)
+	if cnfPath != "" {
+		cf, err := os.Create(cnfPath)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := cnf.WriteDIMACS(cf, f); err != nil {
+			return err
+		}
+		fmt.Printf("c refuted formula (%d vars, %d clauses) written to %s\n",
+			f.NumVars, f.NumClauses(), cnfPath)
+	}
+	return nil
 }
 
 func printModel(m maxsat.Assignment, n int) {

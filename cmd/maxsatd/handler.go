@@ -31,6 +31,8 @@ type daemonOpts struct {
 //	POST /solve            DIMACS .cnf/.wcnf body → job (or cached result)
 //	GET  /jobs/{id}        poll a job; ?sse=1 (or Accept: text/event-stream)
 //	                       streams anytime bounds, then the result
+//	GET  /jobs/{id}/certificate  raw binary proof certificate of a completed
+//	                       job submitted with cert=1 (see cmd/proofcheck)
 //	GET  /stats            service counters
 //	GET  /healthz          liveness (503 once draining)
 //
@@ -53,6 +55,7 @@ func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", d.solve)
 	mux.HandleFunc("GET /jobs/{id}", d.job)
+	mux.HandleFunc("GET /jobs/{id}/certificate", d.certificate)
 	mux.HandleFunc("GET /stats", d.stats)
 	mux.HandleFunc("GET /healthz", d.healthz)
 	return d.auth(mux)
@@ -118,14 +121,18 @@ type jobJSON struct {
 
 // resultJSON is the completed-result shape (also the SSE "result" event).
 type resultJSON struct {
-	Status     string  `json:"status"`
-	Cost       int64   `json:"cost"`
-	LowerBound int64   `json:"lb"`
-	Algorithm  string  `json:"algorithm"`
-	Winner     string  `json:"winner,omitempty"`
-	Cached     bool    `json:"cached"`
-	Model      []int   `json:"model,omitempty"`
-	ElapsedSec float64 `json:"elapsed_sec"`
+	Status     string `json:"status"`
+	Cost       int64  `json:"cost"`
+	LowerBound int64  `json:"lb"`
+	Algorithm  string `json:"algorithm"`
+	Winner     string `json:"winner,omitempty"`
+	Cached     bool   `json:"cached"`
+	Model      []int  `json:"model,omitempty"`
+	// Certificate is the base64 (JSON []byte) proof certificate when the
+	// job was submitted with cert=1 and the verdict was certified; check it
+	// with maxsat.CheckCertificate (or cmd/proofcheck) against the instance.
+	Certificate []byte  `json:"certificate,omitempty"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
 }
 
 // boundJSON is the SSE "bound" event shape.
@@ -149,13 +156,14 @@ func toBoundJSON(e maxsat.BoundUpdate) boundJSON {
 
 func toResultJSON(r maxsat.Result, withModel bool) *resultJSON {
 	out := &resultJSON{
-		Status:     r.Status.String(),
-		Cost:       int64(r.Cost),
-		LowerBound: int64(r.LowerBound),
-		Algorithm:  string(r.Algorithm),
-		Winner:     r.Winner,
-		Cached:     r.Cached,
-		ElapsedSec: r.Elapsed.Seconds(),
+		Status:      r.Status.String(),
+		Cost:        int64(r.Cost),
+		LowerBound:  int64(r.LowerBound),
+		Algorithm:   string(r.Algorithm),
+		Winner:      r.Winner,
+		Cached:      r.Cached,
+		Certificate: r.Certificate,
+		ElapsedSec:  r.Elapsed.Seconds(),
 	}
 	if withModel && r.Model != nil {
 		out.Model = make([]int, len(r.Model))
@@ -254,6 +262,33 @@ func (d *daemon) job(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobView(job, withModel))
 }
 
+// certificate serves GET /jobs/{id}/certificate: the raw binary proof
+// certificate of a completed job, for offline checking with cmd/proofcheck.
+func (d *daemon) certificate(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	job, ok := d.srv.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	res, done := job.Result()
+	if !done {
+		httpError(w, http.StatusConflict, "job not finished")
+		return
+	}
+	if len(res.Certificate) == 0 {
+		httpError(w, http.StatusNotFound, "no certificate (submit with cert=1 and an OPTIMAL or UNSATISFIABLE verdict)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(res.Certificate)))
+	_, _ = w.Write(res.Certificate)
+}
+
 func jobView(job *maxsat.Job, withModel bool) jobJSON {
 	state, best := job.State()
 	out := jobJSON{ID: job.ID(), State: state.String()}
@@ -341,6 +376,7 @@ func optionsFromQuery(r *http.Request, d daemonOpts) (maxsat.Options, error) {
 		Encoding:     q.Get("enc"),
 		Preprocess:   isTrue(q.Get("pre")),
 		ShareClauses: isTrue(q.Get("share")),
+		Certify:      isTrue(q.Get("cert")),
 	}
 	if v := q.Get("jobs"); v != "" {
 		n, err := strconv.Atoi(v)

@@ -1,0 +1,64 @@
+// Command proofcheck validates a MaxSAT proof certificate against the
+// instance it claims to solve, using only the independent checker in
+// internal/proof — none of the solver, preprocessor, or serving code is
+// involved, so a verdict from this tool does not require trusting any of
+// them.
+//
+// Usage:
+//
+//	proofcheck <instance.cnf|instance.wcnf> <certificate>
+//
+// The certificate is the binary blob produced by a solve with certification
+// enabled: maxsat.Result.Certificate, `maxsat -cert`, or the daemon's
+// GET /jobs/{id}/certificate endpoint. Exit status 0 means the verdict is
+// machine-checked; 1 means the certificate was rejected (or could not be
+// read).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: proofcheck <instance.cnf|instance.wcnf> <certificate>")
+		return 2
+	}
+	w, err := cnf.ParseWCNFFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proofcheck: %v\n", err)
+		return 1
+	}
+	data, err := os.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proofcheck: %v\n", err)
+		return 1
+	}
+	cert, err := proof.Decode(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proofcheck: REJECTED: %v\n", err)
+		return 1
+	}
+	switch cert.Kind {
+	case proof.KindOptimal:
+		fmt.Printf("certificate: OPTIMAL cost=%d, %d vars, %d proof step(s)\n",
+			cert.Cost, cert.NumVars, len(cert.Steps))
+	case proof.KindUnsat:
+		fmt.Printf("certificate: UNSATISFIABLE, %d vars, %d proof step(s)\n",
+			cert.NumVars, len(cert.Steps))
+	}
+	if err := proof.Check(w, cert); err != nil {
+		fmt.Fprintf(os.Stderr, "proofcheck: REJECTED: %v\n", err)
+		return 1
+	}
+	fmt.Println("proofcheck: VERIFIED")
+	return 0
+}

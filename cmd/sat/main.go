@@ -4,11 +4,18 @@
 //
 // Usage:
 //
-//	sat [-simp] [-timeout 60s] [-stats] [-no-model] file.cnf
+//	sat [-simp] [-proof file.drat] [-timeout 60s] [-stats] [-no-model] file.cnf
 //
 // -simp applies SatELite-style preprocessing (unit propagation,
 // subsumption, self-subsuming resolution, bounded variable elimination)
 // with model reconstruction.
+//
+// -proof streams the run's clause additions and deletions — the
+// preprocessor's rewrites (with -simp) followed by the CDCL solver's learnt
+// clauses — to a standard ASCII DRAT file. On an UNSATISFIABLE verdict the
+// file is a refutation of the input CNF checkable by external tools:
+//
+//	sat -simp -proof inst.drat inst.cnf && drat-trim inst.cnf inst.drat
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/proof"
 	"repro/internal/sat"
 	"repro/internal/simp"
 )
@@ -31,6 +39,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("sat", flag.ContinueOnError)
 	var (
 		useSimp = fs.Bool("simp", false, "apply SatELite-style preprocessing")
+		prf     = fs.String("proof", "", "write an ASCII DRAT trace to this file (a refutation on UNSAT)")
 		timeout = fs.Duration("timeout", 0, "solve timeout (0 = unbounded)")
 		stats   = fs.Bool("stats", false, "print solver statistics")
 		noModel = fs.Bool("no-model", false, "suppress the v line")
@@ -53,12 +62,40 @@ func run(args []string) int {
 	}
 	fmt.Printf("c instance %s: %d vars, %d clauses\n", fs.Arg(0), f.NumVars, f.NumClauses())
 
+	var dw *proof.DRATWriter
+	if *prf != "" {
+		pf, err := os.Create(*prf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c error: %v\n", err)
+			return 1
+		}
+		defer pf.Close()
+		dw = proof.NewDRATWriter(pf)
+		defer func() {
+			if err := dw.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "c error: writing proof: %v\n", err)
+			}
+		}()
+	}
+
 	start := time.Now()
 	var pre *simp.Result
 	work := f
 	if *useSimp {
-		pre = simp.Preprocess(f, simp.Options{})
+		so := simp.Options{}
+		if dw != nil {
+			so.Proof = dw
+		}
+		pre = simp.Preprocess(f, so)
 		if pre.Unsat {
+			if dw != nil {
+				// The preprocessor logs the empty clause it derives; an
+				// empty clause already present in the input is not logged
+				// (it is part of the formula), so terminate the DRAT file
+				// explicitly. A duplicate addition is harmless — checkers
+				// stop at the first empty clause.
+				dw.Learn(nil)
+			}
 			fmt.Printf("c preprocessing proved unsatisfiability in %.3fs\n", time.Since(start).Seconds())
 			fmt.Println("s UNSATISFIABLE")
 			return 20
@@ -73,8 +110,18 @@ func run(args []string) int {
 		s.SetBudget(sat.Budget{Deadline: time.Now().Add(*timeout)})
 	}
 	if !s.AddFormula(work) {
+		if dw != nil {
+			// Conflict while loading: unit propagation over the (possibly
+			// preprocessed) clauses refutes the formula directly.
+			dw.Learn(nil)
+		}
 		fmt.Println("s UNSATISFIABLE")
 		return 20
+	}
+	if dw != nil {
+		// Attach after the base formula is loaded so its clauses are not
+		// logged; every record from here on is a learnt clause or deletion.
+		s.SetProof(dw)
 	}
 	st := s.Solve()
 	fmt.Printf("c solved in %.3fs\n", time.Since(start).Seconds())
@@ -109,6 +156,9 @@ func run(args []string) int {
 		}
 		return 10
 	case sat.Unsat:
+		if *prf != "" {
+			fmt.Printf("c DRAT refutation written to %s\n", *prf)
+		}
 		fmt.Println("s UNSATISFIABLE")
 		return 20
 	default:

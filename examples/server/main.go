@@ -1,18 +1,57 @@
 // Server: drive an in-process maxsat.Server end to end — submit a job,
 // stream its anytime bound improvements, fetch the result, then show the
-// verified-result cache and the in-flight coalescer absorbing resubmissions.
+// verified-result cache and the in-flight coalescer absorbing resubmissions,
+// with client-side retry against the server's admission shedding.
 //
 //	go run ./examples/server
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"time"
 
 	"repro"
 )
+
+// submitWithRetry is the client pattern for the server's shed responses
+// (queue full, rate limited, over quota): exponential backoff with full
+// jitter, never retrying earlier than the server's own retry hint. The hint
+// is the in-process analog of the Retry-After header cmd/maxsatd attaches to
+// its 429 responses — an HTTP client does the same with
+// resp.Header.Get("Retry-After"). Jitter matters as much as the backoff:
+// shed clients that all sleep the same round number reconverge into the
+// same thundering herd that got them shed.
+func submitWithRetry(ctx context.Context, srv *maxsat.Server, w *maxsat.WCNF, o maxsat.Options) (*maxsat.Job, int, error) {
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for retries := 0; ; retries++ {
+		job, err := srv.Submit(w, o)
+		if err == nil {
+			return job, retries, nil
+		}
+		if !errors.Is(err, maxsat.ErrServerQueueFull) &&
+			!errors.Is(err, maxsat.ErrServerRateLimited) &&
+			!errors.Is(err, maxsat.ErrServerOverQuota) {
+			return nil, retries, err // a real failure, not admission shedding
+		}
+		wait := backoff/2 + rand.N(backoff/2+1) // full jitter in [b/2, b]
+		if hint, ok := maxsat.RetryAfter(err); ok && hint > wait {
+			wait = hint // the server knows when capacity frees up; believe it
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, retries, ctx.Err()
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
 
 // pigeonhole builds PHP(p+1, p): p+1 pigeons into p holes. The CNF is
 // unsatisfiable and its MaxSAT cost is exactly 1 — but proving that takes
@@ -43,6 +82,10 @@ func main() {
 		Workers:        4,
 		CacheEntries:   64,
 		DefaultTimeout: time.Minute,
+		// A deliberately tight rate limit so the retry loop below has
+		// something to push against.
+		RatePerSec: 10,
+		Burst:      2,
 	})
 	defer srv.Close()
 
@@ -50,7 +93,7 @@ func main() {
 	fmt.Printf("submitting PHP(8,7): %d vars, %d clauses\n", w.NumVars, w.NumClauses())
 
 	// Submit returns immediately; the job runs on the worker pool.
-	job, err := srv.Submit(w, maxsat.Options{})
+	job, _, err := submitWithRetry(context.Background(), srv, w, maxsat.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,19 +119,28 @@ func main() {
 	fmt.Printf("result: %s cost=%d by %s in %v (cached=%v)\n",
 		res.Status, res.Cost, res.Algorithm, res.Elapsed.Round(time.Millisecond), res.Cached)
 
-	// Resubmit the same formula under a different algorithm: the verified
-	// optimum is a fact about the formula, so the cache answers instantly.
-	again, err := srv.Submit(w, maxsat.Options{Algorithm: maxsat.AlgoPortfolio})
-	if err != nil {
-		log.Fatal(err)
+	// Resubmit the same formula repeatedly under a different algorithm: the
+	// verified optimum is a fact about the formula, so the cache answers
+	// instantly — but even cache hits cost a rate-limit token, so the burst
+	// is shed with 429-style errors and the retry loop absorbs them.
+	totalRetries := 0
+	for i := 0; i < 8; i++ {
+		again, retries, err := submitWithRetry(context.Background(), srv, w,
+			maxsat.Options{Algorithm: maxsat.AlgoPortfolio})
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalRetries += retries
+		res2, err := again.Wait(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("resubmit: %s cost=%d (cached=%v)\n", res2.Status, res2.Cost, res2.Cached)
+		}
 	}
-	res2, err := again.Wait(context.Background())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("resubmit: %s cost=%d (cached=%v)\n", res2.Status, res2.Cost, res2.Cached)
 
 	st := srv.Stats()
-	fmt.Printf("stats: submitted=%d cache hits=%d misses=%d coalesced=%d\n",
-		st.Submitted, st.CacheHits, st.CacheMisses, st.Coalesced)
+	fmt.Printf("stats: submitted=%d cache hits=%d misses=%d coalesced=%d shed=%d (absorbed by %d backoff retries)\n",
+		st.Submitted, st.CacheHits, st.CacheMisses, st.Coalesced, st.RateLimited, totalRetries)
 }

@@ -1,0 +1,113 @@
+package maxsat
+
+// FuzzProofChecker differential-fuzzes the certification pipeline: on
+// fuzzer-chosen weighted instances, a certified solve must produce a
+// certificate the independent checker accepts and whose cost matches
+// exhaustive enumeration; a fuzzer-chosen bit flip of the serialized
+// certificate must then either be rejected or still certify the true
+// verdict — corruption may at worst be benign, never persuasive.
+
+import (
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+	"repro/internal/proof"
+)
+
+// fuzzWCNF builds a small weighted instance from a byte stream: each
+// clause starts with a control byte (width, hard-or-weight), followed by
+// that many literal bytes (variable modulo fuzzVars, sign from the high
+// bit).
+func fuzzWCNF(data []byte) *cnf.WCNF {
+	const fuzzVars = 5
+	const maxClauses = 24
+	w := cnf.NewWCNF(fuzzVars)
+	i := 0
+	for i < len(data) && w.NumClauses() < maxClauses {
+		ctl := data[i]
+		i++
+		width := int(ctl%3) + 1
+		if i+width > len(data) {
+			break
+		}
+		lits := make([]cnf.Lit, 0, width)
+		for j := 0; j < width; j++ {
+			b := data[i+j]
+			v := cnf.Var(b % fuzzVars)
+			if b >= 128 {
+				lits = append(lits, cnf.NegLit(v))
+			} else {
+				lits = append(lits, cnf.PosLit(v))
+			}
+		}
+		i += width
+		if ctl%4 == 3 {
+			w.AddHard(lits...)
+		} else {
+			w.AddSoft(cnf.Weight(ctl%7)+1, lits...)
+		}
+	}
+	return w
+}
+
+func FuzzProofChecker(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 129}, byte(3))                             // two conflicting soft units
+	f.Add([]byte{3, 1, 2, 3, 130, 131, 1, 4, 5}, byte(17))           // a hard clause plus softs
+	f.Add([]byte{7, 0, 7, 128, 3, 1, 129, 3, 2, 130, 3, 3}, byte(0)) // hard-unsat core
+	f.Add([]byte{2, 1, 130, 6, 2, 3, 5, 0, 132, 2, 4, 1}, byte(42))  // mixed widths and weights
+	f.Fuzz(func(t *testing.T, data []byte, flipSel byte) {
+		w := fuzzWCNF(data)
+		if w.NumClauses() == 0 {
+			t.Skip()
+		}
+		r, err := Solve(w, Options{Algorithm: AlgoOLL, Certify: true})
+		if err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+		trueCost, _, feasible := brute.MinCostWCNF(w)
+		switch r.Status {
+		case Optimal:
+			if !feasible || r.Cost != trueCost {
+				t.Fatalf("optimizer disagrees with brute force: %v cost=%d, brute %d (feasible=%v)",
+					r.Status, r.Cost, trueCost, feasible)
+			}
+		case Unsatisfiable:
+			if feasible {
+				t.Fatalf("UNSAT verdict on a feasible instance (brute cost %d)", trueCost)
+			}
+		default:
+			t.Fatalf("tiny instance did not solve: %v", r.Status)
+		}
+		if r.Certificate == nil {
+			t.Fatal("no certificate")
+		}
+		if err := CheckCertificate(w, r.Certificate); err != nil {
+			t.Fatalf("fresh certificate rejected: %v", err)
+		}
+
+		// Corrupt one fuzzer-chosen bit.
+		mut := append([]byte(nil), r.Certificate...)
+		bit := int(flipSel) % (len(mut) * 8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		cert, err := proof.Decode(mut)
+		if err != nil {
+			return // rejected at decode: fine
+		}
+		if err := proof.Check(w, cert); err != nil {
+			return // rejected by the checker: fine
+		}
+		// The corruption survived; it must not have changed the verdict.
+		switch cert.Kind {
+		case proof.KindOptimal:
+			if r.Status != Optimal || cert.Cost != trueCost {
+				t.Fatalf("corrupted certificate verified a wrong verdict: kind=%d cost=%d (true %d)",
+					cert.Kind, cert.Cost, trueCost)
+			}
+		case proof.KindUnsat:
+			if feasible {
+				t.Fatal("corrupted certificate verified UNSAT on a feasible instance")
+			}
+		}
+	})
+}

@@ -82,6 +82,11 @@ type Result struct {
 	// Share breaks the sharing traffic down per portfolio member; the engine
 	// fills it when clause sharing is enabled.
 	Share []ShareStats
+	// Certificate, when non-nil, is a serialized proof.Certificate for an
+	// OPTIMAL or UNSAT verdict, produced by Certify and checkable with
+	// proof.CheckBytes against the original instance. Optimizers never set
+	// it themselves; the certification pass attaches it after the solve.
+	Certificate []byte
 	// Elapsed is the wall-clock optimization time.
 	Elapsed time.Duration
 }

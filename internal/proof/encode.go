@@ -1,0 +1,160 @@
+package proof
+
+import (
+	"slices"
+
+	"repro/internal/cnf"
+)
+
+// BoundFormula builds, deterministically, the CNF formula
+//
+//	hards(w)  ∧  ⋀_i (ω_i ∨ r_i)  ∧  Σ weight_i·r_i ≤ bound
+//
+// over fresh relaxation variables r_i (one per soft clause, in clause
+// order). An assignment of w with cost ≤ bound extends to a model of the
+// result by setting r_i exactly on the falsified softs, and conversely any
+// model restricted to w's variables has cost ≤ bound — so the formula is
+// unsatisfiable iff every assignment satisfying the hards costs more than
+// bound. A DRAT refutation of it is therefore a machine-checkable lower
+// bound, which is how certificates witness optimality (see certificate.go).
+//
+// Both the certificate producer (internal/opt) and the checker call this
+// same function: the checker never trusts clauses stored in a certificate,
+// it rebuilds the formula from (instance, bound) and checks the trace
+// against its own copy. The encoder is part of the trusted base and is kept
+// deliberately simple: a generalized totalizer (sums materialized as one
+// variable per achievable value, capped at bound+1) with implication-only
+// clauses, after normalizing weights by their GCD. Capping keeps the size
+// O(softs · bound/gcd) in the worst case — fine for the small bounds
+// core-guided optima have on this repo's workloads.
+func BoundFormula(w *cnf.WCNF, bound cnf.Weight) *cnf.Formula {
+	f := cnf.NewFormula(w.NumVars)
+	type soft struct {
+		weight cnf.Weight
+		relax  cnf.Lit
+	}
+	var softs []soft
+	next := cnf.Var(w.NumVars)
+	for _, c := range w.Clauses {
+		if c.Hard() {
+			f.AddClause(c.Clause...)
+			continue
+		}
+		r := cnf.PosLit(next)
+		next++
+		f.AddClause(append(slices.Clone(c.Clause), r)...)
+		softs = append(softs, soft{weight: c.Weight, relax: r})
+	}
+	if len(softs) == 0 || bound < 0 {
+		f.NumVars = int(next)
+		return f
+	}
+
+	// Normalize by the GCD of the soft weights: Σ w_i·r_i ≤ B is
+	// equivalent to Σ (w_i/g)·r_i ≤ ⌊B/g⌋ when g divides every w_i.
+	g := cnf.Weight(0)
+	for _, s := range softs {
+		g = gcd(g, s.weight)
+	}
+	b := bound / g
+	if b == 0 {
+		// Cost ≤ 0: no soft may be relaxed.
+		for _, s := range softs {
+			f.AddClause(s.relax.Neg())
+		}
+		f.NumVars = int(next)
+		return f
+	}
+	cap := b + 1
+
+	// A node maps each achievable (capped) partial sum to the literal
+	// asserting "the relaxed weight in this subtree reaches at least this
+	// value". Leaves use the relaxation literal directly.
+	type out struct {
+		val cnf.Weight
+		lit cnf.Lit
+	}
+	nodes := make([][]out, len(softs))
+	for i, s := range softs {
+		v := s.weight / g
+		if v > cap {
+			v = cap
+		}
+		nodes[i] = []out{{val: v, lit: s.relax}}
+	}
+	// Balanced binary merge, left to right, until one root remains.
+	for len(nodes) > 1 {
+		merged := make([][]out, 0, (len(nodes)+1)/2)
+		for i := 0; i+1 < len(nodes); i += 2 {
+			a, bn := nodes[i], nodes[i+1]
+			vals := make([]cnf.Weight, 0, len(a)+len(bn)+len(a)*len(bn))
+			for _, x := range a {
+				vals = append(vals, x.val)
+			}
+			for _, y := range bn {
+				vals = append(vals, y.val)
+			}
+			for _, x := range a {
+				for _, y := range bn {
+					s := x.val + y.val
+					if s > cap {
+						s = cap
+					}
+					vals = append(vals, s)
+				}
+			}
+			slices.Sort(vals)
+			vals = slices.Compact(vals)
+			lit := make(map[cnf.Weight]cnf.Lit, len(vals))
+			node := make([]out, 0, len(vals))
+			for _, v := range vals {
+				l := cnf.PosLit(next)
+				next++
+				lit[v] = l
+				node = append(node, out{val: v, lit: l})
+			}
+			for _, x := range a {
+				f.AddClause(x.lit.Neg(), lit[x.val])
+			}
+			for _, y := range bn {
+				f.AddClause(y.lit.Neg(), lit[y.val])
+			}
+			for _, x := range a {
+				for _, y := range bn {
+					s := x.val + y.val
+					if s > cap {
+						s = cap
+					}
+					f.AddClause(x.lit.Neg(), y.lit.Neg(), lit[s])
+				}
+			}
+			merged = append(merged, node)
+		}
+		if len(nodes)%2 == 1 {
+			merged = append(merged, nodes[len(nodes)-1])
+		}
+		nodes = merged
+	}
+	// Forbid every root sum exceeding the bound (with capping, exactly
+	// the cap output when present).
+	for _, o := range nodes[0] {
+		if o.val > b {
+			f.AddClause(o.lit.Neg())
+		}
+	}
+	f.NumVars = int(next)
+	return f
+}
+
+func gcd(a, b cnf.Weight) cnf.Weight {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,347 @@
+package proof_test
+
+// Tests for the proof package's three layers — trace format, independent
+// RUP checker, bound encoding — plus cross-checks of the producers
+// (internal/sat proof logging, internal/simp rewrite logging) against the
+// checker. The package under test is a leaf; the test package may import
+// the producers because the dependency arrow still points the right way.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+	"repro/internal/opt"
+	"repro/internal/proof"
+	"repro/internal/sat"
+	"repro/internal/simp"
+)
+
+// php builds the pigeonhole CNF PHP(pigeons, holes): unsatisfiable whenever
+// pigeons > holes.
+func php(pigeons, holes int) *cnf.Formula {
+	f := cnf.NewFormula(pigeons * holes)
+	v := func(p, h int) cnf.Lit { return cnf.PosLit(cnf.Var(p*holes + h)) }
+	for p := 0; p < pigeons; p++ {
+		c := make([]cnf.Lit, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = v(p, h)
+		}
+		f.AddClause(c...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(v(p1, h).Neg(), v(p2, h).Neg())
+			}
+		}
+	}
+	return f
+}
+
+// refuteWithSolver runs a fresh proof-logged solver on f and returns the
+// recorded trace (t.Fatal on a SAT or Unknown verdict).
+func refuteWithSolver(t *testing.T, f *cnf.Formula) *proof.Trace {
+	t.Helper()
+	s := sat.New()
+	s.EnsureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		if !s.AddClauseFrom(c) {
+			return &proof.Trace{Records: []proof.Record{{Op: proof.OpLearn}}}
+		}
+	}
+	rec := proof.NewRecorder()
+	s.SetProof(rec)
+	if st := s.Solve(); st != sat.Unsat {
+		t.Fatalf("expected UNSAT, got %v", st)
+	}
+	return rec.Trace()
+}
+
+func TestSolverTraceChecks(t *testing.T) {
+	f := php(4, 3)
+	tr := refuteWithSolver(t, f)
+	if err := proof.CheckTrace(f, tr, proof.CheckOptions{}); err != nil {
+		t.Fatalf("solver refutation rejected: %v", err)
+	}
+}
+
+func TestCheckTraceRejectsAdversarial(t *testing.T) {
+	f := php(4, 3)
+	tr := refuteWithSolver(t, f)
+
+	t.Run("truncated-before-empty", func(t *testing.T) {
+		cut := *tr
+		// Drop the final empty clause (and anything after it).
+		for i, r := range cut.Records {
+			if r.Op == proof.OpLearn && len(r.Lits) == 0 {
+				cut.Records = cut.Records[:i]
+				break
+			}
+		}
+		if err := proof.CheckTrace(f, &cut, proof.CheckOptions{}); err == nil {
+			t.Fatal("trace without an empty clause accepted")
+		}
+	})
+
+	t.Run("non-rup-lemma", func(t *testing.T) {
+		// A bare unit over a fresh-ish variable is not a consequence of
+		// PHP's clauses, and the empty clause right after it does not
+		// propagate to a conflict either.
+		bogus := &proof.Trace{Records: []proof.Record{
+			{Op: proof.OpLearn, Lits: []cnf.Lit{cnf.PosLit(0)}},
+			{Op: proof.OpLearn},
+		}}
+		if err := proof.CheckTrace(f, bogus, proof.CheckOptions{}); err == nil {
+			t.Fatal("non-RUP derivation accepted")
+		}
+	})
+
+	t.Run("import-rejected-strict", func(t *testing.T) {
+		withImport := &proof.Trace{Records: append([]proof.Record{
+			{Op: proof.OpImport, Lits: []cnf.Lit{cnf.PosLit(0)}},
+		}, tr.Records...)}
+		err := proof.CheckTrace(f, withImport, proof.CheckOptions{})
+		if err == nil || !strings.Contains(err.Error(), "import") {
+			t.Fatalf("import in strict mode: got %v", err)
+		}
+	})
+
+	t.Run("axiom-rejected-strict", func(t *testing.T) {
+		withAxiom := &proof.Trace{Records: append([]proof.Record{
+			{Op: proof.OpAxiom, Lits: []cnf.Lit{cnf.PosLit(0)}},
+		}, tr.Records...)}
+		err := proof.CheckTrace(f, withAxiom, proof.CheckOptions{})
+		if err == nil || !strings.Contains(err.Error(), "axiom") {
+			t.Fatalf("axiom in strict mode: got %v", err)
+		}
+	})
+
+	t.Run("import-out-of-scope", func(t *testing.T) {
+		// Imports are admitted only below the declared sharing scope; a
+		// clause mentioning a variable at or past it must be rejected even
+		// in the permissive mode.
+		out := &proof.Trace{Records: []proof.Record{
+			{Op: proof.OpImport, Lits: []cnf.Lit{cnf.PosLit(cnf.Var(f.NumVars - 1))}},
+			{Op: proof.OpLearn},
+		}}
+		opts := proof.CheckOptions{AllowImports: true, ImportScope: f.NumVars - 1}
+		err := proof.CheckTrace(f, out, opts)
+		if err == nil || !strings.Contains(err.Error(), "scope") {
+			t.Fatalf("out-of-scope import: got %v", err)
+		}
+	})
+
+	t.Run("import-in-scope-admitted", func(t *testing.T) {
+		// An in-scope import is an axiom: asserting a unit that
+		// contradicts PHP's propagation makes the empty clause RUP.
+		in := &proof.Trace{Records: append([]proof.Record{
+			{Op: proof.OpImport, Lits: []cnf.Lit{cnf.PosLit(0)}},
+		}, tr.Records...)}
+		opts := proof.CheckOptions{AllowImports: true, ImportScope: f.NumVars}
+		if err := proof.CheckTrace(f, in, opts); err != nil {
+			t.Fatalf("in-scope import rejected: %v", err)
+		}
+	})
+
+	t.Run("deleting-needed-clause", func(t *testing.T) {
+		// Deleting every original clause up front starves the final
+		// propagation: nothing can conflict, so the trace must fail.
+		var recs []proof.Record
+		for _, c := range f.Clauses {
+			recs = append(recs, proof.Record{Op: proof.OpDelete, Lits: append([]cnf.Lit(nil), c...)})
+		}
+		recs = append(recs, proof.Record{Op: proof.OpLearn})
+		if err := proof.CheckTrace(f, &proof.Trace{Records: recs}, proof.CheckOptions{}); err == nil {
+			t.Fatal("trace that deleted its own support accepted")
+		}
+	})
+}
+
+// TestSimpTraceChecks drives the preprocessor's proof sink: on a formula
+// preprocessing alone refutes, the logged rewrites must form a checkable
+// refutation.
+func TestSimpTraceChecks(t *testing.T) {
+	// Unit chain forcing a conflict: x1, x1→x2, x2→x3, ¬x3 ∨ ¬x1 plus x3→¬x1
+	// style binary clauses. Unit propagation inside simp derives the empty
+	// clause.
+	f := cnf.NewFormula(3)
+	f.AddClause(cnf.PosLit(0))
+	f.AddClause(cnf.NegLit(0), cnf.PosLit(1))
+	f.AddClause(cnf.NegLit(1), cnf.PosLit(2))
+	f.AddClause(cnf.NegLit(2), cnf.NegLit(0))
+
+	rec := proof.NewRecorder()
+	res := simp.Preprocess(f, simp.Options{Proof: rec})
+	if !res.Unsat {
+		t.Fatal("expected preprocessing to prove UNSAT")
+	}
+	if err := proof.CheckTrace(f, rec.Trace(), proof.CheckOptions{}); err != nil {
+		t.Fatalf("simp refutation rejected: %v", err)
+	}
+}
+
+// TestSimpPlusSolverTraceChecks replays the cmd/sat -simp -proof pipeline in
+// memory: the preprocessor's rewrites followed by the solver's learnt
+// clauses must check against the ORIGINAL formula.
+func TestSimpPlusSolverTraceChecks(t *testing.T) {
+	f := php(4, 3)
+	rec := proof.NewRecorder()
+	res := simp.Preprocess(f, simp.Options{Proof: rec})
+	if res.Unsat {
+		t.Skip("preprocessing alone refuted the instance; covered elsewhere")
+	}
+	s := sat.New()
+	s.EnsureVars(f.NumVars)
+	if !s.AddFormula(res.Formula) {
+		rec.Learn(nil)
+	} else {
+		s.SetProof(rec)
+		if st := s.Solve(); st != sat.Unsat {
+			t.Fatalf("expected UNSAT, got %v", st)
+		}
+	}
+	if err := proof.CheckTrace(f, rec.Trace(), proof.CheckOptions{}); err != nil {
+		t.Fatalf("simp+solver refutation rejected against the original formula: %v", err)
+	}
+}
+
+// TestBoundFormulaSemantics checks the relaxation encoding against brute
+// force: BoundFormula(w, b) must be satisfiable exactly when some
+// assignment satisfies the hards with soft cost ≤ b.
+func TestBoundFormulaSemantics(t *testing.T) {
+	w := cnf.NewWCNF(4)
+	w.AddHard(cnf.PosLit(0), cnf.PosLit(1))
+	w.AddSoft(3, cnf.NegLit(0))
+	w.AddSoft(4, cnf.NegLit(1))
+	w.AddSoft(2, cnf.PosLit(2), cnf.PosLit(3))
+	w.AddSoft(5, cnf.NegLit(2))
+
+	minCost, _, feasible := brute.MinCostWCNF(w)
+	if !feasible {
+		t.Fatal("test instance should be feasible")
+	}
+	maxW := w.SoftWeightSum()
+	for b := cnf.Weight(0); b <= maxW; b++ {
+		f := proof.BoundFormula(w, b)
+		s := sat.New()
+		s.EnsureVars(f.NumVars)
+		ok := true
+		for _, c := range f.Clauses {
+			if !s.AddClauseFrom(c) {
+				ok = false
+				break
+			}
+		}
+		satisfiable := ok && s.Solve() == sat.Sat
+		want := b >= minCost
+		if satisfiable != want {
+			t.Fatalf("bound %d: satisfiable=%v, want %v (min cost %d)", b, satisfiable, want, minCost)
+		}
+	}
+}
+
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	f := php(4, 3)
+	tr := refuteWithSolver(t, f)
+	cert := &proof.Certificate{
+		Kind:    proof.KindUnsat,
+		NumVars: f.NumVars,
+		Steps:   []proof.Step{{Bound: -1, Trace: tr}},
+	}
+	enc := cert.Encode()
+	dec, err := proof.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Kind != cert.Kind || dec.NumVars != cert.NumVars || len(dec.Steps) != 1 {
+		t.Fatalf("round trip changed the header: %+v", dec)
+	}
+	if len(dec.Steps[0].Trace.Records) != len(tr.Records) {
+		t.Fatalf("round trip changed the record count: %d vs %d",
+			len(dec.Steps[0].Trace.Records), len(tr.Records))
+	}
+	for i, r := range tr.Records {
+		got := dec.Steps[0].Trace.Records[i]
+		if got.Op != r.Op || len(got.Lits) != len(r.Lits) {
+			t.Fatalf("record %d changed: %+v vs %+v", i, got, r)
+		}
+	}
+	// Truncations of the encoding must all fail to decode, not panic.
+	for n := 0; n < len(enc); n++ {
+		if _, err := proof.Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := proof.Decode(append(append([]byte(nil), enc...), 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDRATOutput(t *testing.T) {
+	tr := &proof.Trace{Records: []proof.Record{
+		{Op: proof.OpLearn, Lits: []cnf.Lit{cnf.PosLit(0), cnf.NegLit(1)}},
+		{Op: proof.OpDelete, Lits: []cnf.Lit{cnf.PosLit(0), cnf.NegLit(1)}},
+		{Op: proof.OpLearn},
+	}}
+	var buf bytes.Buffer
+	if err := tr.WriteDRAT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "1 -2 0\nd 1 -2 0\n0\n"
+	if buf.String() != want {
+		t.Fatalf("DRAT output %q, want %q", buf.String(), want)
+	}
+}
+
+// TestCertifyEndToEnd produces real certificates through opt.Certify and
+// validates them with the independent checker.
+func TestCertifyEndToEnd(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("unsat", func(t *testing.T) {
+		f := php(4, 3)
+		w := cnf.NewWCNF(f.NumVars)
+		for _, c := range f.Clauses {
+			w.AddHard(c...)
+		}
+		w.AddSoft(1, cnf.PosLit(0))
+		r := opt.Result{Status: opt.StatusUnsat, Cost: -1}
+		data, err := opt.Certify(ctx, w, r, opt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := proof.CheckBytes(w, data); err != nil {
+			t.Fatalf("UNSAT certificate rejected: %v", err)
+		}
+	})
+
+	t.Run("optimal-not-actually-optimal", func(t *testing.T) {
+		// Claiming a cost above the optimum must fail certification: the
+		// bound formula at claimed−1 is satisfiable.
+		w := cnf.NewWCNF(2)
+		w.AddSoft(1, cnf.PosLit(0))
+		w.AddSoft(1, cnf.NegLit(0))
+		w.AddSoft(1, cnf.PosLit(1))
+		// True optimum is 1 (falsify one of the x0 units). Claim 2 with a
+		// model that really costs 2.
+		r := opt.Result{Status: opt.StatusOptimal, Cost: 2, Model: cnf.Assignment{true, false}}
+		if _, err := opt.Certify(ctx, w, r, opt.Options{}); err == nil {
+			t.Fatal("certified a non-optimal cost")
+		}
+	})
+
+	t.Run("model-cost-mismatch", func(t *testing.T) {
+		w := cnf.NewWCNF(1)
+		w.AddSoft(1, cnf.PosLit(0))
+		w.AddSoft(1, cnf.NegLit(0))
+		r := opt.Result{Status: opt.StatusOptimal, Cost: 0, Model: cnf.Assignment{true}}
+		if _, err := opt.Certify(ctx, w, r, opt.Options{}); err == nil {
+			t.Fatal("certified a model that does not achieve the claimed cost")
+		}
+	})
+}

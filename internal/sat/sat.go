@@ -190,6 +190,9 @@ type Solver struct {
 	shareSince int64 // conflicts since the last export (rate limiter)
 	shareSeen  map[uint64]struct{}
 	shareBuf   []cnf.Lit
+
+	proof    Proof     // nil unless SetProof attached a sink
+	proofBuf []cnf.Lit // scratch for deletion logging
 }
 
 // New returns an empty solver.
@@ -288,6 +291,9 @@ func (s *Solver) addClauseOwned(tmp cnf.Clause) bool {
 	if taut {
 		return true
 	}
+	// A clause added while a proof sink is attached is not a lemma the
+	// search derived — it is new input, logged as an explicit axiom.
+	s.proofAxiom(tmp)
 	// Strip literals already false at level 0; drop clause if one is true.
 	j := 0
 	for _, l := range tmp {
@@ -305,11 +311,13 @@ func (s *Solver) addClauseOwned(tmp cnf.Clause) bool {
 	switch len(tmp) {
 	case 0:
 		s.ok = false
+		s.proofLearn(nil) // empty clause: axiom + level-0 trail conflict
 		return false
 	case 1:
 		s.uncheckedEnqueue(tmp[0], CRefUndef)
 		if s.propagate() != CRefUndef {
 			s.ok = false
+			s.proofLearn(nil)
 			return false
 		}
 		return true
@@ -340,6 +348,7 @@ func (s *Solver) attach(cr CRef) {
 // detached eagerly, which only happens on the cold simplify path (reduceDB
 // never deletes binary clauses).
 func (s *Solver) removeClause(cr CRef) {
+	s.proofDelete(cr)
 	lits := s.ca.lits(cr)
 	if len(lits) == 2 {
 		s.removeWatchBin(cnf.Lit(lits[0]).Neg(), cr)
@@ -915,9 +924,11 @@ func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome
 			*conflictBudget--
 			if s.decisionLevel() == 0 {
 				s.ok = false
+				s.proofLearn(nil)
 				return outUnsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			s.proofLearn(learnt)
 			s.cancelUntil(btLevel)
 			lbd := int32(1)
 			if len(learnt) == 1 {

@@ -201,15 +201,22 @@ func (s *Solver) importOne(lits []cnf.Lit, lbd int32) {
 	}
 	s.shareBuf = buf
 	s.stats.Imported++
+	// Log the clause as it crossed the bus — an explicit obligation
+	// justified by the exporter's proof, not this solver's. The stripped
+	// form attached below is propagation-equivalent given the level-0
+	// trail, which any checker re-derives from the formula.
+	s.proofImport(lits)
 	switch len(buf) {
 	case 0:
 		// A foreign clause is false at level 0: the shared clauses are
 		// unsatisfiable (the exporter would have reached the same verdict).
 		s.ok = false
+		s.proofLearn(nil)
 	case 1:
 		s.uncheckedEnqueue(buf[0], CRefUndef)
 		if s.propagate() != CRefUndef {
 			s.ok = false
+			s.proofLearn(nil)
 		}
 	default:
 		// All remaining literals are unassigned (we are at level 0), so any

@@ -37,8 +37,9 @@ func (c *lru) len() int {
 	return c.ll.Len()
 }
 
-// get returns the cached result for k, copying the model so callers can
-// never alias (and a later eviction can never disturb) the cached witness.
+// get returns the cached result for k, copying the model and certificate so
+// callers can never alias (and a later eviction can never disturb) the
+// cached witness.
 func (c *lru) get(k formulaKey) (opt.Result, any, bool) {
 	if c == nil {
 		return opt.Result{}, nil, false
@@ -53,19 +54,37 @@ func (c *lru) get(k formulaKey) (opt.Result, any, bool) {
 	if res.Model != nil {
 		res.Model = append(res.Model[:0:0], res.Model...)
 	}
+	if res.Certificate != nil {
+		res.Certificate = append(res.Certificate[:0:0], res.Certificate...)
+	}
 	return res, e.meta, true
 }
 
-// add stores a verified result, copying the model: the same Result value is
-// handed to the job's waiters, and a caller mutating its Model in place must
-// not be able to corrupt the cached witness (which would turn every future
-// hit into a failed verification).
+// remove evicts k (a cache hit whose stored certificate failed re-validation
+// must never be consulted again).
+func (c *lru) remove(k formulaKey) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.m[k]; ok {
+		delete(c.m, k)
+		c.ll.Remove(el)
+	}
+}
+
+// add stores a verified result, copying the model and certificate: the same
+// Result value is handed to the job's waiters, and a caller mutating its
+// Model in place must not be able to corrupt the cached witness (which would
+// turn every future hit into a failed verification).
 func (c *lru) add(k formulaKey, res opt.Result, meta any) {
 	if c == nil {
 		return
 	}
 	if res.Model != nil {
 		res.Model = append(res.Model[:0:0], res.Model...)
+	}
+	if res.Certificate != nil {
+		res.Certificate = append(res.Certificate[:0:0], res.Certificate...)
 	}
 	if el, ok := c.m[k]; ok {
 		c.ll.MoveToFront(el)

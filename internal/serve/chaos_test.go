@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/cnf"
 	"repro/internal/opt"
+	"repro/internal/pbo"
+	"repro/internal/proof"
 )
 
 // checkGoroutines returns a cleanup func asserting the goroutine count
@@ -154,6 +158,79 @@ func TestFaultPanicNeverCached(t *testing.T) {
 	r2 := waitResult(t, mustSubmit(t, s, spec))
 	if r2.Cached || r2.Err != nil || r2.Cost != 1 {
 		t.Fatalf("resubmission after panic: %+v", r2)
+	}
+}
+
+// certifying returns a SolveFunc that really solves and attaches a real
+// certificate, mirroring what the public server wires in when a submission
+// asks for certification.
+func certifying() SolveFunc {
+	return func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		s := &pbo.Linear{}
+		r := s.Solve(ctx, w, shared)
+		if cert, err := opt.Certify(ctx, w, r, opt.Options{}); err == nil {
+			r.Certificate = cert
+		}
+		return r
+	}
+}
+
+// TestFaultCorruptCertNeverServed injects certificate corruption into the
+// cache store and asserts the trust boundary holds end to end: the original
+// submitter still receives the uncorrupted certificate, a cache hit on the
+// corrupted entry is detected (rejected, counted, evicted) and falls back to
+// a fresh solve, and the fresh result re-populates the cache so later hits
+// serve a certificate that validates.
+func TestFaultCorruptCertNeverServed(t *testing.T) {
+	faults := &Faults{CorruptCert: func(jobID uint64) int {
+		if jobID == 1 {
+			return 0 // bit 0 lands in the format magic: guaranteed rejection
+		}
+		return -1
+	}}
+	s := New(Config{Workers: 1, Faults: faults})
+	defer s.Close()
+
+	formula := contradiction()
+	spec := JobSpec{Formula: formula, Solve: certifying()}
+
+	// The original waiter gets the good certificate; only the cached copy
+	// is corrupted.
+	r1 := waitResult(t, mustSubmit(t, s, spec))
+	if r1.Status != opt.StatusOptimal || r1.Cost != 1 {
+		t.Fatalf("first solve: %+v", r1)
+	}
+	if err := proof.CheckBytes(formula, r1.Certificate); err != nil {
+		t.Fatalf("submitter received a corrupt certificate: %v", err)
+	}
+
+	// The resubmission must not be served the corrupted entry: the hit path
+	// re-validates, rejects, evicts, and solves fresh.
+	r2 := waitResult(t, mustSubmit(t, s, spec))
+	if r2.Cached {
+		t.Fatal("a corrupted certificate was served from cache")
+	}
+	if r2.Status != opt.StatusOptimal || r2.Cost != 1 {
+		t.Fatalf("fallback solve: %+v", r2)
+	}
+	if err := proof.CheckBytes(formula, r2.Certificate); err != nil {
+		t.Fatalf("fallback certificate rejected: %v", err)
+	}
+	if st := s.Stats(); st.CertRejected != 1 {
+		t.Fatalf("Stats.CertRejected = %d, want 1", st.CertRejected)
+	}
+
+	// The fresh (faithful) result re-populated the cache: the third
+	// submission is a hit and its certificate validates.
+	r3 := waitResult(t, mustSubmit(t, s, spec))
+	if !r3.Cached {
+		t.Fatal("fresh result was not re-cached after eviction")
+	}
+	if err := proof.CheckBytes(formula, r3.Certificate); err != nil {
+		t.Fatalf("re-cached certificate rejected: %v", err)
+	}
+	if st := s.Stats(); st.CertRejected != 1 {
+		t.Fatalf("Stats.CertRejected moved to %d on a clean hit", st.CertRejected)
 	}
 }
 

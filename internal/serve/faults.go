@@ -54,6 +54,22 @@ type Faults struct {
 	// Before is consulted in the worker goroutine immediately before the
 	// job's SolveFunc would run. Returning FaultNone runs the job normally.
 	Before func(jobID uint64, optsKey string) Fault
+	// CorruptCert is consulted when a job's verified result is about to be
+	// cached: a return ≥ 0 flips that bit (modulo the certificate length)
+	// in the stored copy of the result's certificate, simulating storage
+	// rot between the store and a later cache hit. The result served to
+	// the job's own waiters is untouched. Return a negative value (or
+	// leave the hook nil) to store faithfully.
+	CorruptCert func(jobID uint64) int
+}
+
+// corruptCertBit returns the bit to flip in job id's stored certificate, or
+// -1 to store it faithfully.
+func (f *Faults) corruptCertBit(id uint64) int {
+	if f == nil || f.CorruptCert == nil {
+		return -1
+	}
+	return f.CorruptCert(id)
 }
 
 // inject applies the configured fault decision for j under the job's run

@@ -52,6 +52,7 @@ import (
 
 	"repro/internal/cnf"
 	"repro/internal/opt"
+	"repro/internal/proof"
 )
 
 // SolveFunc runs one optimization. The serving layer calls it with the
@@ -146,6 +147,10 @@ type Stats struct {
 	CacheMisses int64 `json:"cache_misses"`
 	Coalesced   int64 `json:"coalesced"`
 	CacheSize   int   `json:"cache_size"`
+	// CertRejected counts cache hits discarded because the stored
+	// certificate failed re-validation (bit rot, or an injected corruption
+	// fault); each one evicts the entry and falls back to a fresh solve.
+	CertRejected int64 `json:"cert_rejected"`
 	// Panics counts jobs that failed outright because their solver
 	// panicked (Result.Err non-nil) — the crash-rate signal operators
 	// alert on.
@@ -323,13 +328,20 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 
 	// Cache next: a verified verdict answers any submission of the formula.
 	if res, meta, ok := s.cache.get(fkey); ok {
-		// Defeat fingerprint collisions: a cached model must verify against
-		// the formula actually submitted. UNSAT verdicts carry no model; the
-		// shape fields of formulaKey are their only collision guard. The
-		// verification is O(formula), so it runs outside the server lock —
-		// the entry is already a private copy (lru.get copies the model).
+		// Defeat fingerprint collisions and storage corruption: a cached
+		// model must verify against the formula actually submitted, and a
+		// cached certificate must re-validate end to end with the
+		// independent proof checker — the stored bytes, not the solve that
+		// produced them, are what the hit serves. Both checks run outside
+		// the server lock (the entry is already a private copy; lru.get
+		// copies the model and certificate).
 		s.mu.Unlock()
-		if res.Model == nil || opt.VerifyModel(spec.Formula, res) {
+		modelOK := res.Model == nil || opt.VerifyModel(spec.Formula, res)
+		certOK := true
+		if modelOK && len(res.Certificate) > 0 {
+			certOK = proof.CheckBytes(spec.Formula, res.Certificate) == nil
+		}
+		if modelOK && certOK {
 			s.mu.Lock()
 			s.stats.CacheHits++
 			h := s.doneJobLocked(key, Result{Result: res, Meta: meta, Cached: true})
@@ -337,7 +349,17 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 			s.audit(AuditEvent{Client: spec.Client, Action: "submit", JobID: h.j.id, Detail: "cache-hit"})
 			return h, nil
 		}
+		if !certOK {
+			s.audit(AuditEvent{Client: spec.Client, Action: "cache", Detail: "certificate-rejected"})
+		}
 		s.mu.Lock()
+		if !certOK {
+			// A corrupt certificate is a property of the stored entry, not
+			// of a colliding submission: evict it so it is never served or
+			// re-consulted, and fall through to a fresh solve.
+			s.cache.remove(fkey)
+			s.stats.CertRejected++
+		}
 		if s.closed {
 			s.mu.Unlock()
 			return nil, ErrClosed
@@ -559,7 +581,16 @@ func (s *Server) finish(j *job, res Result, cancelled bool) {
 		detail = "failed: " + res.Err.Error()
 	}
 	if cacheable {
-		s.cache.add(j.key.formulaKey, res.Result, res.Meta)
+		stored := res.Result
+		// The certificate-corruption fault flips a bit in the copy headed
+		// for the cache — never in the result served to this job's own
+		// waiters — simulating storage rot between a store and a later hit.
+		if bit := s.cfg.Faults.corruptCertBit(j.id); bit >= 0 && len(stored.Certificate) > 0 {
+			c := append([]byte(nil), stored.Certificate...)
+			c[(bit/8)%len(c)] ^= 1 << (bit % 8)
+			stored.Certificate = c
+		}
+		s.cache.add(j.key.formulaKey, stored, res.Meta)
 	}
 	s.stats.CacheSize = s.cache.len()
 	s.retainLocked(j.id)

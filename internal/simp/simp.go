@@ -48,6 +48,23 @@ type Options struct {
 	// clauses over — MaxSAT soft-clause selectors above all. Frozen
 	// variables may still be fixed by unit propagation; see Result.Fixed.
 	Frozen []cnf.Var
+	// Proof, when non-nil, receives every rewrite in DRAT form: derived
+	// clauses (stripped, strengthened, BVE resolvents, discovered units,
+	// and the empty clause on UNSAT) as additions logged before the
+	// clauses that justify them are deleted, and every removal (satisfied,
+	// subsumed, strengthened-away, eliminated) as a deletion. Appending
+	// these records to a proof checked against the original formula makes
+	// lemmas derived from the simplified formula check too — preprocessing
+	// survives the checker. Clauses of the input formula itself are not
+	// logged. proof.Recorder and proof.DRATWriter satisfy this interface.
+	Proof ProofSink
+}
+
+// ProofSink is the subset of DRAT logging the preprocessor needs; literal
+// slices are only valid for the duration of the call.
+type ProofSink interface {
+	Learn(lits []cnf.Lit)
+	Delete(lits []cnf.Lit)
 }
 
 // Result carries the simplified formula and everything needed to lift a
@@ -261,6 +278,20 @@ func (p *Preprocessor) removeClause(id int32) {
 	p.clauses[id] = nil // occurrence lists are cleaned lazily
 }
 
+func (p *Preprocessor) proofLearn(c cnf.Clause) {
+	if p.opts.Proof != nil {
+		p.opts.Proof.Learn(c)
+	}
+}
+
+// proofRemoveClause logs the deletion of a live clause and removes it.
+func (p *Preprocessor) proofRemoveClause(id int32) {
+	if p.opts.Proof != nil {
+		p.opts.Proof.Delete(p.clauses[id])
+	}
+	p.removeClause(id)
+}
+
 // occsOf returns the live clause ids containing l, compacting the list.
 // Clauses are immutable once added (strengthening and stripping create new
 // ids), so a non-nil entry still contains l — no literal scan is needed.
@@ -320,12 +351,13 @@ func (p *Preprocessor) propagateUnits() bool {
 			continue
 		case -want:
 			p.result.Unsat = true
+			p.proofLearn(nil) // complementary units are both on record
 			return false
 		}
 		p.fixed[v] = want
 		// Satisfied clauses disappear.
 		for _, id := range p.occsOf(l) {
-			p.removeClause(id)
+			p.proofRemoveClause(id)
 		}
 		// Falsified literals are stripped.
 		for _, id := range p.occsOf(l.Neg()) {
@@ -336,7 +368,8 @@ func (p *Preprocessor) propagateUnits() bool {
 					stripped = append(stripped, x)
 				}
 			}
-			p.removeClause(id)
+			p.proofLearn(stripped)
+			p.proofRemoveClause(id)
 			switch len(stripped) {
 			case 0:
 				p.result.Unsat = true
@@ -376,7 +409,7 @@ func (p *Preprocessor) subsumptionPass() bool {
 				continue
 			}
 			if subsumes(c, d) {
-				p.removeClause(did)
+				p.proofRemoveClause(did)
 				changed = true
 			}
 		}
@@ -397,7 +430,8 @@ func (p *Preprocessor) subsumptionPass() bool {
 						strengthened = append(strengthened, x)
 					}
 				}
-				p.removeClause(did)
+				p.proofLearn(strengthened)
+				p.proofRemoveClause(did)
 				changed = true
 				switch len(strengthened) {
 				case 0:
@@ -509,15 +543,20 @@ func (p *Preprocessor) eliminationPass() bool {
 			continue
 		}
 		// Commit: save original clauses for reconstruction, swap in
-		// resolvents.
+		// resolvents. Resolvent additions are logged first — their RUP
+		// checks resolve against the originals, which must still be
+		// active when the record is replayed.
+		for _, r := range resolvents {
+			p.proofLearn(r)
+		}
 		rec := elimRecord{v: v}
 		for _, id := range pos {
 			rec.clauses = append(rec.clauses, p.clauses[id].Clone())
-			p.removeClause(id)
+			p.proofRemoveClause(id)
 		}
 		for _, id := range neg {
 			rec.clauses = append(rec.clauses, p.clauses[id].Clone())
-			p.removeClause(id)
+			p.proofRemoveClause(id)
 		}
 		p.result.elimStack = append(p.result.elimStack, rec)
 		p.result.eliminated[v] = true

@@ -55,6 +55,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/pbo"
 	"repro/internal/portfolio"
+	"repro/internal/proof"
 )
 
 // Re-exported formula types. The substrate lives in internal/cnf; these
@@ -202,6 +203,17 @@ type Options struct {
 	// bound but under AlgoPortfolio may arrive from concurrent members.
 	// Server.Submit ignores it — use Job.Updates for served jobs.
 	OnImprove func(BoundUpdate)
+	// Certify makes OPTIMAL and UNSATISFIABLE results carry a serialized
+	// proof certificate (Result.Certificate), checkable against the
+	// instance with CheckCertificate by an independent in-tree RUP checker
+	// — no solver code involved. Certification runs as a post-solve pass:
+	// a fresh proof-logged solver refutes "some assignment satisfies the
+	// hards at cost ≤ optimum−1", so it works uniformly for every
+	// algorithm, including preprocessed, clause-sharing, and portfolio
+	// runs. It roughly doubles the UNSAT work of a solve; off by default.
+	// If the result cannot be certified (for example the context expires
+	// mid-pass), SolveContext returns an error.
+	Certify bool
 }
 
 // Status is the outcome class of a Solve call.
@@ -256,6 +268,10 @@ type Result struct {
 	// verified-result cache instead of a fresh solve; always false for the
 	// direct Solve entry points.
 	Cached bool
+	// Certificate is the serialized proof certificate of an OPTIMAL or
+	// UNSATISFIABLE result when Options.Certify was set: validate it with
+	// CheckCertificate. Nil otherwise.
+	Certificate []byte
 	// Iterations, SatCalls, UnsatCalls, Conflicts and Elapsed expose the
 	// algorithm's work profile. For AlgoPortfolio they aggregate over every
 	// raced member.
@@ -328,7 +344,27 @@ func SolveContext(ctx context.Context, w *WCNF, o Options) (Result, error) {
 		shared.SetObserver(o.OnImprove)
 	}
 	r := solver.Solve(ctx, w, shared)
+	if o.Certify && (r.Status == opt.StatusOptimal || r.Status == opt.StatusUnsat) {
+		cert, err := opt.Certify(ctx, w, r, opt.Options{MemBytes: o.MemoryBudget})
+		if err != nil {
+			return Result{}, err
+		}
+		r.Certificate = cert
+	}
 	return fromInternal(r, algo), nil
+}
+
+// CheckCertificate validates a serialized certificate (Result.Certificate)
+// against the instance it claims to solve, using the independent checker in
+// internal/proof: the model must satisfy the hard clauses at exactly the
+// certified cost, and the certificate's DRAT refutation of "cost ≤ optimum−1
+// is achievable" must pass backward RUP checking against a bound encoding
+// the checker rebuilds itself. A nil error means the verdict is
+// machine-checked — trusting it does not require trusting the solver that
+// produced it, the preprocessor, the sharing bus, or any cache it passed
+// through.
+func CheckCertificate(w *WCNF, cert []byte) error {
+	return proof.CheckBytes(w, cert)
 }
 
 // SolveFormula optimizes a plain MaxSAT instance (every clause soft,
@@ -433,6 +469,7 @@ func fromInternal(r opt.Result, algo Algorithm) Result {
 		Model:           r.Model,
 		Algorithm:       algo,
 		Winner:          r.Solver,
+		Certificate:     r.Certificate,
 		ClausesExported: r.Exported,
 		ClausesImported: r.Imported,
 		Sharing:         r.ShareSummary(),

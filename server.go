@@ -195,7 +195,17 @@ func (s *Server) SubmitAs(client string, w *WCNF, o Options) (*Job, error) {
 				// formula and options.
 				return opt.Result{Status: opt.StatusUnknown, Cost: -1}
 			}
-			return solver.Solve(ctx, w, shared)
+			r := solver.Solve(ctx, w, shared)
+			if ro.Certify && (r.Status == opt.StatusOptimal || r.Status == opt.StatusUnsat) {
+				// Best effort under the job's own deadline: a solve that
+				// finishes but cannot be certified (deadline expired
+				// mid-pass) is served uncertified rather than discarded —
+				// the certificate endpoint then reports none.
+				if cert, err := opt.Certify(ctx, w, r, opt.Options{MemBytes: ro.MemoryBudget}); err == nil {
+					r.Certificate = cert
+				}
+			}
+			return r
 		},
 	})
 	if err != nil {
@@ -207,9 +217,9 @@ func (s *Server) SubmitAs(client string, w *WCNF, o Options) (*Job, error) {
 // optsKey canonicalizes the options for in-flight coalescing. Every field
 // that changes what the job computes or how long it may run participates.
 func optsKey(o Options, timeout time.Duration) string {
-	return fmt.Sprintf("alg=%s enc=%s conf=%d skip=%t pre=%t par=%d share=%t to=%s mem=%d",
+	return fmt.Sprintf("alg=%s enc=%s conf=%d skip=%t pre=%t par=%d share=%t to=%s mem=%d cert=%t",
 		o.Algorithm, o.Encoding, o.MaxConflictsPerCall, o.SkipAtLeast1,
-		o.Preprocess, o.Parallelism, o.ShareClauses, timeout, o.MemoryBudget)
+		o.Preprocess, o.Parallelism, o.ShareClauses, timeout, o.MemoryBudget, o.Certify)
 }
 
 // Job returns the handle for a previously submitted job by ID (completed
