@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+// TestMain lets the test binary double as the daemon: when re-exec'd with
+// MAXSATD_CHILD_ARGS set, it runs maxsatd's real main loop instead of the
+// tests. The crash-recovery test uses this to kill a genuine daemon process
+// with SIGKILL — no graceful path, no flushes — and restart it on the same
+// data directory.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("MAXSATD_CHILD_ARGS"); args != "" {
+		var argv []string
+		if err := json.Unmarshal([]byte(args), &argv); err != nil {
+			fmt.Fprintf(os.Stderr, "bad MAXSATD_CHILD_ARGS: %v\n", err)
+			os.Exit(2)
+		}
+		os.Exit(run(argv))
+	}
+	os.Exit(m.Run())
+}
+
+// freePort reserves an ephemeral port and releases it for the child to bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startChild launches the test binary as a real maxsatd process.
+func startChild(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	argv, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "MAXSATD_CHILD_ARGS="+string(argv))
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// awaitReady polls /readyz until it returns 200, also asserting /livez is
+// already 200 while readiness may still be 503.
+func awaitReady(t *testing.T, base string, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	live := false
+	for time.Now().Before(stop) {
+		if !live {
+			if resp, err := http.Get(base + "/livez"); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					live = true
+				}
+			}
+		}
+		if live {
+			resp, err := http.Get(base + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became ready", base)
+}
+
+// TestCrashRecovery kills a durable daemon with SIGKILL mid-solve and checks
+// the restarted process (same -data-dir) lost nothing: the certified answer
+// a client already saw is served from the recovered store with a verifying
+// certificate, the interrupted job is replayed under its original ID, and
+// /readyz flips 200 only after recovery.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec subprocess test")
+	}
+	dir := t.TempDir()
+	addr := freePort(t)
+	base := "http://" + addr
+	args := []string{"-addr", addr, "-workers", "1", "-data-dir", dir, "-timeout", "0", "-max-timeout", "0"}
+
+	child := startChild(t, args...)
+	defer func() { _ = child.Process.Kill() }()
+	awaitReady(t, base, 15*time.Second)
+
+	// A small certified solve: once the 200 lands, the result is durable.
+	small := maxsat.NewWCNF(1)
+	small.AddSoft(1, maxsat.FromDIMACS(1))
+	small.AddSoft(1, maxsat.FromDIMACS(-1))
+	smallBody := dimacs(t, small)
+	resp, err := http.Post(base+"/solve?wait=1&cert=1", "text/plain", bytes.NewReader(smallBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first jobJSON
+	err = json.NewDecoder(resp.Body).Decode(&first)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("certified solve: status %d err %v", resp.StatusCode, err)
+	}
+	if first.Result == nil || first.Result.Status != "OPTIMAL" || len(first.Result.Certificate) == 0 {
+		t.Fatalf("certified solve result: %+v", first.Result)
+	}
+
+	// A slow job pins the single worker; its 202 means it is journaled.
+	slowBody := dimacs(t, gen.Pigeonhole(8).W)
+	resp, err = http.Post(base+"/solve", "text/plain", bytes.NewReader(slowBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow jobJSON
+	err = json.NewDecoder(resp.Body).Decode(&slow)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("slow submit: status %d err %v", resp.StatusCode, err)
+	}
+
+	// Crash: SIGKILL, no graceful anything.
+	if err := child.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = child.Wait()
+
+	child2 := startChild(t, args...)
+	defer func() { _ = child2.Process.Kill(); _ = child2.Wait() }()
+	awaitReady(t, base, 15*time.Second)
+
+	// The certified answer survived: served from the recovered store (the
+	// worker is busy replaying the slow job, so only a cache hit can answer
+	// instantly) with a certificate that still verifies.
+	resp, err = http.Post(base+"/solve?wait=1&cert=1", "text/plain", bytes.NewReader(smallBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again jobJSON
+	err = json.NewDecoder(resp.Body).Decode(&again)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-crash solve: status %d err %v", resp.StatusCode, err)
+	}
+	if again.Result == nil || !again.Result.Cached || again.Result.Cost != first.Result.Cost {
+		t.Fatalf("post-crash result not served from recovered store: %+v", again.Result)
+	}
+	if err := maxsat.CheckCertificate(small, again.Result.Certificate); err != nil {
+		t.Fatalf("recovered certificate rejected: %v", err)
+	}
+
+	// The interrupted job replays under its original ID.
+	resp, err = http.Get(fmt.Sprintf("%s/jobs/%d", base, slow.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed jobJSON
+	err = json.NewDecoder(resp.Body).Decode(&replayed)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-crash job id after restart: status %d err %v", resp.StatusCode, err)
+	}
+	if replayed.ID != slow.ID {
+		t.Fatalf("replayed job id %d, want %d", replayed.ID, slow.ID)
+	}
+
+	var stats struct {
+		Recovered int64 `json:"recovered"`
+		Replayed  int64 `json:"replayed"`
+	}
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Recovered < 1 || stats.Replayed < 1 {
+		t.Fatalf("recovery stats after crash: %+v", stats)
+	}
+}

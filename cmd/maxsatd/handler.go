@@ -34,9 +34,11 @@ type daemonOpts struct {
 //	GET  /jobs/{id}/certificate  raw binary proof certificate of a completed
 //	                       job submitted with cert=1 (see cmd/proofcheck)
 //	GET  /stats            service counters
-//	GET  /healthz          liveness (503 once draining)
+//	GET  /livez            process liveness (200 while the process serves)
+//	GET  /readyz           readiness (503 while recovering or draining)
+//	GET  /healthz          alias of /readyz, kept for older probes
 //
-// Every endpoint except /healthz passes through the auth middleware: with a
+// Every endpoint except the probes passes through the auth middleware: with a
 // token table configured, requests need a valid Authorization: Bearer secret
 // and are accounted to the token's client name; without one, requests are
 // accounted per peer IP (so the per-client rate limits still bite).
@@ -44,11 +46,18 @@ type daemon struct {
 	srv      *maxsat.Server
 	opts     daemonOpts
 	draining atomic.Bool
-	start    time.Time
+	// ready gates /readyz: false while the daemon replays the journal of a
+	// previous life (main flips it once Recover returns). A restarted durable
+	// daemon thus joins the load balancer only after it can account for every
+	// job it promised before the crash.
+	ready atomic.Bool
+	start time.Time
 }
 
 func newDaemon(srv *maxsat.Server, opts daemonOpts) *daemon {
-	return &daemon{srv: srv, opts: opts, start: time.Now()}
+	d := &daemon{srv: srv, opts: opts, start: time.Now()}
+	d.ready.Store(true) // main clears this when it has recovery to run
+	return d
 }
 
 func (d *daemon) handler() http.Handler {
@@ -57,7 +66,9 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", d.job)
 	mux.HandleFunc("GET /jobs/{id}/certificate", d.certificate)
 	mux.HandleFunc("GET /stats", d.stats)
-	mux.HandleFunc("GET /healthz", d.healthz)
+	mux.HandleFunc("GET /livez", d.livez)
+	mux.HandleFunc("GET /readyz", d.readyz)
+	mux.HandleFunc("GET /healthz", d.readyz)
 	return d.auth(mux)
 }
 
@@ -68,10 +79,11 @@ const clientKey ctxKey = 0
 
 // auth is the admission middleware: it resolves the client identity that the
 // serving layer's rate limits, quotas, and audit log are charged to. The
-// liveness probe is exempt — health checkers do not carry credentials.
+// health probes are exempt — checkers do not carry credentials.
 func (d *daemon) auth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		switch r.URL.Path {
+		case "/healthz", "/livez", "/readyz":
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -350,14 +362,34 @@ func (d *daemon) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d.srv.Stats())
 }
 
-func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
+// livez is pure process liveness: 200 for as long as the daemon can serve
+// HTTP at all, including while it recovers or drains. Restarting on a failed
+// /livez is what an orchestrator should do; restarting on a slow recovery is
+// not — that is /readyz's job.
+func (d *daemon) livez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"uptime_sec": time.Since(d.start).Seconds(),
+	})
+}
+
+// readyz is traffic-worthiness: 503 while the daemon is replaying a previous
+// life's journal (it cannot yet account for pre-crash job IDs) and once it
+// starts draining (it will not accept new work). /healthz aliases this —
+// existing probe configs keep their drain semantics.
+func (d *daemon) readyz(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	body := map[string]any{
 		"ok":         true,
 		"uptime_sec": time.Since(d.start).Seconds(),
 	}
+	if !d.ready.Load() {
+		code = http.StatusServiceUnavailable
+		body["ok"] = false
+		body["recovering"] = true
+	}
 	if d.draining.Load() {
-		// Fail the liveness probe during drain so load balancers stop
+		// Fail the readiness probe during drain so load balancers stop
 		// routing here while in-flight jobs run down.
 		code = http.StatusServiceUnavailable
 		body["ok"] = false

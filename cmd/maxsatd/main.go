@@ -19,7 +19,26 @@
 //	                   "bound" events — monotone anytime bound improvements —
 //	                   terminated by one "result" event.
 //	GET /stats         worker/queue/cache/admission counters as JSON.
-//	GET /healthz       liveness probe (503 once draining).
+//	GET /livez         process liveness (always 200 while serving).
+//	GET /readyz        readiness: 503 while recovering a -data-dir journal
+//	                   or once draining; 200 otherwise.
+//	GET /healthz       alias of /readyz (kept for older probe configs).
+//
+// Durability: -data-dir makes the daemon crash-safe. Certified results are
+// persisted to an append-only checksummed log and survive restarts — each
+// recovered record is re-proved by the independent certificate checker
+// before it may serve a cache hit — and every submission is journaled before
+// admission succeeds, so after a crash (or kill -9) the daemon replays the
+// jobs it had accepted but not finished under their original IDs: clients
+// polling GET /jobs/{id} across the restart find their work finished or
+// running, never gone. /readyz stays 503 until the replay is enqueued.
+//
+// Self-healing: -stall arms a watchdog that cancels jobs whose solver stops
+// making measurable progress (CDCL conflicts, branch-and-bound nodes, bound
+// improvements); -retries re-runs transiently failed jobs (a panic, a
+// memory-budget exhaustion, a watchdog kill) server-side on a degraded
+// profile — solo line-up, halved memory per attempt — before reporting
+// failure to the client.
 //
 // Authentication: -token installs a bearer-token table ("alice:s3cret,bob:hunter2";
 // a bare secret names itself token-N). With tokens configured every endpoint
@@ -39,6 +58,7 @@
 //	        [-timeout 1m] [-max-timeout 5m] [-max-body 67108864]
 //	        [-mem 0] [-max-mem 0] [-token name:secret,...]
 //	        [-rate 0] [-burst 0] [-quota 0] [-highwater 0.75]
+//	        [-data-dir dir] [-stall 0] [-retries 0]
 //	        [-drain 30s] [-audit]
 //
 // Example session:
@@ -99,6 +119,9 @@ func runWith(ctx context.Context, args []string) int {
 		highwater  = fs.Float64("highwater", 0.75, "queue-pressure fraction past which portfolio jobs degrade to fewer members (0 disables)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM before running jobs are cancelled")
 		audit      = fs.Bool("audit", false, "log one line per admission decision, cancellation, and completion")
+		dataDir    = fs.String("data-dir", "", "durability directory: persist certified results and journal submissions for crash recovery (empty disables)")
+		stall      = fs.Duration("stall", 0, "stuck-solver watchdog: cancel jobs making no measurable progress for this long (0 disables)")
+		retries    = fs.Int("retries", 0, "server-side retries of transiently failed jobs, on a degraded profile (0 disables)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: maxsatd [flags]\n")
@@ -130,13 +153,20 @@ func runWith(ctx context.Context, args []string) int {
 		Burst:          *burst,
 		ClientQuota:    *quota,
 		HighWater:      *highwater,
+		DataDir:        *dataDir,
+		StallTimeout:   *stall,
+		MaxRetries:     *retries,
 	}
 	if *audit {
 		cfg.Audit = func(e maxsat.AuditEvent) {
 			log.Printf("audit client=%q action=%s job=%d %s", e.Client, e.Action, e.JobID, e.Detail)
 		}
 	}
-	srv := maxsat.NewServer(cfg)
+	srv, err := maxsat.OpenServer(cfg)
+	if err != nil {
+		log.Printf("maxsatd: %v", err)
+		return 1
+	}
 	defer srv.Close()
 	d := newDaemon(srv, daemonOpts{
 		maxBody:    *maxBody,
@@ -153,6 +183,22 @@ func runWith(ctx context.Context, args []string) int {
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Journal replay runs concurrently with serving: the listener is up (so
+	// /livez answers and pre-crash job IDs become pollable the moment they
+	// re-enqueue) but /readyz stays 503 until every recovered job is accounted
+	// for — a load balancer only routes new work here once the daemon can keep
+	// its old promises.
+	if *dataDir != "" {
+		d.ready.Store(false)
+		go func() {
+			if err := srv.Recover(); err != nil {
+				log.Printf("maxsatd: journal replay: %v", err)
+			}
+			d.ready.Store(true)
+			log.Printf("maxsatd: recovery complete, ready")
+		}()
+	}
 
 	httpSrv := &http.Server{Handler: d.handler()}
 	errc := make(chan error, 1)

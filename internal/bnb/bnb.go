@@ -19,11 +19,13 @@ package bnb
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cnf"
 	"repro/internal/ls"
 	"repro/internal/opt"
+	"repro/internal/sat"
 )
 
 // BnB is the branch-and-bound MaxSAT optimizer. It supports weighted
@@ -92,6 +94,7 @@ type searcher struct {
 
 	nodes   int64
 	ctx     context.Context
+	pulse   *atomic.Int64 // liveness heartbeat (sat.WithProgress)
 	aborted bool
 	upLB    bool
 	hardBad bool // hard clause falsified during the current assign batch
@@ -113,7 +116,8 @@ func (b *BnB) Solve(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res o
 	}
 	defer prep.Finish(&res)
 
-	s := &searcher{nv: w.NumVars, upLB: !b.DisableUPLB, ctx: ctx, shared: shared, prep: prep}
+	s := &searcher{nv: w.NumVars, upLB: !b.DisableUPLB, ctx: ctx, shared: shared, prep: prep,
+		pulse: sat.ProgressFrom(ctx)}
 	if s.expired() {
 		res.Status = opt.StatusUnknown
 		return res
@@ -340,6 +344,9 @@ func (s *searcher) observeShared() {
 func (s *searcher) dfs() {
 	s.nodes++
 	if s.nodes&63 == 0 {
+		if s.pulse != nil {
+			s.pulse.Add(1)
+		}
 		if s.expired() {
 			s.aborted = true
 			return

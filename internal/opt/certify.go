@@ -101,7 +101,16 @@ func refute(ctx context.Context, f *cnf.Formula, o Options) (*proof.Trace, error
 	s.SetBudget(b)
 	switch s.Solve() {
 	case sat.Unsat:
-		return rec.Trace(), nil
+		// Trim to the lemmas the checker's backward marking actually
+		// consumed: certificates are stored durably and served over HTTP,
+		// so the dead search effort (typically most of the trace) is pure
+		// payload cost. Trim verifies as it marks, so a trimming failure
+		// means the raw trace was already invalid.
+		t, err := proof.Trim(f, rec.Trace(), proof.CheckOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("trimming refutation: %w", err)
+		}
+		return t, nil
 	case sat.Sat:
 		return nil, errors.New("bound formula is satisfiable — the claimed optimum is not optimal")
 	default:

@@ -40,6 +40,50 @@ type CheckOptions struct {
 // shares nothing with internal/sat — this function is the independent half
 // of the proof pipeline.
 func CheckTrace(f *cnf.Formula, t *Trace, opts CheckOptions) error {
+	_, _, err := runCheck(f, t, opts)
+	return err
+}
+
+// Trim verifies t against f and returns the trimmed trace: only the lemmas
+// the backward sweep marked as antecedents of some later conflict survive,
+// in their original order, ending with the empty clause; deletions are
+// dropped entirely. The trim is sound because RUP is monotone in the clause
+// set — each kept lemma's check used only formula clauses and earlier
+// marked (hence kept) records, and dropping deletions only enlarges the
+// active set. The result verifies under the same options (asserted by the
+// trimming tests, and cheap enough to re-check at the call site).
+//
+// Trimming a trace that fails verification returns the error; a trace
+// accepted wholesale without deriving an empty learnt clause (an empty
+// import/axiom obligation, impossible in strict mode) is returned as is.
+func Trim(f *cnf.Formula, t *Trace, opts CheckOptions) (*Trace, error) {
+	c, emptyAt, err := runCheck(f, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	if emptyAt < 0 {
+		return t, nil
+	}
+	out := &Trace{}
+	for i := range emptyAt {
+		rec := t.Records[i]
+		if rec.Op == OpDelete {
+			continue
+		}
+		if c.marked[c.byRecord[i]] {
+			out.Records = append(out.Records, rec)
+		}
+	}
+	out.Records = append(out.Records, t.Records[emptyAt])
+	return out, nil
+}
+
+// runCheck is the shared verification core behind CheckTrace and Trim. On
+// success it returns the checker (whose marked flags record which additions
+// some conflict consumed) and the index of the empty learnt clause, or
+// emptyAt = -1 when the trace was accepted wholesale via an empty
+// import/axiom obligation.
+func runCheck(f *cnf.Formula, t *Trace, opts CheckOptions) (*checker, int, error) {
 	c := newChecker(f)
 	// Forward pass: admit records, build the clause timeline, find the
 	// first empty-clause addition.
@@ -52,41 +96,41 @@ func CheckTrace(f *cnf.Formula, t *Trace, opts CheckOptions) error {
 			continue
 		case OpImport:
 			if !opts.AllowImports {
-				return fmt.Errorf("proof: record %d: import not allowed in a strict trace", i)
+				return nil, -1, fmt.Errorf("proof: record %d: import not allowed in a strict trace", i)
 			}
 			for _, l := range rec.Lits {
 				if int(l.Var()) >= opts.ImportScope {
-					return fmt.Errorf("proof: record %d: imported clause mentions variable %d outside sharing scope %d",
+					return nil, -1, fmt.Errorf("proof: record %d: imported clause mentions variable %d outside sharing scope %d",
 						i, int(l.Var())+1, opts.ImportScope)
 				}
 			}
 		case OpAxiom:
 			if !opts.AllowAxioms {
-				return fmt.Errorf("proof: record %d: axiom not allowed in a strict trace", i)
+				return nil, -1, fmt.Errorf("proof: record %d: axiom not allowed in a strict trace", i)
 			}
 		default:
-			return fmt.Errorf("proof: record %d: unknown op %d", i, byte(rec.Op))
+			return nil, -1, fmt.Errorf("proof: record %d: unknown op %d", i, byte(rec.Op))
 		}
 		c.add(i, rec.Op, rec.Lits)
 		if len(rec.Lits) == 0 {
 			if rec.Op != OpLearn {
 				// An empty import or axiom is an obligation the producer
 				// asserts wholesale; admitted modes accept it as given.
-				return nil
+				return c, -1, nil
 			}
 			emptyAt = i
 			break
 		}
 	}
 	if emptyAt < 0 {
-		return fmt.Errorf("proof: trace does not derive the empty clause")
+		return nil, -1, fmt.Errorf("proof: trace does not derive the empty clause")
 	}
 
 	// The final obligation: with everything before the empty clause
 	// active, unit propagation alone must conflict.
 	c.deactivateLast() // the empty clause itself is not an antecedent
 	if err := c.rup(nil); err != nil {
-		return fmt.Errorf("proof: empty clause: %w", err)
+		return nil, -1, fmt.Errorf("proof: empty clause: %w", err)
 	}
 
 	// Backward sweep.
@@ -102,10 +146,10 @@ func CheckTrace(f *cnf.Formula, t *Trace, opts CheckOptions) error {
 			continue // unused lemma, or an import/axiom obligation
 		}
 		if err := c.rup(rec.Lits); err != nil {
-			return fmt.Errorf("proof: record %d (%v): %w", i, cnf.Clause(rec.Lits), err)
+			return nil, -1, fmt.Errorf("proof: record %d (%v): %w", i, cnf.Clause(rec.Lits), err)
 		}
 	}
-	return nil
+	return c, emptyAt, nil
 }
 
 // checker is the verification state: a clause database with activity

@@ -345,3 +345,89 @@ func TestCertifyEndToEnd(t *testing.T) {
 		}
 	})
 }
+
+// TestTrim asserts the backward-marking trim: the trimmed trace still
+// verifies, is never larger than the original, drops all deletions, and on
+// real solver refutations is materially smaller.
+func TestTrim(t *testing.T) {
+	f := php(5, 4)
+	tr := refuteWithSolver(t, f)
+	trimmed, err := proof.Trim(f, tr, proof.CheckOptions{})
+	if err != nil {
+		t.Fatalf("Trim rejected a valid refutation: %v", err)
+	}
+	if err := proof.CheckTrace(f, trimmed, proof.CheckOptions{}); err != nil {
+		t.Fatalf("trimmed trace no longer verifies: %v", err)
+	}
+	if len(trimmed.Records) > len(tr.Records) {
+		t.Fatalf("trim grew the trace: %d -> %d", len(tr.Records), len(trimmed.Records))
+	}
+	for i, rec := range trimmed.Records {
+		if rec.Op == proof.OpDelete {
+			t.Fatalf("trimmed trace keeps a deletion at record %d", i)
+		}
+	}
+	last := trimmed.Records[len(trimmed.Records)-1]
+	if last.Op != proof.OpLearn || len(last.Lits) != 0 {
+		t.Fatalf("trimmed trace does not end with the empty clause: %+v", last)
+	}
+	// Idempotence: trimming a trimmed trace changes nothing.
+	again, err := proof.Trim(f, trimmed, proof.CheckOptions{})
+	if err != nil {
+		t.Fatalf("re-trim failed: %v", err)
+	}
+	if len(again.Records) != len(trimmed.Records) {
+		t.Fatalf("trim not idempotent: %d -> %d", len(trimmed.Records), len(again.Records))
+	}
+}
+
+// TestTrimRejectsInvalid asserts Trim refuses what CheckTrace refuses.
+func TestTrimRejectsInvalid(t *testing.T) {
+	f := php(4, 3)
+	// A trace that never derives the empty clause.
+	tr := &proof.Trace{Records: []proof.Record{{Op: proof.OpLearn, Lits: []cnf.Lit{cnf.PosLit(0)}}}}
+	if _, err := proof.Trim(f, tr, proof.CheckOptions{}); err == nil {
+		t.Fatal("Trim accepted a trace with no empty clause")
+	}
+	// A non-RUP lemma on the path to the empty clause.
+	sat := cnf.NewFormula(2)
+	sat.AddClause(cnf.PosLit(0), cnf.PosLit(1))
+	bogus := &proof.Trace{Records: []proof.Record{
+		{Op: proof.OpLearn, Lits: []cnf.Lit{cnf.PosLit(0)}},
+		{Op: proof.OpLearn},
+	}}
+	if _, err := proof.Trim(sat, bogus, proof.CheckOptions{}); err == nil {
+		t.Fatal("Trim accepted a bogus refutation of a satisfiable formula")
+	}
+}
+
+// TestCertifyTracesAreTrimmed asserts the certificate pipeline ships trimmed
+// refutations: every step's trace is deletion-free and ends at its first
+// empty clause.
+func TestCertifyTracesAreTrimmed(t *testing.T) {
+	w := cnf.NewWCNF(2)
+	w.AddSoft(1, cnf.PosLit(0))
+	w.AddSoft(1, cnf.NegLit(0))
+	w.AddSoft(1, cnf.PosLit(1))
+	w.AddSoft(1, cnf.NegLit(1))
+	r := opt.Result{Status: opt.StatusOptimal, Cost: 2,
+		Model: cnf.Assignment{true, true}}
+	data, err := opt.Certify(context.Background(), w, r, opt.Options{})
+	if err != nil {
+		t.Fatalf("certification failed: %v", err)
+	}
+	cert, err := proof.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, st := range cert.Steps {
+		for ri, rec := range st.Trace.Records {
+			if rec.Op == proof.OpDelete {
+				t.Fatalf("step %d record %d: certificate trace kept a deletion", si, ri)
+			}
+			if len(rec.Lits) == 0 && ri != len(st.Trace.Records)-1 {
+				t.Fatalf("step %d: empty clause at %d is not the final record", si, ri)
+			}
+		}
+	}
+}

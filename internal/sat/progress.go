@@ -1,0 +1,32 @@
+package sat
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// The progress pulse rides on the context so the serving layer's stuck-solver
+// watchdog needs no cooperation from individual optimizers: every optimizer
+// already threads its context into the solver budget (opt.Options.Budget), so
+// attaching a counter to that context is enough to get a liveness signal out
+// of any search running under it. The counter only ever increments; the
+// watchdog decides a job is stuck when it stops moving, not from its value.
+
+type progressKey struct{}
+
+// WithProgress returns a context whose searches tick the given counter as
+// they work (one tick per CDCL conflict; branch-and-bound ticks per node
+// batch). The counter is a cheap heartbeat, not an exact statistic.
+func WithProgress(ctx context.Context, counter *atomic.Int64) context.Context {
+	return context.WithValue(ctx, progressKey{}, counter)
+}
+
+// ProgressFrom extracts the progress counter installed by WithProgress, or
+// nil if the context carries none.
+func ProgressFrom(ctx context.Context) *atomic.Int64 {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(progressKey{}).(*atomic.Int64)
+	return c
+}

@@ -168,6 +168,7 @@ type Solver struct {
 	modelBuf cnf.Assignment // reused backing for model
 
 	budget Budget
+	pulse  *atomic.Int64 // liveness heartbeat from Budget.Ctx (see progress.go)
 	stats  Stats
 
 	// Management selects the learnt-clause deletion policy (default
@@ -242,8 +243,14 @@ func (s *Solver) Okay() bool { return s.ok }
 // Stats returns cumulative statistics.
 func (s *Solver) Stats() Stats { return s.stats }
 
-// SetBudget installs the budget used by subsequent Solve calls.
-func (s *Solver) SetBudget(b Budget) { s.budget = b }
+// SetBudget installs the budget used by subsequent Solve calls. If the
+// budget's context carries a progress counter (WithProgress), the search
+// ticks it on every conflict so an external watchdog can tell a stuck solver
+// from a slow one.
+func (s *Solver) SetBudget(b Budget) {
+	s.budget = b
+	s.pulse = ProgressFrom(b.Ctx)
+}
 
 func (s *Solver) value(l cnf.Lit) lbool {
 	v := s.assigns[l.Var()]
@@ -922,6 +929,9 @@ func (s *Solver) search(nofConflicts int64, conflictBudget *int64) searchOutcome
 			s.stats.Conflicts++
 			conflictC++
 			*conflictBudget--
+			if s.pulse != nil {
+				s.pulse.Add(1)
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				s.proofLearn(nil)

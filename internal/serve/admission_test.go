@@ -126,8 +126,8 @@ func TestDegradationUnderPressure(t *testing.T) {
 	granted := make(chan int, 1)
 	wide := mustSubmit(t, s, JobSpec{
 		Formula: contradiction(), OptsKey: "wide", Slots: 4,
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
-			granted <- slots
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
+			granted <- g.Slots
 			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
 		},
 	})
@@ -148,8 +148,8 @@ func TestDegradationUnderPressure(t *testing.T) {
 	granted2 := make(chan int, 1)
 	calm := mustSubmit(t, s, JobSpec{
 		Formula: contradiction(), OptsKey: "calm", Slots: 4,
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
-			granted2 <- slots
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
+			granted2 <- g.Slots
 			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
 		},
 	})
@@ -231,7 +231,7 @@ func TestDrainLetsJobsFinish(t *testing.T) {
 	s := New(Config{Workers: 1})
 	release := make(chan struct{})
 	started := make(chan struct{})
-	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 		close(started)
 		select {
 		case <-release:
@@ -283,7 +283,7 @@ func TestDrainLetsJobsFinish(t *testing.T) {
 func TestDrainDeadlineCancelsStragglers(t *testing.T) {
 	s := New(Config{Workers: 1})
 	started := make(chan struct{})
-	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 		close(started)
 		<-ctx.Done() // only cancellation ends this job
 		return opt.Result{Status: opt.StatusUnknown, Cost: -1}
@@ -309,7 +309,7 @@ func TestCloseRacesSubscriber(t *testing.T) {
 	defer checkGoroutines(t)()
 	s := New(Config{Workers: 1})
 	started := make(chan struct{})
-	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 		close(started)
 		shared.PublishUB(3, cnf.Assignment{true})
 		<-ctx.Done()

@@ -44,7 +44,7 @@ func checkGoroutines(t *testing.T) func() {
 func TestChaosDeterministicSchedule(t *testing.T) {
 	defer checkGoroutines(t)()
 	const jobs = 16
-	faults := &Faults{Before: func(jobID uint64, optsKey string) Fault {
+	faults := &Faults{Before: func(jobID uint64, optsKey string, attempt int) Fault {
 		if jobID > jobs {
 			return Fault{} // the post-chaos liveness probe runs clean
 		}
@@ -114,7 +114,7 @@ func TestChaosDeterministicSchedule(t *testing.T) {
 // not served from the verified-result cache: the resubmission must run the
 // real solver.
 func TestFaultExhaustNeverCached(t *testing.T) {
-	faults := &Faults{Before: func(jobID uint64, optsKey string) Fault {
+	faults := &Faults{Before: func(jobID uint64, optsKey string, attempt int) Fault {
 		if jobID == 1 {
 			return Fault{Kind: FaultExhaust}
 		}
@@ -139,7 +139,7 @@ func TestFaultExhaustNeverCached(t *testing.T) {
 // TestFaultPanicNeverCached asserts a panic-failed job poisons nothing: the
 // resubmission runs fresh and the failure is visible in Stats.Panics.
 func TestFaultPanicNeverCached(t *testing.T) {
-	faults := &Faults{Before: func(jobID uint64, optsKey string) Fault {
+	faults := &Faults{Before: func(jobID uint64, optsKey string, attempt int) Fault {
 		if jobID == 1 {
 			return Fault{Kind: FaultPanic}
 		}
@@ -165,7 +165,7 @@ func TestFaultPanicNeverCached(t *testing.T) {
 // certificate, mirroring what the public server wires in when a submission
 // asks for certification.
 func certifying() SolveFunc {
-	return func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+	return func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 		s := &pbo.Linear{}
 		r := s.Solve(ctx, w, shared)
 		if cert, err := opt.Certify(ctx, w, r, opt.Options{}); err == nil {
@@ -238,7 +238,7 @@ func TestFaultCorruptCertNeverServed(t *testing.T) {
 // blocked: the job must complete as cancelled, not hang.
 func TestFaultCancelMidJob(t *testing.T) {
 	defer checkGoroutines(t)()
-	faults := &Faults{Before: func(jobID uint64, optsKey string) Fault {
+	faults := &Faults{Before: func(jobID uint64, optsKey string, attempt int) Fault {
 		return Fault{Kind: FaultCancel, Delay: 5 * time.Millisecond}
 	}}
 	s := New(Config{Workers: 1, Faults: faults})
@@ -258,7 +258,7 @@ func TestFaultCancelMidJob(t *testing.T) {
 // return — the no-deadlock invariant under the worst worker behaviour.
 func TestFaultSlowUnblocksOnClose(t *testing.T) {
 	defer checkGoroutines(t)()
-	faults := &Faults{Before: func(jobID uint64, optsKey string) Fault {
+	faults := &Faults{Before: func(jobID uint64, optsKey string, attempt int) Fault {
 		return Fault{Kind: FaultSlow, Delay: time.Hour}
 	}}
 	s := New(Config{Workers: 1, Faults: faults})

@@ -52,8 +52,12 @@ type Fault struct {
 // fault schedule every run.
 type Faults struct {
 	// Before is consulted in the worker goroutine immediately before the
-	// job's SolveFunc would run. Returning FaultNone runs the job normally.
-	Before func(jobID uint64, optsKey string) Fault
+	// job's SolveFunc would run, once per attempt (attempt 0 is the first
+	// run; server-side retries count up). Returning FaultNone runs the
+	// attempt normally — so a schedule can panic a job's first attempt and
+	// let its retry succeed, which is exactly what the retry chaos tests
+	// assert.
+	Before func(jobID uint64, optsKey string, attempt int) Fault
 	// CorruptCert is consulted when a job's verified result is about to be
 	// cached: a return ≥ 0 flips that bit (modulo the certificate length)
 	// in the stored copy of the result's certificate, simulating storage
@@ -61,6 +65,43 @@ type Faults struct {
 	// the job's own waiters is untouched. Return a negative value (or
 	// leave the hook nil) to store faithfully.
 	CorruptCert func(jobID uint64) int
+
+	// CorruptStore is consulted when a record is about to be written to the
+	// durable result store or job journal (seq is the record's position in
+	// its log): a return ≥ 0 flips that bit (modulo the record length) in
+	// the payload before it is CRC-framed — so the frame is well-formed and
+	// recovery's integrity layer passes, and the corruption must be caught
+	// by the re-validation layer (the independent proof checker) instead.
+	// Negative (or nil hook) writes faithfully.
+	CorruptStore func(seq uint64) int
+	// CrashAfterWrite, when it returns true for a record, tears that
+	// record's framed write in half and wedges the log — every later write
+	// is silently dropped, as if the process died mid-write. Recovery must
+	// truncate the torn tail cleanly.
+	CrashAfterWrite func(seq uint64) bool
+}
+
+// corruptStoreBit returns the bit to flip in the store/journal record at
+// seq, or -1 to write it faithfully.
+func (f *Faults) corruptStoreBit(seq uint64) int {
+	if f == nil || f.CorruptStore == nil {
+		return -1
+	}
+	return f.CorruptStore(seq)
+}
+
+// storeWriteHook builds the store-layer fault hook (torn writes), or nil
+// when no crash fault is configured.
+func (f *Faults) storeWriteHook() func(seq uint64, frame []byte) ([]byte, bool) {
+	if f == nil || f.CrashAfterWrite == nil {
+		return nil
+	}
+	return func(seq uint64, frame []byte) ([]byte, bool) {
+		if f.CrashAfterWrite(seq) {
+			return frame[:len(frame)/2], true
+		}
+		return frame, false
+	}
 }
 
 // corruptCertBit returns the bit to flip in job id's stored certificate, or
@@ -77,11 +118,11 @@ func (f *Faults) corruptCertBit(id uint64) int {
 // entirely (handled true); otherwise the caller proceeds to the real
 // SolveFunc. May panic — that is FaultPanic's purpose — and the server's
 // panic isolation must contain it.
-func (f *Faults) inject(ctx context.Context, j *job) (res opt.Result, handled bool) {
+func (f *Faults) inject(ctx context.Context, j *job, attempt int) (res opt.Result, handled bool) {
 	if f == nil || f.Before == nil {
 		return opt.Result{}, false
 	}
-	switch d := f.Before(j.id, j.key.opts); d.Kind {
+	switch d := f.Before(j.id, j.key.opts, attempt); d.Kind {
 	case FaultPanic:
 		panic(fmt.Sprintf("serve: injected fault: panic in job %d", j.id))
 	case FaultSlow:

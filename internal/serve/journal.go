@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/store"
+)
+
+// Journal is the durable intent log of the serving layer: a submission is
+// recorded (fsynced) before its job ID is handed back, and marked done
+// (lazily — replay is idempotent, so losing a marker only costs a re-run)
+// when it completes. After a restart, Pending lists the jobs the previous
+// life accepted but never finished; Server.Recover re-enqueues them under
+// their original IDs so a client polling GET /jobs/{id} across the restart
+// sees its job finish instead of 404.
+//
+// A SolveFunc closure cannot be persisted, so each record carries the
+// submission's opaque Payload (the maxsat layer's serialized options); the
+// Recover callback rebuilds the closure from it. Everything recovered here
+// is intent, not truth: a replayed job re-runs through the full solve (or
+// hits the re-validated result cache) — the journal never supplies answers.
+type Journal struct {
+	mu      sync.Mutex
+	log     *store.Log
+	pending []RecoveredJob
+	maxID   uint64
+	dropped int
+	faults  *Faults
+}
+
+// RecoveredJob is one incomplete submission recovered from the journal.
+type RecoveredJob struct {
+	ID      uint64
+	Client  string
+	OptsKey string
+	Slots   int
+	Timeout time.Duration
+	Payload []byte
+	Formula *cnf.WCNF
+}
+
+const (
+	recSubmit byte = 10
+	recDone   byte = 11
+)
+
+// OpenJournal opens (creating if absent) the job journal at path. dropped
+// counts records the integrity layer rejected (and is folded into
+// Stats.RecoveredRejected by the server). faults injects storage faults for
+// chaos tests; production passes nil.
+func OpenJournal(path string, faults *Faults) (*Journal, error) {
+	l, recs, dropped, err := store.Open(path, store.Options{WriteHook: faults.storeWriteHook()})
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{log: l, dropped: dropped, faults: faults}
+	byID := make(map[uint64]int) // id -> index into order of live submits
+	var order []RecoveredJob
+	completed := make(map[uint64]bool)
+	for _, r := range recs {
+		switch r.Kind {
+		case recSubmit:
+			rj, err := decodeSubmit(r.Payload)
+			if err != nil {
+				j.dropped++
+				continue
+			}
+			if rj.ID > j.maxID {
+				j.maxID = rj.ID
+			}
+			if _, dup := byID[rj.ID]; !dup {
+				byID[rj.ID] = len(order)
+				order = append(order, rj)
+			}
+		case recDone:
+			id, n := binary.Uvarint(r.Payload)
+			if n <= 0 {
+				j.dropped++
+				continue
+			}
+			completed[id] = true
+			if id > j.maxID {
+				j.maxID = id
+			}
+		default:
+			j.dropped++
+		}
+	}
+	for _, rj := range order {
+		if !completed[rj.ID] {
+			j.pending = append(j.pending, rj)
+		}
+	}
+	if len(j.pending) < len(order) || j.dropped > 0 {
+		j.compactLocked()
+	}
+	return j, nil
+}
+
+// MaxID returns the highest job ID the journal has seen; the server seeds
+// its ID counter past it so IDs stay unique across restarts.
+func (j *Journal) MaxID() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.maxID
+}
+
+// Pending returns the recovered incomplete submissions in original
+// submission order.
+func (j *Journal) Pending() []RecoveredJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]RecoveredJob(nil), j.pending...)
+}
+
+// record journals one admitted submission, fsynced before returning.
+func (j *Journal) record(id uint64, w *cnf.WCNF, spec JobSpec) error {
+	payload := encodeSubmit(RecoveredJob{
+		ID: id, Client: spec.Client, OptsKey: spec.OptsKey,
+		Slots: spec.Slots, Timeout: spec.Timeout, Payload: spec.Payload,
+	}, w)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if id > j.maxID {
+		j.maxID = id
+	}
+	if bit := j.faults.corruptStoreBit(j.log.Len()); bit >= 0 {
+		payload[(bit/8)%len(payload)] ^= 1 << (bit % 8)
+	}
+	return j.log.Append(recSubmit, payload, true)
+}
+
+// markDone records a completion marker. Unsynced on purpose: the marker is
+// an optimization (it keeps recovery from re-running a finished job), not a
+// correctness requirement. Submit/done pairs grow the log monotonically at
+// runtime; the next Open rewrites it down to whatever is still pending —
+// runtime compaction would need the live in-flight picture this type does
+// not have.
+func (j *Journal) markDone(id uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.log.Append(recDone, binary.AppendUvarint(nil, id), false)
+}
+
+// compactLocked rewrites the log down to the pending submissions.
+func (j *Journal) compactLocked() {
+	recs := make([]store.Record, 0, len(j.pending))
+	for _, rj := range j.pending {
+		recs = append(recs, store.Record{Kind: recSubmit, Payload: encodeSubmit(rj, rj.Formula)})
+	}
+	j.log.Compact(recs) // best-effort; a failed compact leaves the old log
+}
+
+// Sync flushes batched done markers.
+func (j *Journal) Sync() error { return j.log.Sync() }
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error { return j.log.Close() }
+
+func encodeSubmit(rj RecoveredJob, w *cnf.WCNF) []byte {
+	var fb bytes.Buffer
+	cnf.WriteWCNF(&fb, w)
+	buf := binary.AppendUvarint(nil, rj.ID)
+	buf = binary.AppendVarint(buf, int64(rj.Timeout))
+	buf = binary.AppendUvarint(buf, uint64(rj.Slots))
+	for _, sec := range [][]byte{[]byte(rj.Client), []byte(rj.OptsKey), rj.Payload, fb.Bytes()} {
+		buf = binary.AppendUvarint(buf, uint64(len(sec)))
+		buf = append(buf, sec...)
+	}
+	return buf
+}
+
+func decodeSubmit(payload []byte) (RecoveredJob, error) {
+	var rj RecoveredJob
+	id, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return rj, fmt.Errorf("serve: journal record truncated")
+	}
+	payload = payload[n:]
+	to, n := binary.Varint(payload)
+	if n <= 0 {
+		return rj, fmt.Errorf("serve: journal record truncated")
+	}
+	payload = payload[n:]
+	slots, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return rj, fmt.Errorf("serve: journal record truncated")
+	}
+	payload = payload[n:]
+	var secs [4][]byte
+	for i := range secs {
+		ln, k := binary.Uvarint(payload)
+		if k <= 0 || ln > uint64(len(payload)-k) {
+			return rj, fmt.Errorf("serve: journal record truncated")
+		}
+		secs[i] = payload[k : k+int(ln)]
+		payload = payload[k+int(ln):]
+	}
+	w, err := cnf.ParseWCNF(bytes.NewReader(secs[3]))
+	if err != nil {
+		return rj, fmt.Errorf("serve: journal record formula: %w", err)
+	}
+	rj.ID = id
+	rj.Timeout = time.Duration(to)
+	rj.Slots = int(slots)
+	rj.Client = string(secs[0])
+	rj.OptsKey = string(secs[1])
+	rj.Payload = append([]byte(nil), secs[2]...)
+	rj.Formula = w
+	return rj, nil
+}

@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/opt"
+	"repro/internal/proof"
+	"repro/internal/sat"
+)
+
+// openStoreT / openJournalT open durability primitives with test fatality.
+func openStoreT(t *testing.T, path string, f *Faults) *ResultStore {
+	t.Helper()
+	rs, err := OpenResultStore(path, f)
+	if err != nil {
+		t.Fatalf("OpenResultStore: %v", err)
+	}
+	return rs
+}
+
+func openJournalT(t *testing.T, path string, f *Faults) *Journal {
+	t.Helper()
+	jl, err := OpenJournal(path, f)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return jl
+}
+
+// replayCertifying is the standard rebuild callback for these tests: every
+// journaled payload maps to a real certifying solve.
+func replayCertifying(rj RecoveredJob) (JobSpec, error) {
+	return JobSpec{
+		Formula: rj.Formula,
+		OptsKey: rj.OptsKey,
+		Client:  rj.Client,
+		Timeout: rj.Timeout,
+		Payload: rj.Payload,
+		Solve:   certifying(),
+	}, nil
+}
+
+// TestStoreRoundTripAcrossRestart solves with certification in one server
+// life and asserts the second life serves the answer from the recovered
+// store — with the certificate intact and verifying.
+func TestStoreRoundTripAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.log")
+	formula := contradiction()
+
+	rs := openStoreT(t, path, nil)
+	s := New(Config{Workers: 1, Store: rs})
+	r1 := waitResult(t, mustSubmit(t, s, JobSpec{Formula: formula, Solve: certifying()}))
+	if r1.Status != opt.StatusOptimal || len(r1.Certificate) == 0 {
+		t.Fatalf("first life solve: %+v", r1)
+	}
+	s.Close()
+	if err := rs.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
+
+	rs2 := openStoreT(t, path, nil)
+	s2 := New(Config{Workers: 1, Store: rs2})
+	defer func() { s2.Close(); rs2.Close() }()
+	if st := s2.Stats(); st.Recovered != 1 || st.RecoveredRejected != 0 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	// The second life must answer from the recovered store without running
+	// a solver at all.
+	noSolver := func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
+		t.Error("recovered result not served: solver ran in the second life")
+		return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+	}
+	r2 := waitResult(t, mustSubmit(t, s2, JobSpec{Formula: formula, Solve: noSolver}))
+	if !r2.Cached || r2.Status != opt.StatusOptimal || r2.Cost != r1.Cost {
+		t.Fatalf("recovered hit: %+v", r2)
+	}
+	if err := proof.CheckBytes(formula, r2.Certificate); err != nil {
+		t.Fatalf("recovered certificate rejected by the checker: %v", err)
+	}
+}
+
+// TestUncertifiedResultsNotDurable asserts the trust boundary: a verified
+// but uncertified optimum is cacheable in memory yet never written to the
+// durable store.
+func TestUncertifiedResultsNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.log")
+	formula := contradiction()
+
+	rs := openStoreT(t, path, nil)
+	s := New(Config{Workers: 1, Store: rs})
+	r := waitResult(t, mustSubmit(t, s, JobSpec{Formula: formula, Solve: optimal(1)}))
+	if r.Status != opt.StatusOptimal || len(r.Certificate) != 0 {
+		t.Fatalf("uncertified solve: %+v", r)
+	}
+	s.Close()
+	rs.Close()
+
+	rs2 := openStoreT(t, path, nil)
+	defer rs2.Close()
+	if n := len(rs2.entries); n != 0 {
+		t.Fatalf("uncertified result persisted: %d store entries", n)
+	}
+}
+
+// TestCorruptStoreNeverServed flips a payload bit on the way into the
+// durable store (a valid CRC frame around a corrupt certificate) and asserts
+// the recovery re-validation layer rejects it: the entry is dropped, counted
+// and the formula is re-solved rather than served.
+func TestCorruptStoreNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.log")
+	formula := contradiction()
+
+	faults := &Faults{CorruptStore: func(seq uint64) int { return 9000 }}
+	rs := openStoreT(t, path, faults)
+	s := New(Config{Workers: 1, Store: rs, Faults: faults})
+	r1 := waitResult(t, mustSubmit(t, s, JobSpec{Formula: formula, Solve: certifying()}))
+	if r1.Status != opt.StatusOptimal {
+		t.Fatalf("first life solve: %+v", r1)
+	}
+	s.Close()
+	rs.Close()
+
+	rs2 := openStoreT(t, path, nil)
+	s2 := New(Config{Workers: 1, Store: rs2})
+	defer func() { s2.Close(); rs2.Close() }()
+	st := s2.Stats()
+	if st.Recovered != 0 {
+		t.Fatalf("a corrupted store entry was admitted: %+v", st)
+	}
+	if st.RecoveredRejected == 0 {
+		t.Fatalf("corrupted entry not counted as rejected: %+v", st)
+	}
+	// The formula still solves — freshly.
+	r2 := waitResult(t, mustSubmit(t, s2, JobSpec{Formula: formula, Solve: certifying()}))
+	if r2.Cached || r2.Status != opt.StatusOptimal {
+		t.Fatalf("post-corruption solve: %+v", r2)
+	}
+}
+
+// TestCrashAfterWriteTruncatedCleanly tears the second store record
+// mid-write (simulated crash) and asserts recovery keeps the first record,
+// drops the torn tail, and counts it.
+func TestCrashAfterWriteTruncatedCleanly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.log")
+	f1 := contradiction()
+	f2 := cnf.NewWCNF(2)
+	f2.AddSoft(1, cnf.PosLit(0))
+	f2.AddSoft(1, cnf.NegLit(0))
+	f2.AddSoft(1, cnf.PosLit(1))
+	f2.AddSoft(1, cnf.NegLit(1))
+
+	faults := &Faults{CrashAfterWrite: func(seq uint64) bool { return seq == 1 }}
+	rs := openStoreT(t, path, faults)
+	s := New(Config{Workers: 1, Store: rs, Faults: faults})
+	if r := waitResult(t, mustSubmit(t, s, JobSpec{Formula: f1, Solve: certifying()})); r.Status != opt.StatusOptimal {
+		t.Fatalf("job 1: %+v", r)
+	}
+	if r := waitResult(t, mustSubmit(t, s, JobSpec{Formula: f2, OptsKey: "two", Solve: certifying()})); r.Status != opt.StatusOptimal {
+		t.Fatalf("job 2: %+v", r)
+	}
+	s.Close()
+	rs.Close()
+
+	rs2 := openStoreT(t, path, nil)
+	s2 := New(Config{Workers: 1, Store: rs2})
+	defer func() { s2.Close(); rs2.Close() }()
+	st := s2.Stats()
+	if st.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1 (the record before the crash)", st.Recovered)
+	}
+	if st.RecoveredRejected == 0 {
+		t.Fatalf("torn tail not counted: %+v", st)
+	}
+	// The surviving entry is the first formula's.
+	r := waitResult(t, mustSubmit(t, s2, JobSpec{Formula: f1, Solve: certifying()}))
+	if !r.Cached {
+		t.Fatal("pre-crash record not served after recovery")
+	}
+}
+
+// TestJournalReplay shuts a server down with one running and one queued job
+// and asserts the next life replays both to completion under their original
+// IDs — an admitted submission is never forgotten.
+func TestJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.log")
+	formula := contradiction()
+
+	jl := openJournalT(t, jpath, nil)
+	s := New(Config{Workers: 1, Journal: jl})
+	// A blocker occupies the only worker so the second job is journaled but
+	// never runs — the "in flight at shutdown" shape.
+	hBlock := mustSubmit(t, s, JobSpec{Formula: formula, OptsKey: "block",
+		Payload: []byte("x"), Solve: blocker(nil)})
+	hQueued := mustSubmit(t, s, JobSpec{Formula: formula, OptsKey: "queued",
+		Payload: []byte("x"), Solve: certifying()})
+	queuedID := hQueued.ID()
+	// Close cancels both before they finish; shutdown-cancelled jobs keep
+	// their journal entries pending.
+	s.Close()
+	jl.Close()
+
+	jl2 := openJournalT(t, jpath, nil)
+	s2 := New(Config{Workers: 1, Journal: jl2})
+	defer func() { s2.Close(); jl2.Close() }()
+	if err := s2.Recover(replayCertifying); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	h, ok := s2.Job(queuedID)
+	if !ok {
+		t.Fatalf("job %d not addressable after replay", queuedID)
+	}
+	r := waitResult(t, h)
+	if r.Err != nil || r.Status != opt.StatusOptimal {
+		t.Fatalf("replayed job result: %+v", r)
+	}
+	if st := s2.Stats(); st.Replayed == 0 {
+		t.Fatalf("Stats.Replayed = 0 after replay: %+v", st)
+	}
+	if hBlock.ID() == queuedID {
+		t.Fatal("test invariant: distinct IDs")
+	}
+	// New submissions never collide with pre-crash IDs.
+	h3 := mustSubmit(t, s2, JobSpec{Formula: formula, OptsKey: "fresh", Solve: optimal(1)})
+	if h3.ID() <= queuedID {
+		t.Fatalf("fresh job ID %d not past recovered ID %d", h3.ID(), queuedID)
+	}
+	waitResult(t, h3)
+}
+
+// TestJournalReplayIdempotent covers the store-backed dedup layer: a pending
+// journal entry whose certified answer is already durable (its done marker
+// was lost in the crash) completes instantly from the recovered store — no
+// solver runs, and the recovered ID is addressable with the cached result.
+func TestJournalReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.log")
+	spath := filepath.Join(dir, "results.log")
+	formula := contradiction()
+
+	// First life: solve and certify, making the answer durable.
+	jl := openJournalT(t, jpath, nil)
+	rs := openStoreT(t, spath, nil)
+	s := New(Config{Workers: 1, Journal: jl, Store: rs})
+	r := waitResult(t, mustSubmit(t, s, JobSpec{Formula: formula, OptsKey: "dup",
+		Payload: []byte("x"), Solve: certifying()}))
+	if r.Status != opt.StatusOptimal {
+		t.Fatalf("first life solve: %+v", r)
+	}
+	s.Close()
+	jl.Close()
+	rs.Close()
+
+	// Simulate a submission accepted just before the crash — or equivalently
+	// a completed one whose lazy done marker was lost: a bare submit record
+	// with no marker.
+	jl = openJournalT(t, jpath, nil)
+	if err := jl.record(99, formula, JobSpec{OptsKey: "dup", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	// Second life: the pending job's formula is already answered in the
+	// re-validated store; replay must not run a solver.
+	jl2 := openJournalT(t, jpath, nil)
+	rs2 := openStoreT(t, spath, nil)
+	s2 := New(Config{Workers: 1, Journal: jl2, Store: rs2})
+	defer func() { s2.Close(); jl2.Close(); rs2.Close() }()
+	ranSolver := atomic.Bool{}
+	if err := s2.Recover(func(rj RecoveredJob) (JobSpec, error) {
+		return JobSpec{Formula: rj.Formula, OptsKey: rj.OptsKey, Payload: rj.Payload,
+			Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
+				ranSolver.Store(true)
+				return certifying()(ctx, w, shared, g)
+			}}, nil
+	}); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	h, ok := s2.Job(99)
+	if !ok {
+		t.Fatal("recovered job 99 not addressable")
+	}
+	rr := waitResult(t, h)
+	if !rr.Cached || rr.Status != opt.StatusOptimal {
+		t.Fatalf("store-completed replay: %+v", rr)
+	}
+	if ranSolver.Load() {
+		t.Fatal("replay ran a solver for a job whose answer was durable")
+	}
+	if st := s2.Stats(); st.CacheHits != 1 || st.Recovered != 1 {
+		t.Fatalf("idempotent replay stats: %+v", st)
+	}
+}
+
+// TestJournalReplayCoalesces loses done markers for two identical pending
+// submissions and asserts replay runs the formula once, with both original
+// IDs addressing the one run.
+func TestJournalReplayCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.log")
+	formula := contradiction()
+
+	// First life: journal two identical submissions and crash before either
+	// runs (blocker pins the worker; Close cancels them, and cancelled jobs
+	// do not reach markDone... they do — finish always marks. So simulate
+	// the crash harder: never close the first server's journal cleanly;
+	// write the journal by hand instead.)
+	jl := openJournalT(t, jpath, nil)
+	for id := uint64(1); id <= 2; id++ {
+		if err := jl.record(id, formula, JobSpec{OptsKey: "same", Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jl.Close()
+
+	jl2 := openJournalT(t, jpath, nil)
+	s := New(Config{Workers: 1, Journal: jl2})
+	defer func() { s.Close(); jl2.Close() }()
+	var runs atomic.Int64
+	if err := s.Recover(func(rj RecoveredJob) (JobSpec, error) {
+		return JobSpec{Formula: rj.Formula, OptsKey: rj.OptsKey, Payload: rj.Payload,
+			Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
+				runs.Add(1)
+				return certifying()(ctx, w, shared, g)
+			}}, nil
+	}); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	for id := uint64(1); id <= 2; id++ {
+		h, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("recovered job %d not addressable", id)
+		}
+		if r := waitResult(t, h); r.Status != opt.StatusOptimal {
+			t.Fatalf("job %d: %+v", id, r)
+		}
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("coalesced replay ran the solver %d times, want 1", n)
+	}
+	if st := s.Stats(); st.Coalesced != 1 || st.Replayed != 2 {
+		t.Fatalf("replay stats: %+v", st)
+	}
+}
+
+// TestWatchdogKillsStalledSolver asserts the watchdog cancels a solver whose
+// heartbeat never moves, and that with retries off the failure surfaces.
+func TestWatchdogKillsStalledSolver(t *testing.T) {
+	defer checkGoroutines(t)()
+	s := New(Config{Workers: 1, StallTimeout: 30 * time.Millisecond})
+	defer s.Close()
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(),
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
+			<-ctx.Done() // stalled: blocks, no heartbeat — until the watchdog fires
+			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+		}})
+	r := waitResult(t, h)
+	if r.Err == nil {
+		t.Fatalf("stalled job did not fail: %+v", r)
+	}
+	if st := s.Stats(); st.Stalled != 1 {
+		t.Fatalf("Stats.Stalled = %d, want 1", st.Stalled)
+	}
+}
+
+// TestWatchdogSparesProgressingSolver asserts a slow solver that keeps
+// ticking its heartbeat is never killed, even over many stall windows.
+func TestWatchdogSparesProgressingSolver(t *testing.T) {
+	defer checkGoroutines(t)()
+	s := New(Config{Workers: 1, StallTimeout: 40 * time.Millisecond})
+	defer s.Close()
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(),
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
+			// 8 stall windows of wall time, but the heartbeat ticks well
+			// inside every window.
+			beat := sat.ProgressFrom(ctx)
+			for range 32 {
+				if ctx.Err() != nil {
+					return opt.Result{Status: opt.StatusUnknown, Cost: -1}
+				}
+				time.Sleep(10 * time.Millisecond)
+				beat.Add(1)
+			}
+			return optimal(1)(ctx, w, shared, g)
+		}})
+	r := waitResult(t, h)
+	if r.Err != nil || r.Status != opt.StatusOptimal {
+		t.Fatalf("slow-but-progressing job killed: %+v", r)
+	}
+	if st := s.Stats(); st.Stalled != 0 {
+		t.Fatalf("Stats.Stalled = %d, want 0", st.Stalled)
+	}
+}
+
+// TestRetryLadder drives a deterministic fail-then-succeed schedule through
+// the retry machinery under an instrumented backoff clock: attempt 0 panics,
+// attempt 1 exhausts, attempt 2 succeeds — one job, three attempts, two
+// deterministic backoffs, zero client resubmissions.
+func TestRetryLadder(t *testing.T) {
+	defer checkGoroutines(t)()
+	faults := &Faults{Before: func(jobID uint64, optsKey string, attempt int) Fault {
+		switch attempt {
+		case 0:
+			return Fault{Kind: FaultPanic}
+		case 1:
+			return Fault{Kind: FaultExhaust}
+		default:
+			return Fault{}
+		}
+	}}
+	s := New(Config{Workers: 2, MaxRetries: 3, RetryBackoff: 10 * time.Millisecond, Faults: faults})
+	defer s.Close()
+	var backoffs []time.Duration
+	s.sleep = func(ctx context.Context, d time.Duration) { backoffs = append(backoffs, d) }
+
+	h := mustSubmit(t, s, JobSpec{Formula: contradiction(), Slots: 2, Solve: optimal(1)})
+	r := waitResult(t, h)
+	if r.Err != nil || r.Status != opt.StatusOptimal || r.Cost != 1 {
+		t.Fatalf("job did not recover via retries: %+v", r)
+	}
+	st := s.Stats()
+	if st.Retries != 2 || st.RetrySucceeded != 1 {
+		t.Fatalf("retry stats: Retries=%d RetrySucceeded=%d, want 2/1", st.Retries, st.RetrySucceeded)
+	}
+	if st.Panics != 0 {
+		t.Fatalf("recovered job still counted as a panic: %+v", st)
+	}
+	if len(backoffs) != 2 || backoffs[0] != 10*time.Millisecond || backoffs[1] != 20*time.Millisecond {
+		t.Fatalf("backoff ladder %v, want [10ms 20ms] (exponential)", backoffs)
+	}
+}
+
+// TestRetryExhaustion asserts a job that fails every attempt surfaces the
+// failure after exactly MaxRetries retries.
+func TestRetryExhaustion(t *testing.T) {
+	faults := &Faults{Before: func(jobID uint64, optsKey string, attempt int) Fault {
+		return Fault{Kind: FaultPanic}
+	}}
+	s := New(Config{Workers: 1, MaxRetries: 2, RetryBackoff: time.Nanosecond, Faults: faults})
+	defer s.Close()
+	s.sleep = func(ctx context.Context, d time.Duration) {}
+	r := waitResult(t, mustSubmit(t, s, JobSpec{Formula: contradiction(), Solve: optimal(1)}))
+	if r.Err == nil {
+		t.Fatalf("permanently failing job reported success: %+v", r)
+	}
+	st := s.Stats()
+	if st.Retries != 2 || st.RetrySucceeded != 0 || st.Panics != 1 {
+		t.Fatalf("exhaustion stats: %+v", st)
+	}
+}
+
+// TestChaosRetriesRecoverPanickedJobs is the acceptance-criteria chaos run:
+// a schedule that panics several jobs' first attempts must end with every
+// one of them succeeding via server-side retry — zero failures surfaced,
+// zero client resubmissions.
+func TestChaosRetriesRecoverPanickedJobs(t *testing.T) {
+	defer checkGoroutines(t)()
+	const jobs = 8
+	faults := &Faults{Before: func(jobID uint64, optsKey string, attempt int) Fault {
+		if jobID%2 == 1 && attempt == 0 {
+			return Fault{Kind: FaultPanic}
+		}
+		return Fault{}
+	}}
+	s := New(Config{Workers: 3, CacheEntries: -1, MaxRetries: 1,
+		RetryBackoff: time.Millisecond, Faults: faults})
+	defer s.Close()
+	var handles []*Handle
+	for i := range jobs {
+		handles = append(handles, mustSubmit(t, s, JobSpec{
+			Formula: contradiction(),
+			OptsKey: "chaos-" + string(rune('a'+i)),
+			Solve:   optimal(1),
+		}))
+	}
+	for i, h := range handles {
+		r := waitResult(t, h)
+		if r.Err != nil || r.Status != opt.StatusOptimal {
+			t.Fatalf("job %d did not recover: %+v", i, r)
+		}
+	}
+	st := s.Stats()
+	if st.RetrySucceeded != 4 {
+		t.Fatalf("RetrySucceeded = %d, want 4 (the odd job IDs)", st.RetrySucceeded)
+	}
+	if st.Panics != 0 {
+		t.Fatalf("retried jobs still surfaced failures: %+v", st)
+	}
+}

@@ -48,18 +48,29 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cnf"
 	"repro/internal/opt"
 	"repro/internal/proof"
+	"repro/internal/sat"
 )
+
+// Grant is what the pool hands a SolveFunc for one attempt: the worker
+// slots the job was granted (≥ 1; a portfolio should race exactly that many
+// members) and which attempt this is (0 for the first run; retries of
+// transiently failed jobs count up from 1 and should run a degraded profile
+// — see Config.MaxRetries).
+type Grant struct {
+	Slots   int
+	Attempt int
+}
 
 // SolveFunc runs one optimization. The serving layer calls it with the
 // formula snapshot taken at Submit time, a fresh bounds channel it observes
-// for anytime streaming (always non-nil), and the number of worker slots the
-// job was granted (≥ 1; a portfolio should race exactly that many members).
-type SolveFunc func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result
+// for anytime streaming (always non-nil), and the attempt's Grant.
+type SolveFunc func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result
 
 // JobSpec describes one submission.
 type JobSpec struct {
@@ -86,6 +97,14 @@ type JobSpec struct {
 	// the peer address when authentication is off). All anonymous
 	// submissions (empty Client) share one account.
 	Client string
+	// Payload is an opaque, durable re-description of this submission (the
+	// maxsat layer stores the resolved solve options as JSON). A SolveFunc
+	// closure cannot be persisted, so the job journal records the payload
+	// instead and the Recover callback rebuilds the closure from it after a
+	// restart. Jobs with an empty Payload are not journaled — they cannot
+	// survive a restart, which is the right default for embedded callers
+	// that re-drive their own work.
+	Payload []byte
 	// Solve runs the optimization.
 	Solve SolveFunc
 }
@@ -132,6 +151,35 @@ type Config struct {
 	// Faults is the fault-injection hook set for chaos testing; nil (always,
 	// in production) runs every job normally.
 	Faults *Faults
+
+	// Store, when non-nil, persists certified verified results across
+	// restarts: New rebuilds the cache from it, re-validating every
+	// recovered entry through the independent proof checker before it can
+	// serve a hit (rejections are counted in Stats.RecoveredRejected and
+	// audit-logged), and finish appends each newly certified verdict.
+	// Uncertified results stay memory-only — the certificate is what makes
+	// a recovered answer trustworthy.
+	Store *ResultStore
+	// Journal, when non-nil, records submissions durably before Submit
+	// returns and marks them done on completion; Recover re-enqueues the
+	// incomplete ones after a restart so clients polling by job ID across
+	// the restart see their job finish instead of 404.
+	Journal *Journal
+	// StallTimeout arms the stuck-solver watchdog: a running job whose
+	// progress heartbeat (fed by the CDCL conflict counter via
+	// sat.WithProgress) does not move for this long is cancelled, counted
+	// in Stats.Stalled, and treated as transiently failed (retried when
+	// MaxRetries allows). 0 disables the watchdog.
+	StallTimeout time.Duration
+	// MaxRetries is how many times a transiently failed attempt — solver
+	// panic, watchdog kill, or an uncancelled Unknown (budget exhaustion)
+	// — is retried server-side before the failure is surfaced to the
+	// client. Retries run degraded: the job is shrunk to one worker slot
+	// and the SolveFunc sees Grant.Attempt > 0. 0 disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay, doubled per further attempt;
+	// 0 means 100ms. The wait is cut short by job cancellation.
+	RetryBackoff time.Duration
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -158,6 +206,19 @@ type Stats struct {
 	// Degraded counts jobs granted fewer worker slots than they asked for
 	// because queue pressure was past the high-water mark.
 	Degraded int64 `json:"degraded"`
+	// Recovered / RecoveredRejected count durable-store entries accepted
+	// into (re-proved by the independent checker) and rejected from the
+	// cache at startup.
+	Recovered         int64 `json:"recovered"`
+	RecoveredRejected int64 `json:"recovered_rejected"`
+	// Replayed counts journaled incomplete jobs re-enqueued by Recover.
+	Replayed int64 `json:"replayed"`
+	// Stalled counts attempts killed by the stuck-solver watchdog.
+	Stalled int64 `json:"stalled"`
+	// Retries counts transient-failure retries started; RetrySucceeded
+	// counts jobs whose final verdict came from such a retry.
+	Retries        int64 `json:"retries"`
+	RetrySucceeded int64 `json:"retry_succeeded"`
 	// RateLimited / QuotaDenied count submissions shed by the per-client
 	// admission bounds.
 	RateLimited int64 `json:"rate_limited"`
@@ -225,7 +286,8 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
-	now func() time.Time // injectable clock for the admission tests
+	now   func() time.Time                           // injectable clock for the admission tests
+	sleep func(ctx context.Context, d time.Duration) // injectable backoff wait for the retry tests
 
 	mu        sync.Mutex
 	closed    bool
@@ -251,8 +313,11 @@ func New(cfg Config) *Server {
 	if cfg.RetainDone == 0 {
 		cfg.RetainDone = 1024
 	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		sem:      newSema(cfg.Workers),
 		baseCtx:  ctx,
@@ -263,6 +328,22 @@ func New(cfg Config) *Server {
 		cache:    newLRU(cfg.CacheEntries),
 		clients:  make(map[string]*clientState),
 	}
+	s.sleep = func(ctx context.Context, d time.Duration) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	if cfg.Journal != nil {
+		// Job IDs must stay unique across restarts: clients hold IDs from
+		// the previous life, and Recover re-registers pending jobs under
+		// their original IDs.
+		s.nextID = cfg.Journal.MaxID()
+	}
+	s.loadStore()
+	return s
 }
 
 // job is the shared state behind every handle of one (possibly coalesced)
@@ -277,6 +358,16 @@ type job struct {
 	charged bool // holds one unit of the client's in-flight quota
 	bounds  *opt.Bounds
 	cancel  context.CancelFunc
+
+	// beat is the liveness heartbeat the stuck-solver watchdog observes:
+	// the solver ticks it per conflict (sat.WithProgress) and every bound
+	// improvement ticks it too — a job is stuck only when neither moves.
+	beat atomic.Int64
+	// aliases are additional job IDs addressing this job: journal replay
+	// preserves the IDs clients already hold, so coalesced replays of the
+	// same formula register every original ID against the one real job.
+	aliases []uint64
+	journal bool // the job has a journal entry to mark done
 
 	mu   sync.Mutex
 	st   State
@@ -439,6 +530,20 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	// write happens-before its reads) ever touches j.w — coalesced handles
 	// and pollers never do.
 	j.w = spec.Formula.Clone()
+
+	// Journal the submission (fsynced) before the job can produce any
+	// observable progress: once the caller has the job ID in hand, a crash
+	// must not forget the job. A journal write failure is audited but does
+	// not fail the submission — availability over durability for the job
+	// record itself (results have their own, stricter path).
+	if s.cfg.Journal != nil && len(spec.Payload) > 0 {
+		if err := s.cfg.Journal.record(j.id, j.w, spec); err != nil {
+			s.audit(AuditEvent{Client: spec.Client, Action: "journal", JobID: j.id,
+				Detail: "append failed: " + err.Error()})
+		} else {
+			j.journal = true
+		}
+	}
 	go s.run(ctx, j)
 	return &Handle{s: s, j: j}, nil
 }
@@ -476,8 +581,14 @@ func (s *Server) degradeLocked(slots int) (int, bool) {
 // poll-style clients can still address it by ID. Caller holds s.mu.
 func (s *Server) doneJobLocked(key jobKey, res Result) *Handle {
 	s.nextID++
+	return s.doneJobIDLocked(s.nextID, key, res)
+}
+
+// doneJobIDLocked is doneJobLocked with a caller-chosen ID (journal replay
+// preserves the IDs clients already hold). Caller holds s.mu.
+func (s *Server) doneJobIDLocked(id uint64, key jobKey, res Result) *Handle {
 	j := &job{
-		id:   s.nextID,
+		id:   id,
 		key:  key,
 		st:   Done,
 		res:  res,
@@ -492,8 +603,9 @@ func (s *Server) doneJobLocked(key jobKey, res Result) *Handle {
 	return &Handle{s: s, j: j}
 }
 
-// run executes one job: acquire slots, solve under the per-job deadline,
-// verify, cache, publish.
+// run executes one job: acquire slots, solve under the per-job deadline —
+// retrying transient failures with backoff and a degraded grant — verify,
+// cache, publish.
 func (s *Server) run(ctx context.Context, j *job) {
 	defer s.wg.Done()
 	// Release the job's cancel context on every exit path: without this,
@@ -524,29 +636,130 @@ func (s *Server) run(ctx context.Context, j *job) {
 		defer cancel()
 	}
 
-	res, err := s.solve(runCtx, j)
-	s.sem.release(j.slots)
+	slots := j.slots
+	var res opt.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = s.attempt(runCtx, j, Grant{Slots: slots, Attempt: attempt})
+		// Transient means the attempt failed for a reason a rerun could fix
+		// — panic, watchdog kill, budget exhaustion — while the job itself
+		// is still wanted (runCtx alive: not cancelled, not timed out).
+		transient := runCtx.Err() == nil &&
+			(err != nil || res.Status == opt.StatusUnknown)
+		if !transient || attempt >= s.cfg.MaxRetries {
+			if attempt > 0 && err == nil &&
+				(res.Status == opt.StatusOptimal || res.Status == opt.StatusUnsat) {
+				s.mu.Lock()
+				s.stats.RetrySucceeded++
+				s.mu.Unlock()
+			}
+			break
+		}
+		// Degrade before retrying: whatever sank the first attempt —
+		// memory pressure, a portfolio member's bug, sharing-induced state
+		// — gets a smaller target. The extra slots go back to the pool now;
+		// the SolveFunc sees Attempt > 0 and shrinks its own profile
+		// (solo line-up, reduced memory budget).
+		if slots > 1 {
+			s.sem.release(slots - 1)
+			slots = 1
+		}
+		s.mu.Lock()
+		s.stats.Retries++
+		s.mu.Unlock()
+		reason := "unknown-result"
+		if err != nil {
+			reason = err.Error()
+		}
+		s.audit(AuditEvent{Client: j.client, Action: "retry", JobID: j.id,
+			Detail: fmt.Sprintf("attempt %d after %s", attempt+1, reason)})
+		s.sleep(runCtx, s.cfg.RetryBackoff<<attempt)
+	}
+	s.sem.release(slots)
 	s.mu.Lock()
 	s.running--
 	s.mu.Unlock()
 	s.finish(j, Result{Result: res, Meta: j.spec.Meta, Err: err}, ctx.Err() != nil)
 }
 
+// attempt runs one solve attempt under the stuck-solver watchdog. The
+// attempt's context carries the job's progress heartbeat; if the heartbeat
+// freezes past Config.StallTimeout the attempt is cancelled and reported as
+// a stall error (transient, so the retry ladder picks it up).
+func (s *Server) attempt(runCtx context.Context, j *job, g Grant) (opt.Result, error) {
+	attemptCtx, cancel := context.WithCancel(runCtx)
+	defer cancel()
+	attemptCtx = sat.WithProgress(attemptCtx, &j.beat)
+
+	var stalled atomic.Bool
+	if s.cfg.StallTimeout > 0 {
+		watchdogDone := make(chan struct{})
+		go s.watchdog(attemptCtx, j, cancel, &stalled, watchdogDone)
+		defer func() { cancel(); <-watchdogDone }()
+	}
+
+	res, err := s.solve(attemptCtx, j, g)
+	if stalled.Load() && runCtx.Err() == nil {
+		s.mu.Lock()
+		s.stats.Stalled++
+		s.mu.Unlock()
+		s.audit(AuditEvent{Client: j.client, Action: "stall", JobID: j.id,
+			Detail: fmt.Sprintf("no progress for %s", s.cfg.StallTimeout)})
+		if err == nil {
+			err = fmt.Errorf("serve: solver stalled: no progress for %s", s.cfg.StallTimeout)
+		}
+	}
+	return res, err
+}
+
+// watchdog cancels the attempt when the job's heartbeat stops moving for
+// Config.StallTimeout. It polls rather than waking per tick: the heartbeat
+// is written on the solver's hot path and must stay a bare atomic add.
+func (s *Server) watchdog(ctx context.Context, j *job, cancel context.CancelFunc,
+	stalled *atomic.Bool, done chan<- struct{}) {
+	defer close(done)
+	poll := s.cfg.StallTimeout / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	last := j.beat.Load()
+	lastMove := s.now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if cur := j.beat.Load(); cur != last {
+				last = cur
+				lastMove = s.now()
+				continue
+			}
+			if s.now().Sub(lastMove) >= s.cfg.StallTimeout {
+				stalled.Store(true)
+				cancel()
+				return
+			}
+		}
+	}
+}
+
 // solve invokes the job's SolveFunc, converting a solver panic into a failed
 // result so one poisoned job cannot take the whole service down. The
 // fault-injection hook runs inside the same recover scope, so an injected
 // panic exercises exactly the containment a real solver panic would.
-func (s *Server) solve(ctx context.Context, j *job) (res opt.Result, err error) {
+func (s *Server) solve(ctx context.Context, j *job, g Grant) (res opt.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res = opt.Result{Status: opt.StatusUnknown, Cost: -1}
 			err = fmt.Errorf("serve: solver panic: %v", p)
 		}
 	}()
-	if r, handled := s.cfg.Faults.inject(ctx, j); handled {
+	if r, handled := s.cfg.Faults.inject(ctx, j, g.Attempt); handled {
 		return r, nil
 	}
-	return j.spec.Solve(ctx, j.w, j.bounds, j.slots), nil
+	return j.spec.Solve(ctx, j.w, j.bounds, g), nil
 }
 
 // finish completes a job: caches a verified verdict, emits the closing bound
@@ -570,12 +783,17 @@ func (s *Server) finish(j *job, res Result, cancelled bool) {
 		s.releaseClientLocked(j.client)
 	}
 	detail := res.Status.String()
-	if cancelled && res.Err == nil && res.Status == opt.StatusUnknown {
+	wasCancelled := cancelled && res.Err == nil && res.Status == opt.StatusUnknown
+	if wasCancelled {
 		s.stats.Cancelled++
 		detail = "cancelled"
 	} else {
 		s.stats.Completed++
 	}
+	// A job cancelled by shutdown (not by its client) is unfinished business:
+	// leave its journal entry pending so the next life replays it instead of
+	// forgetting an admitted submission.
+	markDone := j.journal && !(wasCancelled && s.closed)
 	if res.Err != nil {
 		s.stats.Panics++
 		detail = "failed: " + res.Err.Error()
@@ -594,7 +812,35 @@ func (s *Server) finish(j *job, res Result, cancelled bool) {
 	}
 	s.stats.CacheSize = s.cache.len()
 	s.retainLocked(j.id)
+	// Snapshot under s.mu: Resubmit appends aliases in the same critical
+	// section that finds the job in the inflight map, and the map entry was
+	// just deleted above — so this copy is complete and race-free.
+	aliases := append([]uint64(nil), j.aliases...)
+	for _, id := range aliases {
+		s.retainLocked(id)
+	}
 	s.mu.Unlock()
+
+	// Durability, outside the server lock. Only certified results persist:
+	// the certificate is what lets a later life trust the record without
+	// trusting this one. The store gets the pristine certificate — the
+	// corruption fault above models cache rot, while store faults are
+	// injected inside the store itself.
+	if cacheable && s.cfg.Store != nil && len(res.Certificate) > 0 && !res.Cached {
+		if err := s.cfg.Store.save(j.w, res.Result, res.Meta); err != nil {
+			s.audit(AuditEvent{Client: j.client, Action: "store", JobID: j.id,
+				Detail: "append failed: " + err.Error()})
+		}
+	}
+	if markDone {
+		// Lazy (batched-fsync) marker: losing it merely makes the next
+		// recovery re-run a job whose answer is already durable or cached —
+		// replay is idempotent, so cheap beats synced here.
+		s.cfg.Journal.markDone(j.id)
+		for _, id := range aliases {
+			s.cfg.Journal.markDone(id)
+		}
+	}
 	s.audit(AuditEvent{Client: j.client, Action: "result", JobID: j.id, Detail: detail})
 
 	// A proved optimum closes the bounds; make sure subscribers see the
@@ -718,6 +964,7 @@ func (j *job) state() State {
 // order under concurrent publishes; the fold keeps the outgoing stream
 // monotone (LB never falls, UB never rises).
 func (j *job) emit(e Event) {
+	j.beat.Add(1) // a bound improvement is progress, whatever the solver
 	j.mu.Lock()
 	improved := false
 	if e.HasLB && (!j.best.HasLB || e.LB > j.best.LB) {

@@ -23,7 +23,7 @@ func contradiction() *cnf.WCNF {
 // optimal returns a stub SolveFunc that immediately reports the given cost
 // with a verifying model for contradiction().
 func optimal(cost cnf.Weight) SolveFunc {
-	return func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+	return func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 		return opt.Result{Status: opt.StatusOptimal, Cost: cost, LowerBound: cost,
 			Model: cnf.Assignment{true}}
 	}
@@ -32,7 +32,7 @@ func optimal(cost cnf.Weight) SolveFunc {
 // blocker returns a stub that blocks until release is closed (or ctx ends),
 // then reports Unknown.
 func blocker(release <-chan struct{}) SolveFunc {
-	return func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+	return func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 		select {
 		case <-release:
 		case <-ctx.Done():
@@ -130,9 +130,9 @@ func TestCacheHitServesVerifiedResult(t *testing.T) {
 		Formula: contradiction(),
 		OptsKey: "k",
 		Meta:    "algo-x",
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 			calls.Add(1)
-			return optimal(1)(ctx, w, shared, slots)
+			return optimal(1)(ctx, w, shared, g)
 		},
 	}
 	r1 := waitResult(t, mustSubmit(t, s, spec))
@@ -182,7 +182,7 @@ func TestUnknownResultsAreNotCached(t *testing.T) {
 	var calls atomic.Int32
 	spec := JobSpec{
 		Formula: contradiction(),
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 			calls.Add(1)
 			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
 		},
@@ -200,7 +200,7 @@ func TestUnverifiableOptimalIsNotCached(t *testing.T) {
 	var calls atomic.Int32
 	spec := JobSpec{
 		Formula: contradiction(),
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 			calls.Add(1)
 			// Claims cost 0, but every model of the contradiction pays 1:
 			// verification must reject it at cache-store time.
@@ -224,7 +224,7 @@ func TestCoalesceIdenticalInflight(t *testing.T) {
 	spec := JobSpec{
 		Formula: contradiction(),
 		OptsKey: "same",
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 			calls.Add(1)
 			close(started)
 			<-release
@@ -274,7 +274,7 @@ func TestCancelIsRefCounted(t *testing.T) {
 	spec := JobSpec{
 		Formula: contradiction(),
 		OptsKey: "k",
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 			close(started)
 			<-ctx.Done() // only cancellation ends this job
 			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
@@ -328,8 +328,8 @@ func TestWorkerBudgetClampsAndQueues(t *testing.T) {
 		Formula: contradiction(),
 		OptsKey: "wide",
 		Slots:   5,
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
-			granted <- slots
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
+			granted <- g.Slots
 			<-release
 			return opt.Result{Status: opt.StatusUnknown, Cost: -1}
 		},
@@ -376,7 +376,7 @@ func TestSubscribeStreamsMonotoneBounds(t *testing.T) {
 	defer s.Close()
 	h := mustSubmit(t, s, JobSpec{
 		Formula: contradiction(),
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 			// An anytime solver's publish pattern: UB falls, LB rises.
 			shared.PublishUB(5, cnf.Assignment{true})
 			shared.PublishLB(0)
@@ -424,7 +424,7 @@ func TestJobLookupAndRetention(t *testing.T) {
 	var ids []uint64
 	for range 3 {
 		f := contradiction()
-		h := mustSubmit(t, s, JobSpec{Formula: f, Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		h := mustSubmit(t, s, JobSpec{Formula: f, Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 			return opt.Result{Status: opt.StatusUnknown, Cost: -1} // never cached → 3 distinct runs
 		}})
 		waitResult(t, h)
@@ -464,7 +464,7 @@ func TestSolverPanicFailsJobOnly(t *testing.T) {
 	defer s.Close()
 	h := mustSubmit(t, s, JobSpec{
 		Formula: contradiction(),
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, slots int) opt.Result {
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g Grant) opt.Result {
 			panic("boom")
 		},
 	})

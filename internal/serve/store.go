@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/opt"
+	"repro/internal/proof"
+	"repro/internal/store"
+)
+
+// ResultStore is the durable half of the verified-result cache: an
+// append-only CRC-framed log (internal/store) of {formula, meta,
+// certificate} records. Only certified results are persisted — the
+// certificate is what lets the next process trust a record it did not
+// produce: at startup every recovered entry is re-proved end to end by the
+// independent checker (proof.CheckBytes against the recovered formula)
+// before it may serve a hit, so a record that rots on disk, or that a
+// buggy or malicious writer appended, is rejected rather than served.
+//
+// The record stores the full formula, not just its fingerprint: the checker
+// needs the instance to re-prove the certificate, and the fingerprint is
+// recomputed from the formula at load (never trusted from disk).
+type ResultStore struct {
+	log *store.Log
+	// entries recovered at open, already deduplicated (last write wins per
+	// formula fingerprint) but not yet validated — New consumes and
+	// re-proves them.
+	entries []storeEntry
+	dropped int // CRC/torn-tail rejects at open
+	faults  *Faults
+}
+
+type storeEntry struct {
+	w    *cnf.WCNF
+	meta string
+	cert []byte
+	raw  []byte // original payload, for compaction without re-encoding
+}
+
+const recResult byte = 1
+
+// OpenResultStore opens (creating if absent) the durable result store at
+// path. Frames the integrity layer rejects (bit rot, torn tails) are
+// truncated away and counted; among the surviving records the newest one
+// per formula wins, and the log is compacted when rewriting it would
+// reclaim space. faults injects storage faults for chaos tests; production
+// passes nil.
+func OpenResultStore(path string, faults *Faults) (*ResultStore, error) {
+	l, recs, dropped, err := store.Open(path, store.Options{WriteHook: faults.storeWriteHook()})
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultStore{log: l, dropped: dropped, faults: faults}
+	byKey := make(map[formulaKey]int)
+	for _, r := range recs {
+		if r.Kind != recResult {
+			rs.dropped++
+			continue
+		}
+		e, err := decodeStoreEntry(r.Payload)
+		if err != nil {
+			rs.dropped++
+			continue
+		}
+		if i, ok := byKey[keyFor(e.w)]; ok {
+			rs.entries[i] = e // newer record for the same formula wins
+			continue
+		}
+		byKey[keyFor(e.w)] = len(rs.entries)
+		rs.entries = append(rs.entries, e)
+	}
+	if len(rs.entries) < len(recs) {
+		rs.compact()
+	}
+	return rs, nil
+}
+
+// save appends one certified result. Called by the server on the finish
+// path, synced before returning — once a client has seen a certified
+// answer, a crash must not lose it.
+func (rs *ResultStore) save(w *cnf.WCNF, res opt.Result, meta any) error {
+	payload := encodeStoreEntry(w, metaString(meta), res.Certificate)
+	if bit := rs.faults.corruptStoreBit(rs.log.Len()); bit >= 0 {
+		payload[(bit/8)%len(payload)] ^= 1 << (bit % 8)
+	}
+	return rs.log.Append(recResult, payload, true)
+}
+
+// compact rewrites the log down to the currently live entries.
+func (rs *ResultStore) compact() {
+	recs := make([]store.Record, len(rs.entries))
+	for i, e := range rs.entries {
+		recs[i] = store.Record{Kind: recResult, Payload: e.raw}
+	}
+	rs.log.Compact(recs) // best-effort: a failed compact leaves the old log
+}
+
+// Close flushes and closes the underlying log.
+func (rs *ResultStore) Close() error { return rs.log.Close() }
+
+// loadStore populates the cache from the recovered store entries, admitting
+// each only after the independent checker re-proves its certificate against
+// its recovered formula. Runs once, from New.
+func (s *Server) loadStore() {
+	rs := s.cfg.Store
+	if rs == nil {
+		return
+	}
+	s.stats.RecoveredRejected += int64(rs.dropped)
+	if rs.dropped > 0 {
+		s.audit(AuditEvent{Action: "recover", Detail: fmt.Sprintf("store: %d records dropped by integrity layer", rs.dropped)})
+	}
+	var kept []storeEntry
+	for _, e := range rs.entries {
+		res, err := resultFromCertificate(e.w, e.cert)
+		if err != nil {
+			s.stats.RecoveredRejected++
+			s.audit(AuditEvent{Action: "recover", Detail: "store: entry rejected: " + err.Error()})
+			continue
+		}
+		var meta any
+		if e.meta != "" {
+			meta = e.meta
+		}
+		s.cache.add(keyFor(e.w), res, meta)
+		s.stats.Recovered++
+		kept = append(kept, e)
+	}
+	if len(kept) < len(rs.entries) {
+		rs.entries = kept
+		rs.compact() // rejected entries would only be re-rejected next boot
+	}
+	rs.entries = nil // the cache owns the data now
+	s.stats.CacheSize = s.cache.len()
+}
+
+// resultFromCertificate rebuilds a servable result from a recovered record.
+// Everything about the result is derived from the certificate after the
+// checker accepts it — nothing else on disk is trusted.
+func resultFromCertificate(w *cnf.WCNF, certBytes []byte) (opt.Result, error) {
+	if err := proof.CheckBytes(w, certBytes); err != nil {
+		return opt.Result{}, err
+	}
+	cert, err := proof.Decode(certBytes)
+	if err != nil {
+		return opt.Result{}, err
+	}
+	res := opt.Result{Cost: -1, Certificate: certBytes}
+	switch cert.Kind {
+	case proof.KindOptimal:
+		res.Status = opt.StatusOptimal
+		res.Cost = cert.Cost
+		res.Model = cert.Model
+		res.LowerBound = cert.Cost
+	case proof.KindUnsat:
+		res.Status = opt.StatusUnsat
+	default:
+		return opt.Result{}, fmt.Errorf("serve: recovered certificate has unknown kind %d", cert.Kind)
+	}
+	return res, nil
+}
+
+// metaString reduces a JobSpec.Meta to its durable form: the maxsat layer
+// stores the algorithm name (a string); anything else is caller-local and
+// not persisted.
+func metaString(meta any) string {
+	if s, ok := meta.(string); ok {
+		return s
+	}
+	return ""
+}
+
+// encodeStoreEntry frames {meta, formula, certificate} as length-prefixed
+// sections.
+func encodeStoreEntry(w *cnf.WCNF, meta string, cert []byte) []byte {
+	var fb bytes.Buffer
+	cnf.WriteWCNF(&fb, w)
+	buf := binary.AppendUvarint(nil, uint64(len(meta)))
+	buf = append(buf, meta...)
+	buf = binary.AppendUvarint(buf, uint64(fb.Len()))
+	buf = append(buf, fb.Bytes()...)
+	buf = binary.AppendUvarint(buf, uint64(len(cert)))
+	return append(buf, cert...)
+}
+
+func decodeStoreEntry(payload []byte) (storeEntry, error) {
+	raw := payload
+	next := func() ([]byte, error) {
+		n, k := binary.Uvarint(payload)
+		if k <= 0 || n > uint64(len(payload)-k) {
+			return nil, fmt.Errorf("serve: store record truncated")
+		}
+		b := payload[k : k+int(n)]
+		payload = payload[k+int(n):]
+		return b, nil
+	}
+	meta, err := next()
+	if err != nil {
+		return storeEntry{}, err
+	}
+	fb, err := next()
+	if err != nil {
+		return storeEntry{}, err
+	}
+	cert, err := next()
+	if err != nil {
+		return storeEntry{}, err
+	}
+	w, err := cnf.ParseWCNF(bytes.NewReader(fb))
+	if err != nil {
+		return storeEntry{}, fmt.Errorf("serve: store record formula: %w", err)
+	}
+	return storeEntry{w: w, meta: string(meta), cert: append([]byte(nil), cert...), raw: raw}, nil
+}

@@ -2,7 +2,9 @@ package maxsat
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cnf"
@@ -32,6 +34,8 @@ import (
 // cannot oversubscribe the machine.
 type Server struct {
 	s          *serve.Server
+	rs         *serve.ResultStore
+	jl         *serve.Journal
 	defaultMem int64
 }
 
@@ -73,6 +77,26 @@ type ServerConfig struct {
 	// cancellation and completion. Called outside server locks; must not
 	// block for long.
 	Audit func(AuditEvent)
+
+	// DataDir, when non-empty, makes the server durable (requires
+	// OpenServer): certified results are persisted to an append-only,
+	// checksummed log in that directory and survive restarts — every
+	// recovered record is re-proved by the independent certificate checker
+	// before it may serve a cache hit — and submissions are journaled before
+	// admission succeeds, so a restarted server can Recover the jobs a
+	// previous life accepted but never finished. Empty disables durability.
+	DataDir string
+	// StallTimeout, when positive, arms the stuck-solver watchdog: a running
+	// job whose solver makes no measurable progress (CDCL conflicts,
+	// branch-and-bound nodes, bound improvements) for this long is cancelled
+	// — and retried, if MaxRetries allows. Zero disables.
+	StallTimeout time.Duration
+	// MaxRetries bounds server-side retries of transiently failed jobs (a
+	// solver panic, a memory-budget exhaustion, a watchdog kill). Retries run
+	// on a degraded profile — solo line-up, no clause sharing, halved memory
+	// budget per attempt — with exponential backoff between attempts. Zero
+	// disables: the first failure is the job's result.
+	MaxRetries int
 }
 
 // AuditEvent is one entry of the server's admission audit log.
@@ -114,8 +138,37 @@ const (
 )
 
 // NewServer starts a solving service. Close it to cancel outstanding jobs
-// and release its workers.
+// and release its workers. NewServer panics if cfg.DataDir is set and its
+// logs cannot be opened — durable servers should prefer OpenServer, which
+// reports the error instead.
 func NewServer(cfg ServerConfig) *Server {
+	s, err := OpenServer(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("maxsat: NewServer: %v", err))
+	}
+	return s
+}
+
+// OpenServer starts a solving service, opening the durable result store and
+// job journal when cfg.DataDir is set. Recovery of persisted results happens
+// here (each re-proved by the certificate checker before admission to the
+// cache); replay of interrupted jobs is a separate, explicit step — call
+// Recover once the server is otherwise ready.
+func OpenServer(cfg ServerConfig) (*Server, error) {
+	var (
+		rs  *serve.ResultStore
+		jl  *serve.Journal
+		err error
+	)
+	if cfg.DataDir != "" {
+		if rs, err = serve.OpenResultStore(filepath.Join(cfg.DataDir, "results.log"), nil); err != nil {
+			return nil, fmt.Errorf("maxsat: opening result store: %w", err)
+		}
+		if jl, err = serve.OpenJournal(filepath.Join(cfg.DataDir, "journal.log"), nil); err != nil {
+			rs.Close()
+			return nil, fmt.Errorf("maxsat: opening job journal: %w", err)
+		}
+	}
 	return &Server{
 		s: serve.New(serve.Config{
 			Workers:        cfg.Workers,
@@ -127,9 +180,15 @@ func NewServer(cfg ServerConfig) *Server {
 			ClientQuota:    cfg.ClientQuota,
 			HighWater:      cfg.HighWater,
 			Audit:          cfg.Audit,
+			Store:          rs,
+			Journal:        jl,
+			StallTimeout:   cfg.StallTimeout,
+			MaxRetries:     cfg.MaxRetries,
 		}),
+		rs:         rs,
+		jl:         jl,
 		defaultMem: cfg.MemoryBudget,
-	}
+	}, nil
 }
 
 // Job is a handle on one submission. Handles returned for coalesced
@@ -156,11 +215,27 @@ func (s *Server) Submit(w *WCNF, o Options) (*Job, error) {
 // and in-flight quota are charged to client, and audit events carry it. The
 // empty name is the shared anonymous account that plain Submit uses.
 func (s *Server) SubmitAs(client string, w *WCNF, o Options) (*Job, error) {
+	spec, algo, err := s.jobSpec(client, w, o)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.s.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{h: h, algo: algo}, nil
+}
+
+// jobSpec validates and canonicalizes one submission into the serving
+// layer's JobSpec. Shared by SubmitAs and Recover, so a replayed job gets
+// byte-identical admission treatment (same OptsKey, same slots, same solve
+// closure) as its original submission.
+func (s *Server) jobSpec(client string, w *WCNF, o Options) (serve.JobSpec, Algorithm, error) {
 	// Validate exactly like Solve would, and resolve AlgoAuto so that an
 	// explicit and an automatic submission of the same instance coalesce.
 	_, algo, err := buildSolver(w, o)
 	if err != nil {
-		return nil, err
+		return serve.JobSpec{}, algo, err
 	}
 	o.Algorithm = algo
 	slots := 1
@@ -177,17 +252,34 @@ func (s *Server) SubmitAs(client string, w *WCNF, o Options) (*Job, error) {
 	}
 	timeout := o.Timeout
 	o.Timeout = 0 // the serving layer owns the deadline
-	h, err := s.s.Submit(serve.JobSpec{
+	var payload []byte
+	if s.jl != nil {
+		payload = encodeWireOptions(o, timeout)
+	}
+	return serve.JobSpec{
 		Formula: w,
 		OptsKey: optsKey(o, timeout),
 		Slots:   slots,
 		Timeout: timeout,
 		Meta:    algo,
 		Client:  client,
-		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, granted int) opt.Result {
+		Payload: payload,
+		Solve: func(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds, g serve.Grant) opt.Result {
 			ro := o
 			if algo == AlgoPortfolio {
-				ro.Parallelism = granted
+				ro.Parallelism = g.Slots
+			}
+			if g.Attempt > 0 {
+				// Server-side retry of a transient failure: whatever sank the
+				// previous attempt — memory pressure, a racing member's bug,
+				// sharing-induced state — the rerun gets a smaller target.
+				// Solo line-up, no cross-member traffic, memory budget halved
+				// per extra attempt.
+				ro.Parallelism = 1
+				ro.ShareClauses = false
+				if ro.MemoryBudget > 0 {
+					ro.MemoryBudget >>= g.Attempt
+				}
 			}
 			solver, _, err := buildSolver(w, ro)
 			if err != nil {
@@ -207,11 +299,62 @@ func (s *Server) SubmitAs(client string, w *WCNF, o Options) (*Job, error) {
 			}
 			return r
 		},
+	}, algo, nil
+}
+
+// wireOptions is the durable subset of Options journaled with a submission:
+// everything a restarted server needs to rebuild the identical solve.
+// (OnImprove is a closure and cannot be persisted; served jobs use
+// Job.Updates instead, which replay re-wires automatically.)
+type wireOptions struct {
+	Algorithm           Algorithm     `json:"alg"`
+	Encoding            string        `json:"enc,omitempty"`
+	Timeout             time.Duration `json:"to,omitempty"`
+	MemoryBudget        int64         `json:"mem,omitempty"`
+	MaxConflictsPerCall int64         `json:"conf,omitempty"`
+	SkipAtLeast1        bool          `json:"skip,omitempty"`
+	Preprocess          bool          `json:"pre,omitempty"`
+	Parallelism         int           `json:"par,omitempty"`
+	ShareClauses        bool          `json:"share,omitempty"`
+	Certify             bool          `json:"cert,omitempty"`
+}
+
+func encodeWireOptions(o Options, timeout time.Duration) []byte {
+	b, _ := json.Marshal(wireOptions{
+		Algorithm: o.Algorithm, Encoding: o.Encoding, Timeout: timeout,
+		MemoryBudget: o.MemoryBudget, MaxConflictsPerCall: o.MaxConflictsPerCall,
+		SkipAtLeast1: o.SkipAtLeast1, Preprocess: o.Preprocess,
+		Parallelism: o.Parallelism, ShareClauses: o.ShareClauses, Certify: o.Certify,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &Job{h: h, algo: algo}, nil
+	return b
+}
+
+// Recover replays the jobs a previous life journaled but never finished
+// (requires ServerConfig.DataDir; a no-op otherwise). Each pending
+// submission is re-enqueued under its original job ID, so clients polling
+// Job(id) across the restart find their work finished or running, never
+// gone. Replay is idempotent: a job whose certified answer is already in the
+// recovered result store completes instantly without solving, and duplicate
+// pending entries for the same formula coalesce onto one run. Entries whose
+// journaled options no longer decode (a format from a different binary
+// version) are dropped with an audit event rather than blocking recovery.
+//
+// Call Recover once, after OpenServer and before reporting readiness.
+// It returns when every pending job is re-enqueued, not when they finish.
+func (s *Server) Recover() error {
+	return s.s.Recover(func(rj serve.RecoveredJob) (serve.JobSpec, error) {
+		var wo wireOptions
+		if err := json.Unmarshal(rj.Payload, &wo); err != nil {
+			return serve.JobSpec{}, fmt.Errorf("maxsat: recovered options: %w", err)
+		}
+		spec, _, err := s.jobSpec(rj.Client, rj.Formula, Options{
+			Algorithm: wo.Algorithm, Encoding: wo.Encoding, Timeout: wo.Timeout,
+			MemoryBudget: wo.MemoryBudget, MaxConflictsPerCall: wo.MaxConflictsPerCall,
+			SkipAtLeast1: wo.SkipAtLeast1, Preprocess: wo.Preprocess,
+			Parallelism: wo.Parallelism, ShareClauses: wo.ShareClauses, Certify: wo.Certify,
+		})
+		return spec, err
+	})
 }
 
 // optsKey canonicalizes the options for in-flight coalescing. Every field
@@ -247,9 +390,25 @@ type ServerStats = serve.Stats
 func (s *Server) Stats() ServerStats { return s.s.Stats() }
 
 // Close cancels every queued and running job and waits for their goroutines
-// to exit. Outstanding handles remain usable (their jobs complete with
-// Status Unknown); subsequent Submits fail.
-func (s *Server) Close() { s.s.Close() }
+// to exit, then closes the durable logs (if any). Outstanding handles remain
+// usable (their jobs complete with Status Unknown); subsequent Submits fail.
+// Jobs cancelled by Close keep their journal entries: the next life's
+// Recover replays them.
+func (s *Server) Close() {
+	s.s.Close()
+	s.closeLogs()
+}
+
+// closeLogs flushes and closes the durability logs after the serving layer
+// has fully stopped (safe to call twice: Close after Drain is a no-op).
+func (s *Server) closeLogs() {
+	if s.jl != nil {
+		s.jl.Close()
+	}
+	if s.rs != nil {
+		s.rs.Close()
+	}
+}
 
 // Drain shuts down gracefully: admissions stop immediately (Submit fails
 // with ErrServerClosed, ServerStats.Draining turns true) while queued and
@@ -258,7 +417,11 @@ func (s *Server) Close() { s.s.Close() }
 // cancelled Close-style — they still complete, with their best bounds — and
 // Drain returns ctx's error after every worker has unwound. A nil error
 // means every job finished within the deadline.
-func (s *Server) Drain(ctx context.Context) error { return s.s.Drain(ctx) }
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.s.Drain(ctx)
+	s.closeLogs()
+	return err
+}
 
 // ID returns the server-assigned job ID (stable across polls, used by the
 // HTTP daemon's /jobs/{id} endpoint).

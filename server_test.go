@@ -209,3 +209,96 @@ func TestServerTimeoutUnknown(t *testing.T) {
 		t.Fatalf("status %v, want Unknown at the deadline", res.Status)
 	}
 }
+
+// TestServerDurableRestart round-trips a certified answer through a durable
+// server restart: the second life serves it from the recovered, re-proved
+// store without solving.
+func TestServerDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	w := NewWCNF(1)
+	w.AddSoft(1, FromDIMACS(1))
+	w.AddSoft(1, FromDIMACS(-1))
+
+	s, err := OpenServer(ServerConfig{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	job, err := s.Submit(w, Options{Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != Optimal || r1.Cost != 1 || len(r1.Certificate) == 0 {
+		t.Fatalf("first life: %+v", r1)
+	}
+	s.Close()
+
+	s2, err := OpenServer(ServerConfig{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if err := s2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if st := s2.Stats(); st.Recovered != 1 || st.RecoveredRejected != 0 {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	// Different options, same formula: answered from the recovered store.
+	job2, err := s2.Submit(w, Options{Algorithm: AlgoOLL, Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := job2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached || r2.Status != Optimal || r2.Cost != 1 {
+		t.Fatalf("second life: %+v", r2)
+	}
+	if err := CheckCertificate(w, r2.Certificate); err != nil {
+		t.Fatalf("recovered certificate: %v", err)
+	}
+}
+
+// TestServerReplaysInterruptedJob shuts a durable server down mid-solve and
+// checks the next life replays the job under its original ID.
+func TestServerReplaysInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	inst := gen.Pigeonhole(8) // hard enough that Close always wins the race
+
+	s, err := OpenServer(ServerConfig{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	job, err := s.Submit(inst.W, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := job.ID()
+	s.Close() // cancels the running solve; the journal entry stays pending
+
+	s2, err := OpenServer(ServerConfig{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if err := s2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	replayed, ok := s2.Job(id)
+	if !ok {
+		t.Fatalf("job %d not addressable after restart", id)
+	}
+	if st, _ := replayed.State(); st == JobDone {
+		if r, _ := replayed.Result(); r.Status != Unknown {
+			t.Fatalf("replayed job finished with unexpected result: %+v", r)
+		}
+	}
+	if st := s2.Stats(); st.Replayed != 1 {
+		t.Fatalf("Stats.Replayed = %d, want 1", st.Replayed)
+	}
+}
