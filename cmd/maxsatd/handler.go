@@ -33,6 +33,10 @@ type daemonOpts struct {
 //	                       streams anytime bounds, then the result
 //	GET  /jobs/{id}/certificate  raw binary proof certificate of a completed
 //	                       job submitted with cert=1 (see cmd/proofcheck)
+//	POST /sessions         open an incremental session (see session.go)
+//	POST /sessions/{id}/delta   push clauses/assumptions/reweights
+//	POST /sessions/{id}/solve   delta re-solve of the accumulated formula
+//	DELETE /sessions/{id}  close the session
 //	GET  /stats            service counters
 //	GET  /livez            process liveness (200 while the process serves)
 //	GET  /readyz           readiness (503 while recovering or draining)
@@ -65,6 +69,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("POST /solve", d.solve)
 	mux.HandleFunc("GET /jobs/{id}", d.job)
 	mux.HandleFunc("GET /jobs/{id}/certificate", d.certificate)
+	d.registerSessions(mux)
 	mux.HandleFunc("GET /stats", d.stats)
 	mux.HandleFunc("GET /livez", d.livez)
 	mux.HandleFunc("GET /readyz", d.readyz)
@@ -139,7 +144,10 @@ type resultJSON struct {
 	Algorithm  string `json:"algorithm"`
 	Winner     string `json:"winner,omitempty"`
 	Cached     bool   `json:"cached"`
-	Model      []int  `json:"model,omitempty"`
+	// Reused: a session's warm (retained) solver answered this delta
+	// re-solve; always false for one-shot /solve jobs.
+	Reused bool  `json:"reused,omitempty"`
+	Model  []int `json:"model,omitempty"`
 	// Certificate is the base64 (JSON []byte) proof certificate when the
 	// job was submitted with cert=1 and the verdict was certified; check it
 	// with maxsat.CheckCertificate (or cmd/proofcheck) against the instance.
@@ -174,6 +182,7 @@ func toResultJSON(r maxsat.Result, withModel bool) *resultJSON {
 		Algorithm:   string(r.Algorithm),
 		Winner:      r.Winner,
 		Cached:      r.Cached,
+		Reused:      r.Reused,
 		Certificate: r.Certificate,
 		ElapsedSec:  r.Elapsed.Seconds(),
 	}

@@ -18,6 +18,17 @@
 //	                   with ?sse=1 / Accept: text/event-stream a stream of
 //	                   "bound" events — monotone anytime bound improvements —
 //	                   terminated by one "result" event.
+//	POST /sessions     open an incremental solving session: the body is the
+//	                   base instance (may be empty), the query takes the same
+//	                   solve options as /solve, fixed for the session. The
+//	                   session pins a worker slot and keeps a warm solver.
+//	POST /sessions/{id}/delta  push hard/soft clauses (WCNF-fragment body),
+//	                   assumptions (assume=1,-2; assume= clears), and
+//	                   reweights (reweight=IDX:W).
+//	POST /sessions/{id}/solve  re-solve the accumulated formula at delta
+//	                   cost; same wait/model parameters and job JSON as
+//	                   /solve, with result.reused reporting a warm answer.
+//	DELETE /sessions/{id}      close the session, releasing its slot.
 //	GET /stats         worker/queue/cache/admission counters as JSON.
 //	GET /livez         process liveness (always 200 while serving).
 //	GET /readyz        readiness: 503 while recovering a -data-dir journal
@@ -59,6 +70,7 @@
 //	        [-mem 0] [-max-mem 0] [-token name:secret,...]
 //	        [-rate 0] [-burst 0] [-quota 0] [-highwater 0.75]
 //	        [-data-dir dir] [-stall 0] [-retries 0]
+//	        [-sessions 0] [-session-idle 0]
 //	        [-drain 30s] [-audit]
 //
 // Example session:
@@ -120,6 +132,8 @@ func runWith(ctx context.Context, args []string) int {
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM before running jobs are cancelled")
 		audit      = fs.Bool("audit", false, "log one line per admission decision, cancellation, and completion")
 		dataDir    = fs.String("data-dir", "", "durability directory: persist certified results and journal submissions for crash recovery (empty disables)")
+		sessions   = fs.Int("sessions", 0, "max concurrently open incremental sessions, each pinning a worker slot (0 = workers, -1 disables sessions)")
+		sessIdle   = fs.Duration("session-idle", 0, "evict sessions idle this long, releasing their pinned slot (0 = 5m, negative disables eviction)")
 		stall      = fs.Duration("stall", 0, "stuck-solver watchdog: cancel jobs making no measurable progress for this long (0 disables)")
 		retries    = fs.Int("retries", 0, "server-side retries of transiently failed jobs, on a degraded profile (0 disables)")
 	)
@@ -156,6 +170,8 @@ func runWith(ctx context.Context, args []string) int {
 		DataDir:        *dataDir,
 		StallTimeout:   *stall,
 		MaxRetries:     *retries,
+		MaxSessions:    *sessions,
+		SessionIdle:    *sessIdle,
 	}
 	if *audit {
 		cfg.Audit = func(e maxsat.AuditEvent) {

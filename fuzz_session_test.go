@@ -1,0 +1,154 @@
+package maxsat
+
+// FuzzSessionVsScratch decodes fuzzer bytes into a session delta script —
+// add-hard, add-soft, reweight, set-assumptions, solve — over a tiny
+// variable universe and checks every intermediate session solve against
+// exhaustive enumeration of the accumulated formula: the delta re-solve
+// path (warm solver, verified cache, coalescing) must never change an
+// answer.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cnf"
+)
+
+const (
+	fuzzSessVars = 5
+	fuzzSessOps  = 14
+)
+
+// fuzzSessClause decodes width literal bytes (variable modulo the universe,
+// sign from the high bit).
+func fuzzSessClause(data []byte) Clause {
+	c := make(Clause, 0, len(data))
+	for _, b := range data {
+		v := cnf.Var(b % fuzzSessVars)
+		if b >= 128 {
+			c = append(c, cnf.NegLit(v))
+		} else {
+			c = append(c, cnf.PosLit(v))
+		}
+	}
+	return c
+}
+
+func FuzzSessionVsScratch(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 129, 3, 2, 0, 2, 3})     // two conflicting softs, solve, grow, solve
+	f.Add([]byte{2, 1, 2, 3, 1, 130, 3, 4, 66, 3}) // hard + soft + assumption
+	f.Add([]byte{1, 5, 0, 3, 20, 1, 3})            // reweight between solves
+	f.Add([]byte{4, 0, 4, 200, 3, 4, 3})           // assumption flips around a solve
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewServer(ServerConfig{Workers: 1})
+		defer s.Close()
+		sess, err := s.OpenSession(context.Background(), nil, Options{Algorithm: AlgoOLL})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer sess.Close()
+
+		acc := NewWCNF(fuzzSessVars) // mirror of the accumulation
+		var softIdx []int
+		var assume []Lit
+		solved := false
+
+		solve := func() {
+			t.Helper()
+			job, err := sess.Solve(context.Background())
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			res, err := job.Wait(context.Background())
+			if err != nil {
+				t.Fatalf("wait: %v", err)
+			}
+			snap := acc.Clone()
+			for _, a := range assume {
+				snap.AddHard(a)
+			}
+			want, _, feasible := brute.MinCostWCNF(snap)
+			switch {
+			case !feasible:
+				if res.Status != Unsatisfiable {
+					t.Fatalf("session %v on an infeasible accumulation", res.Status)
+				}
+			case res.Status != Optimal:
+				t.Fatalf("session %v cost %d, brute force OPTIMAL %d", res.Status, res.Cost, want)
+			case res.Cost != want:
+				t.Fatalf("session cost %d, brute force %d\naccumulation: %v",
+					res.Cost, want, snap.Clauses)
+			}
+			if res.Status == Optimal && res.Model != nil {
+				if cost, hardOK := snap.CostOf(res.Model); !hardOK || cost != res.Cost {
+					t.Fatalf("model does not witness cost %d (hardOK=%v cost=%d)", res.Cost, hardOK, cost)
+				}
+			}
+			solved = true
+		}
+
+		i, ops := 0, 0
+		for i < len(data) && ops < fuzzSessOps {
+			ctl := data[i]
+			i++
+			ops++
+			switch ctl % 5 {
+			case 0, 1: // add a soft clause (weight from the control byte)
+				width := int(ctl/5)%2 + 1
+				if i+width > len(data) {
+					break
+				}
+				c := fuzzSessClause(data[i : i+width])
+				i += width
+				w := Weight(ctl/25%3) + 1
+				if err := sess.AddSoft(w, c...); err != nil {
+					t.Fatalf("add soft: %v", err)
+				}
+				softIdx = append(softIdx, len(acc.Clauses))
+				acc.AddSoft(w, c...)
+			case 2: // add a hard clause
+				width := int(ctl/5)%2 + 1
+				if i+width > len(data) {
+					break
+				}
+				c := fuzzSessClause(data[i : i+width])
+				i += width
+				if err := sess.AddHard(c...); err != nil {
+					t.Fatalf("add hard: %v", err)
+				}
+				acc.AddHard(c...)
+			case 3: // solve and compare against brute force
+				solve()
+			case 4: // reweight or assumption update, steered by the next byte
+				if i >= len(data) {
+					break
+				}
+				b := data[i]
+				i++
+				if b%2 == 0 && len(softIdx) > 0 {
+					idx := int(b/2) % len(softIdx)
+					w := Weight(b/7%4) + 1
+					if err := sess.Reweight(idx, w); err != nil {
+						t.Fatalf("reweight: %v", err)
+					}
+					acc.Clauses[softIdx[idx]].Weight = w
+				} else if b%3 == 0 {
+					if err := sess.Assume(); err != nil {
+						t.Fatalf("clear assumptions: %v", err)
+					}
+					assume = nil
+				} else {
+					a := fuzzSessClause([]byte{b})[0]
+					if err := sess.Assume(a); err != nil {
+						t.Fatalf("assume: %v", err)
+					}
+					assume = []Lit{a}
+				}
+			}
+		}
+		if !solved {
+			solve() // every script checks the differential at least once
+		}
+	})
+}

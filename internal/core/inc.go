@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/card"
+	"repro/internal/cnf"
+	"repro/internal/opt"
+	"repro/internal/sat"
+)
+
+// Inc is the retained msu3-style engine behind serving sessions: one CDCL
+// solver, one selector per soft clause, and one growing totalizer kept alive
+// across delta solves of a growing formula. Where MSU3.Solve pays the whole
+// lower-bound climb on every call, Inc resumes each SolveDelta from the
+// relaxed set, lower bound, learnt clauses and kept trail of the previous one
+// — sound because Absorb only ever adds clauses (see opt.Incremental).
+//
+// Variable discipline: the solver interleaves formula variables with
+// selectors and totalizer variables, so an external formula variable that
+// first appears in a delta cannot be used as a solver index directly. vmap
+// translates external variables to solver variables (identity for the base
+// prefix, fresh allocations for delta growth) and externalModel translates
+// the witness back.
+//
+// Totalizer growth: the totalizer is built with headroom for the soft count
+// at the time of its construction. When later deltas add enough soft clauses
+// that the climbing bound reaches the old output truncation, a fresh
+// totalizer is rebuilt over the full relaxed set — the superseded encoding's
+// clauses remain in the solver as sound garbage (they are definitional over
+// their own variables), exactly like a one-shot totalizer that was built too
+// small would be unsound to keep querying.
+type Inc struct {
+	opts  opt.Options
+	s     *sat.Solver
+	vmap  []cnf.Var // external formula var → solver var
+	softs []*softClause
+	owner map[cnf.Var]*softClause
+
+	tot       *card.IncTotalizer
+	totLimit  int
+	relaxedIn []cnf.Lit // blocking literals already fed to tot
+
+	lb      int
+	hardOK  bool // accumulated hard clauses still satisfiable at level 0
+	broken  bool // a recovered panic poisoned the retained state
+	assumps []cnf.Lit
+}
+
+// NewInc returns a retained engine loaded with the base formula. Soft
+// clauses must have unit weight; the caller routes weighted instances away
+// from the retained path.
+func NewInc(o opt.Options, base *cnf.WCNF) *Inc {
+	m := &Inc{
+		opts:   o,
+		s:      sat.New(),
+		owner:  make(map[cnf.Var]*softClause),
+		hardOK: true,
+	}
+	if base != nil {
+		var hards []cnf.Clause
+		var softs []cnf.WClause
+		for _, c := range base.Clauses {
+			if c.Hard() {
+				hards = append(hards, c.Clause)
+			} else {
+				softs = append(softs, c)
+			}
+		}
+		m.Absorb(hards, softs)
+	}
+	return m
+}
+
+// Name implements opt.Incremental.
+func (m *Inc) Name() string { return "msu3-inc" }
+
+// solverLit translates an external literal into solver space, allocating a
+// fresh solver variable the first time an external variable is seen.
+func (m *Inc) solverLit(l cnf.Lit) cnf.Lit {
+	v := l.Var()
+	for int(v) >= len(m.vmap) {
+		m.vmap = append(m.vmap, cnf.VarUndef)
+	}
+	if m.vmap[v] == cnf.VarUndef {
+		m.vmap[v] = m.s.NewVar()
+	}
+	return cnf.NewLit(m.vmap[v], l.Sign())
+}
+
+// Absorb implements opt.Incremental: it adds the delta's hard clauses and
+// unit-weight soft shells to the retained solver. Adding clauses backtracks
+// the solver to level 0 internally, which safely discards the kept trail for
+// the next solve while keeping every learnt clause.
+func (m *Inc) Absorb(hards []cnf.Clause, softs []cnf.WClause) bool {
+	if m.broken {
+		return false
+	}
+	scratch := make([]cnf.Lit, 0, 8)
+	for _, c := range hards {
+		scratch = scratch[:0]
+		for _, l := range c {
+			scratch = append(scratch, m.solverLit(l))
+		}
+		if !m.s.AddClause(scratch...) {
+			// Hard clauses unsatisfiable — permanent under add-only deltas.
+			m.hardOK = false
+		}
+	}
+	for _, c := range softs {
+		if c.Weight != 1 {
+			// Weighted deltas never reach the retained path; treat one as
+			// poisoning so the caller falls back for good.
+			m.broken = true
+			return false
+		}
+		scratch = scratch[:0]
+		for _, l := range c.Clause {
+			scratch = append(scratch, m.solverLit(l))
+		}
+		sel := m.s.NewVar()
+		shell := append(append(cnf.Clause(nil), scratch...), cnf.NegLit(sel))
+		m.s.AddClause(shell...)
+		sc := &softClause{lits: append(cnf.Clause(nil), scratch...), selector: sel, index: len(m.softs)}
+		m.softs = append(m.softs, sc)
+		m.owner[sel] = sc
+	}
+	return true
+}
+
+// externalModel translates a solver-space model back to the external
+// variable space of the accumulated formula. Declared-but-unconstrained
+// external variables (never seen in any clause) default to false — they
+// appear in no clause, so any value is consistent.
+func (m *Inc) externalModel(model cnf.Assignment, n int) cnf.Assignment {
+	out := make(cnf.Assignment, n)
+	for v := 0; v < n && v < len(m.vmap); v++ {
+		if sv := m.vmap[v]; sv != cnf.VarUndef && int(sv) < len(model) {
+			out[v] = model[sv]
+		}
+	}
+	return out
+}
+
+// SolveDelta implements opt.Incremental: the msu3 main loop resumed from the
+// retained relaxed set and lower bound. A panic anywhere inside is recovered
+// into StatusUnknown and poisons the engine (the serving layer then falls
+// back to from-scratch solves and retires it at the next Absorb).
+func (m *Inc) SolveDelta(ctx context.Context, w *cnf.WCNF, shared *opt.Bounds) (res opt.Result) {
+	start := time.Now()
+	res = opt.Result{Cost: -1, Solver: m.Name()}
+	defer func() {
+		if p := recover(); p != nil {
+			m.broken = true
+			res.Status = opt.StatusUnknown
+			res.Cost = -1
+		}
+		res.Elapsed = time.Since(start)
+	}()
+	if m.broken {
+		return res
+	}
+	if !m.hardOK {
+		res.Status = opt.StatusUnsat
+		return res
+	}
+	m.s.SetBudget(m.opts.Budget(ctx))
+
+	for {
+		if ctx.Err() != nil {
+			finishUnknown(&res, cnf.Weight(m.lb))
+			return res
+		}
+		if adoptClosed(shared, &res, cnf.Weight(m.lb)) {
+			return res
+		}
+		// The totalizer must be able to express the current bound whenever a
+		// bound is genuinely needed (lb < relaxed count). If soft growth has
+		// pushed lb to the old truncation limit, rebuild with fresh headroom.
+		if m.tot != nil && m.lb >= m.totLimit && m.lb < len(m.relaxedIn) {
+			m.totLimit = len(m.softs) + 1
+			m.tot = card.NewIncTotalizer(m.s, m.relaxedIn, m.totLimit)
+		}
+		// Enforced selectors first (in stable soft order), the bound literal
+		// last: between session solves the assumption prefix repeats, so the
+		// solver's kept trail carries the propagated selector prefix over.
+		m.assumps = m.assumps[:0]
+		for _, c := range m.softs {
+			if !c.relaxed {
+				m.assumps = append(m.assumps, c.assumption())
+			}
+		}
+		boundLit := cnf.LitUndef
+		if m.tot != nil {
+			if bl, need := m.tot.Bound(m.lb); need {
+				boundLit = bl
+				m.assumps = append(m.assumps, bl)
+			}
+		}
+		st := m.s.Solve(m.assumps...)
+		res.Iterations++
+		res.Observe(m.s.Stats())
+
+		switch st {
+		case sat.Unknown:
+			finishUnknown(&res, cnf.Weight(m.lb))
+			return res
+
+		case sat.Sat:
+			res.SatCalls++
+			model := m.s.Model()
+			cost := modelCost(m.softs, model)
+			res.Status = opt.StatusOptimal
+			res.Cost = cnf.Weight(cost)
+			res.LowerBound = res.Cost
+			res.Model = m.externalModel(model, w.NumVars)
+			shared.PublishUB(res.Cost, res.Model)
+			return res
+
+		case sat.Unsat:
+			res.UnsatCalls++
+			coreLits := m.s.Core()
+			var newBlocking []cnf.Lit
+			sawBound := false
+			for _, l := range coreLits {
+				if l == boundLit {
+					sawBound = true
+					continue
+				}
+				c := m.owner[l.Var()]
+				c.relaxed = true
+				newBlocking = append(newBlocking, c.blocking())
+			}
+			switch {
+			case len(newBlocking) > 0:
+				if m.tot == nil {
+					m.totLimit = len(m.softs) + 1
+					m.tot = card.NewIncTotalizer(m.s, nil, m.totLimit)
+				}
+				m.tot.AddInputs(newBlocking)
+				m.relaxedIn = append(m.relaxedIn, newBlocking...)
+			case sawBound:
+				m.lb++
+				shared.PublishLB(cnf.Weight(m.lb))
+			default:
+				res.Status = opt.StatusUnsat
+				return res
+			}
+		}
+	}
+}
+
+// Close implements opt.Incremental: the retained solver state is dropped.
+func (m *Inc) Close() {
+	m.s = nil
+	m.softs = nil
+	m.owner = nil
+	m.tot = nil
+	m.broken = true
+}
+
+// TrailReused exposes the solver's cumulative trail-reuse counter — the
+// levels of propagation carried between consecutive solves — for tests and
+// reuse reporting.
+func (m *Inc) TrailReused() int64 {
+	if m.s == nil {
+		return 0
+	}
+	return m.s.Stats().TrailReused
+}

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+)
+
+// BMCFrame is one unrolling step of a bounded-model-checking workload in
+// delta form: the hard clauses this frame adds on top of the previous
+// depth's formula (its slice of the transition relation and property cone),
+// and the frame's property literal. Pushing frame k's Hards plus a
+// unit-weight soft clause {Prop} onto a session whose accumulation holds
+// frames 0..k-1 yields exactly the depth-(k+1) BMC MaxSAT instance: the
+// optimum counts the frames in the window whose property assertion must be
+// dropped.
+type BMCFrame struct {
+	Vars  int          // variables in use through this frame
+	Hards []cnf.Clause // clauses this frame adds
+	Prop  cnf.Lit      // true iff the property holds in this frame
+}
+
+// unrollFrames slices a sequential circuit's unrolling into per-frame
+// deltas by diffing consecutive depths. Unrolling and Tseitin conversion
+// are deterministic and frame-major, so Unroll(k-1)'s clause list is a
+// strict prefix of Unroll(k)'s and the per-frame delta is exactly the
+// suffix (TestBMCFramesPrefixStable pins this property down).
+func unrollFrames(s *circuit.Sequential, maxK int) []BMCFrame {
+	frames := make([]BMCFrame, 0, maxK)
+	prev := 0
+	for k := 1; k <= maxK; k++ {
+		u := s.Unroll(k)
+		f, lits := circuitCNF(u)
+		fr := BMCFrame{Vars: f.NumVars}
+		for _, c := range f.Clauses[prev:] {
+			fr.Hards = append(fr.Hards, c.Clone())
+		}
+		fr.Prop = lits[u.Outputs[k-1]]
+		frames = append(frames, fr)
+		prev = len(f.Clauses)
+	}
+	return frames
+}
+
+// BMCCounterFrames returns the first maxK frames of the n-bit counter BMC
+// problem (property: counter == all-ones, sampled once per frame). The
+// counter has no free inputs, so every property value is forced and the
+// depth-k optimum is exactly k - floor(k/2^n).
+func BMCCounterFrames(n, maxK int) []BMCFrame {
+	return unrollFrames(circuit.Counter(n), maxK)
+}
+
+// BMCShiftFrames returns the first maxK frames of the w-bit shift-register
+// BMC problem. Ones can be shifted in from the start, making the all-ones
+// property satisfiable in every frame from index w on simultaneously: the
+// depth-k optimum is min(k, w).
+func BMCShiftFrames(w, maxK int) []BMCFrame {
+	return unrollFrames(circuit.ShiftRegisterEqual(w), maxK)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/sat"
@@ -73,6 +74,77 @@ func TestBMCInstances(t *testing.T) {
 	inS := BMCShift(6, 5)
 	if st := solveAll(t, inS); st != sat.Unsat {
 		t.Fatalf("bmc-shift below depth must be unsat, got %v", st)
+	}
+}
+
+// TestBMCFramesPrefixStable pins the property BMCCounterFrames relies on:
+// the Tseitin CNF of Unroll(k-1) is a strict prefix of Unroll(k)'s, so the
+// per-frame clause diff reassembles every depth's formula exactly — the
+// contract that lets a session accumulate frames as deltas. It also checks
+// the forced optimum at every depth.
+func TestBMCFramesPrefixStable(t *testing.T) {
+	const n, maxK = 3, 9
+	frames := BMCCounterFrames(n, maxK)
+	acc := cnf.NewWCNF(0)
+	for k := 1; k <= maxK; k++ {
+		fr := frames[k-1]
+		for _, c := range fr.Hards {
+			acc.AddHard(c...)
+		}
+		acc.AddSoft(1, fr.Prop)
+
+		u := circuit.Counter(n).Unroll(k)
+		f, lits := circuitCNF(u)
+		if fr.Prop != lits[u.Outputs[k-1]] {
+			t.Fatalf("k=%d: property literal drifted across depths", k)
+		}
+		var hards []cnf.Clause
+		for _, c := range acc.Clauses {
+			if c.Hard() {
+				hards = append(hards, c.Clause)
+			}
+		}
+		if len(hards) != len(f.Clauses) {
+			t.Fatalf("k=%d: accumulated %d hard clauses, Unroll(k) has %d",
+				k, len(hards), len(f.Clauses))
+		}
+		for i := range hards {
+			if len(hards[i]) != len(f.Clauses[i]) {
+				t.Fatalf("k=%d: clause %d differs in width", k, i)
+			}
+			for j := range hards[i] {
+				if hards[i][j] != f.Clauses[i][j] {
+					t.Fatalf("k=%d: clause %d differs at literal %d", k, i, j)
+				}
+			}
+		}
+
+		r := core.NewMSU3(opt.Options{}).Solve(context.Background(), acc, nil)
+		want := cnf.Weight(k - k/(1<<n))
+		if r.Status != opt.StatusOptimal || r.Cost != want {
+			t.Fatalf("k=%d: status %v cost %d, want OPTIMAL %d", k, r.Status, r.Cost, want)
+		}
+	}
+}
+
+// TestBMCShiftFramesOptimum checks the nondeterministic family: free
+// shift-in inputs let the solver satisfy every frame from index w on, so
+// the depth-k optimum is min(k, w).
+func TestBMCShiftFramesOptimum(t *testing.T) {
+	const w, maxK = 3, 6
+	frames := BMCShiftFrames(w, maxK)
+	acc := cnf.NewWCNF(0)
+	for k := 1; k <= maxK; k++ {
+		fr := frames[k-1]
+		for _, c := range fr.Hards {
+			acc.AddHard(c...)
+		}
+		acc.AddSoft(1, fr.Prop)
+		r := core.NewMSU3(opt.Options{}).Solve(context.Background(), acc, nil)
+		want := cnf.Weight(min(k, w))
+		if r.Status != opt.StatusOptimal || r.Cost != want {
+			t.Fatalf("k=%d: status %v cost %d, want OPTIMAL %d", k, r.Status, r.Cost, want)
+		}
 	}
 }
 

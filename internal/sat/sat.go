@@ -94,6 +94,10 @@ type Stats struct {
 	Removed      int64
 	MinimizedLit int64 // literals deleted by conflict-clause minimization
 	ArenaGCs     int64 // compacting collections of the clause arena
+	// TrailReused counts decision levels carried over between consecutive
+	// Solve calls by assumption-prefix trail reuse — the solver-warmth signal
+	// the serving layer's incremental sessions report.
+	TrailReused int64
 
 	// Clause-sharing traffic (see share.go); all zero without an Exchange.
 	Exported       int64 // learnt clauses offered to the exchange
@@ -1082,6 +1086,7 @@ func (s *Solver) Solve(assumps ...cnf.Lit) Status {
 	for match < keep && s.prevAssumps[match] == assumps[match] {
 		match++
 	}
+	s.stats.TrailReused += int64(match)
 	s.cancelUntil(match)
 	// A large backlog of foreign clauses is worth more than the kept trail
 	// prefix (which one backtrack rebuilds next search anyway): drop to

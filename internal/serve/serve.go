@@ -180,6 +180,16 @@ type Config struct {
 	// RetryBackoff is the first retry's delay, doubled per further attempt;
 	// 0 means 100ms. The wait is cut short by job cancellation.
 	RetryBackoff time.Duration
+
+	// MaxSessions caps concurrently open sessions (each pins one worker
+	// slot for its lifetime — see OpenSession); 0 means Workers, negative
+	// disables sessions entirely.
+	MaxSessions int
+	// SessionIdle is the idle-eviction horizon: a session with no Push or
+	// Solve activity for this long is evicted, releasing its pinned worker
+	// slot and retained solver. 0 means 5 minutes; negative disables
+	// eviction (sessions then live until Close).
+	SessionIdle time.Duration
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -223,6 +233,21 @@ type Stats struct {
 	// admission bounds.
 	RateLimited int64 `json:"rate_limited"`
 	QuotaDenied int64 `json:"quota_denied"`
+	// SessionsOpen is the number of currently open sessions (each pinning
+	// one worker slot); SessionsOpened / SessionsEvicted are lifetime
+	// totals (eviction counts only idle-eviction, not client Close).
+	SessionsOpen    int   `json:"sessions_open"`
+	SessionsOpened  int64 `json:"sessions_opened"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
+	// SessionSolves counts delta solves submitted through sessions;
+	// SessionReused counts those answered by a retained (warm) solver
+	// rather than a from-scratch run.
+	SessionSolves int64 `json:"session_solves"`
+	SessionReused int64 `json:"session_reused"`
+	// SessionHits counts verified-result cache hits served to session
+	// solves — hits whose key was a session-accumulated fingerprint rather
+	// than a one-shot submission. Every SessionHit is also a CacheHit.
+	SessionHits int64 `json:"session_hits"`
 	// Draining reports that the server has stopped admissions and is
 	// waiting for the remaining jobs (set by Drain, and by Close).
 	Draining bool `json:"draining"`
@@ -262,6 +287,10 @@ type Result struct {
 	// Cached reports that the result was served from the verified-result
 	// cache instead of a fresh solve.
 	Cached bool
+	// Reused reports that a session's retained (warm) solver produced the
+	// result — a delta re-solve — rather than a from-scratch run. Always
+	// false for one-shot submissions.
+	Reused bool
 	// Err is non-nil when the job failed outright (solver panic); Status is
 	// then StatusUnknown.
 	Err error
@@ -296,6 +325,7 @@ type Server struct {
 	doneOrder []uint64
 	cache     *lru
 	clients   map[string]*clientState
+	sessions  map[uint64]*Session
 	nextID    uint64
 	queued    int
 	running   int
@@ -327,6 +357,7 @@ func New(cfg Config) *Server {
 		jobs:     make(map[uint64]*job),
 		cache:    newLRU(cfg.CacheEntries),
 		clients:  make(map[string]*clientState),
+		sessions: make(map[uint64]*Session),
 	}
 	s.sleep = func(ctx context.Context, d time.Duration) {
 		t := time.NewTimer(d)
@@ -368,6 +399,13 @@ type job struct {
 	// same formula register every original ID against the one real job.
 	aliases []uint64
 	journal bool // the job has a journal entry to mark done
+	// leased marks a session solve: the job runs on its session's pinned
+	// worker slot, so run neither acquires nor releases pool slots.
+	leased bool
+	// reused records whether the winning attempt came from the session's
+	// retained solver (set by the session solve wrapper, read by run when it
+	// assembles the Result).
+	reused atomic.Bool
 
 	mu   sync.Mutex
 	st   State
@@ -613,7 +651,15 @@ func (s *Server) run(ctx context.Context, j *job) {
 	// the server's lifetime (cancel funcs are idempotent, so a handle's
 	// Cancel racing this is fine).
 	defer j.cancel()
-	if err := s.sem.acquire(ctx, j.slots); err != nil {
+	// A leased (session) job runs on its session's pinned worker slot —
+	// acquired when the session opened, released when it closes — so it
+	// neither waits for nor returns pool slots here.
+	if j.leased {
+		if ctx.Err() != nil {
+			s.finish(j, Result{Result: opt.Result{Status: opt.StatusUnknown, Cost: -1}}, true)
+			return
+		}
+	} else if err := s.sem.acquire(ctx, j.slots); err != nil {
 		s.finish(j, Result{Result: opt.Result{Status: opt.StatusUnknown, Cost: -1}}, true)
 		return
 	}
@@ -675,11 +721,17 @@ func (s *Server) run(ctx context.Context, j *job) {
 			Detail: fmt.Sprintf("attempt %d after %s", attempt+1, reason)})
 		s.sleep(runCtx, s.cfg.RetryBackoff<<attempt)
 	}
-	s.sem.release(slots)
+	if !j.leased {
+		s.sem.release(slots)
+	}
 	s.mu.Lock()
 	s.running--
+	if j.leased && j.reused.Load() {
+		s.stats.SessionReused++
+	}
 	s.mu.Unlock()
-	s.finish(j, Result{Result: res, Meta: j.spec.Meta, Err: err}, ctx.Err() != nil)
+	s.finish(j, Result{Result: res, Meta: j.spec.Meta, Err: err, Reused: j.reused.Load()},
+		ctx.Err() != nil)
 }
 
 // attempt runs one solve attempt under the stuck-solver watchdog. The
@@ -911,12 +963,14 @@ func (s *Server) Close() {
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.shutdownSessions()
 		return
 	}
 	s.closed = true
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	s.shutdownSessions()
 }
 
 // Drain is the graceful half of Close: it stops admissions immediately
@@ -934,6 +988,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	if already {
 		s.wg.Wait()
+		s.shutdownSessions()
 		return nil
 	}
 	done := make(chan struct{})
@@ -943,10 +998,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.shutdownSessions()
 		return nil
 	case <-ctx.Done():
 		s.stop() // deadline passed: cancel the stragglers
 		<-done
+		s.shutdownSessions()
 		return ctx.Err()
 	}
 }

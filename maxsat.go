@@ -268,6 +268,9 @@ type Result struct {
 	// verified-result cache instead of a fresh solve; always false for the
 	// direct Solve entry points.
 	Cached bool
+	// Reused reports that a Session's warm (retained) solver answered this
+	// delta re-solve; always false for one-shot solves and submissions.
+	Reused bool
 	// Certificate is the serialized proof certificate of an OPTIMAL or
 	// UNSATISFIABLE result when Options.Certify was set: validate it with
 	// CheckCertificate. Nil otherwise.

@@ -97,6 +97,15 @@ type ServerConfig struct {
 	// budget per attempt — with exponential backoff between attempts. Zero
 	// disables: the first failure is the job's result.
 	MaxRetries int
+
+	// MaxSessions caps concurrently open incremental sessions (each pins
+	// one worker slot — see OpenSession); 0 means Workers, negative
+	// disables sessions.
+	MaxSessions int
+	// SessionIdle evicts a session with no Push/Solve activity for this
+	// long, releasing its pinned slot; 0 means 5 minutes, negative disables
+	// eviction.
+	SessionIdle time.Duration
 }
 
 // AuditEvent is one entry of the server's admission audit log.
@@ -184,6 +193,8 @@ func OpenServer(cfg ServerConfig) (*Server, error) {
 			Journal:        jl,
 			StallTimeout:   cfg.StallTimeout,
 			MaxRetries:     cfg.MaxRetries,
+			MaxSessions:    cfg.MaxSessions,
+			SessionIdle:    cfg.SessionIdle,
 		}),
 		rs:         rs,
 		jl:         jl,
@@ -463,6 +474,7 @@ func (j *Job) publicResult(r serve.Result) Result {
 	}
 	out := fromInternal(r.Result, algo)
 	out.Cached = r.Cached
+	out.Reused = r.Reused
 	return out
 }
 
